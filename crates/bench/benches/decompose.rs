@@ -1,0 +1,59 @@
+//! Ablation bench: greedy longest-prefix decomposition (the operational
+//! RBPC path, `O(len)` tree-step checks) versus the optimal jump-graph
+//! search (the paper's Dijkstra-over-base-paths fallback), and the
+//! restoration pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_core::{greedy_decompose, optimal_decompose, BasePathOracle, Restorer};
+use rbpc_graph::{shortest_path, FailureSet, NodeId};
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let oracle = rbpc_bench::isp_oracle();
+    let graph = oracle.graph().clone();
+    let model = *oracle.cost_model();
+    let restorer = Restorer::new(&oracle);
+
+    // A representative long LSP and a mid-path failure.
+    let pairs = rbpc_bench::pairs(&graph, 200);
+    let (s, t, base) = pairs
+        .iter()
+        .filter_map(|&(s, t)| oracle.base_path(s, t).map(|p| (s, t, p)))
+        .max_by_key(|(_, _, p)| p.hop_count())
+        .expect("pairs exist");
+    let failed = base.edges()[base.hop_count() / 2];
+    let failures = FailureSet::of_edge(failed);
+    let view = failures.view(&graph);
+    let backup = shortest_path(&view, &model, s, t).expect("restorable");
+
+    let mut g = c.benchmark_group("decompose");
+    g.bench_function("greedy", |b| {
+        b.iter(|| greedy_decompose(black_box(&oracle), black_box(&backup)))
+    });
+    g.bench_function("optimal_jump_graph", |b| {
+        b.iter(|| optimal_decompose(black_box(&oracle), s, t, black_box(&failures)))
+    });
+    g.bench_function("full_restore_pipeline", |b| {
+        b.iter(|| restorer.restore(s, t, black_box(&failures)).unwrap())
+    });
+    // Whole failover plan for one link across all sampled pairs.
+    g.sample_size(20);
+    g.bench_function("failover_plan_200_pairs", |b| {
+        b.iter(|| restorer.failover_plan(black_box(failed), pairs.iter().copied()))
+    });
+    g.finish();
+
+    // Sanity print: the two decompositions agree on segment count.
+    let gr = greedy_decompose(&oracle, &backup);
+    let op = optimal_decompose(&oracle, s, t, &failures).unwrap();
+    println!(
+        "\ndecompose: greedy = {} segments, optimal = {} segments (LSP {} hops)",
+        gr.len(),
+        op.len(),
+        backup.hop_count()
+    );
+    let _ = NodeId::new(0);
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

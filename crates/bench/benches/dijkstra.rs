@@ -1,0 +1,36 @@
+//! Micro-bench: the shortest-path substrate (Dijkstra trees, point
+//! queries, failure views) across the evaluated topology families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_graph::{
+    shortest_path, shortest_path_tree, CostModel, FailureSet, Metric, NodeId,
+};
+use rbpc_topo::{gnm_connected, internet_like_scaled};
+use std::hint::black_box;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let isp = rbpc_bench::isp_graph();
+    let power = internet_like_scaled(5_000, rbpc_bench::SEED);
+    let random = gnm_connected(1_000, 3_000, 20, rbpc_bench::SEED);
+    let model = CostModel::new(Metric::Weighted, rbpc_bench::SEED);
+
+    let mut g = c.benchmark_group("dijkstra");
+    for (name, graph) in [("isp_200", &isp), ("powerlaw_5000", &power), ("gnm_1000", &random)] {
+        let t = NodeId::new(graph.node_count() - 1);
+        g.bench_function(format!("{name}/full_tree"), |b| {
+            b.iter(|| shortest_path_tree(black_box(graph), &model, NodeId::new(0)))
+        });
+        g.bench_function(format!("{name}/point_to_point"), |b| {
+            b.iter(|| shortest_path(black_box(graph), &model, NodeId::new(0), t))
+        });
+        let failures = FailureSet::of_edge(rbpc_graph::EdgeId::new(0));
+        let view = failures.view(graph);
+        g.bench_function(format!("{name}/point_to_point_failed_view"), |b| {
+            b.iter(|| shortest_path(black_box(&view), &model, NodeId::new(0), t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dijkstra);
+criterion_main!(benches);

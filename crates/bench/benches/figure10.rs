@@ -1,0 +1,28 @@
+//! Bench: regenerate Figure 10 (local-RBPC stretch histograms on the
+//! weighted ISP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_eval::figure10;
+use std::hint::black_box;
+
+fn bench_figure10(c: &mut Criterion) {
+    let oracle = rbpc_bench::isp_oracle();
+    let pairs = rbpc_bench::pairs(rbpc_core::BasePathOracle::graph(&oracle), 60);
+
+    // Emit the artifact once.
+    let fig = figure10(&oracle, &pairs, 4);
+    println!("\n{}", rbpc_eval::figure10::render(&fig));
+
+    let mut g = c.benchmark_group("figure10");
+    g.sample_size(10);
+    g.bench_function("isp_weighted/60_pairs", |b| {
+        b.iter(|| figure10(black_box(&oracle), black_box(&pairs), 4))
+    });
+    g.bench_function("isp_weighted/serial", |b| {
+        b.iter(|| figure10(black_box(&oracle), black_box(&pairs), 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure10);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench + artifact: restoration-latency simulation per scheme on the
+//! synthetic ISP (the paper's "fast recovery" ordering, quantified).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_sim::{outage_summary, LatencyModel, Scheme};
+use std::hint::black_box;
+
+fn bench_latency(c: &mut Criterion) {
+    let oracle = rbpc_bench::isp_oracle();
+    let pairs = rbpc_bench::pairs(rbpc_core::BasePathOracle::graph(&oracle), 60);
+    let model = LatencyModel::default();
+
+    // Emit the artifact once.
+    println!();
+    for scheme in Scheme::all() {
+        let s = outage_summary(&oracle, &model, &pairs, scheme);
+        println!(
+            "{:<18} mean outage {:>8.1} ms   max {:>8.1} ms   ({} events, {} unrestorable)",
+            format!("{:?}", s.scheme),
+            s.mean_us / 1000.0,
+            s.max_us as f64 / 1000.0,
+            s.events,
+            s.unrestorable,
+        );
+    }
+
+    let mut g = c.benchmark_group("latency");
+    g.sample_size(10);
+    for scheme in [Scheme::LocalEdgeBypass, Scheme::SourceRbpc, Scheme::Reestablish] {
+        g.bench_function(format!("{scheme:?}"), |b| {
+            b.iter(|| outage_summary(black_box(&oracle), &model, black_box(&pairs), scheme))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: regenerate Table 1 (topology generation + degree statistics).
+//!
+//! Prints the table once so `cargo bench` output doubles as a result log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_eval::{standard_suite, table1, EvalScale};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Emit the artifact once.
+    let suite = standard_suite(EvalScale::Quick, rbpc_bench::SEED);
+    println!("\n{}", rbpc_eval::table1::render(&table1(&suite)));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("generate_suite_quick", |b| {
+        b.iter(|| standard_suite(EvalScale::Quick, black_box(rbpc_bench::SEED)))
+    });
+    g.bench_function("degree_stats", |b| {
+        b.iter(|| table1(black_box(&suite)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: regenerate Table 3 (bypass hop-count distribution per topology).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_eval::{standard_suite, table3, EvalScale};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let suite = standard_suite(EvalScale::Quick, rbpc_bench::SEED);
+
+    // Emit the artifact once, side by side as in the paper.
+    let hists: Vec<_> = suite
+        .iter()
+        .map(|case| table3(&case.name, &case.graph, case.metric, rbpc_bench::SEED, 4))
+        .collect();
+    println!("\n{}", rbpc_eval::table3::render(&hists));
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for case in &suite {
+        g.bench_function(format!("bypasses/{}", case.name.replace(", ", "_")), |b| {
+            b.iter(|| {
+                table3(
+                    &case.name,
+                    black_box(&case.graph),
+                    case.metric,
+                    rbpc_bench::SEED,
+                    4,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! Base-path oracles: the provisioned set of canonical shortest paths.
+//!
+//! Theorem 3 of the paper shows a base set with **exactly one** shortest
+//! path per ordered pair suffices, provided shortest paths are made unique
+//! by infinitesimal padding. Our [`CostModel`] realizes the padding, so the
+//! base set is simply "the shortest-path tree of every source", and a path
+//! is a base path iff it is a tree path of its own source — an `O(len)`
+//! check that never materializes the set.
+//!
+//! Two implementations trade memory for latency:
+//!
+//! * [`DenseBasePaths`] precomputes every source's tree — right for graphs
+//!   up to a few thousand nodes (the paper's ISP);
+//! * [`LazyBasePaths`] computes trees on demand behind a bounded cache —
+//!   right for the 4 746-node AS graph and the 40 377-node Internet map,
+//!   where the paper (and we) sample pairs rather than enumerate them.
+//!
+//! Both return bit-identical answers because the trees are canonical for a
+//! given `(metric, seed)`.
+
+use parking_lot::Mutex;
+use rbpc_graph::{shortest_path_tree, CostModel, Graph, NodeId, Path, PathCost, ShortestPathTree};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The provisioned base set: one canonical shortest path per ordered pair.
+///
+/// All methods are derived from [`BasePathOracle::with_spt`]; implementors
+/// only supply tree storage.
+pub trait BasePathOracle {
+    /// The graph the base set was computed over.
+    fn graph(&self) -> &Graph;
+
+    /// The cost model (metric + padding seed) defining canonical paths.
+    fn cost_model(&self) -> &CostModel;
+
+    /// Runs `f` with the shortest-path tree rooted at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R;
+
+    /// The canonical base path from `s` to `t`, or `None` if disconnected.
+    fn base_path(&self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.with_spt(s, |spt| spt.path_to(t))
+    }
+
+    /// Original-metric distance from `s` to `t`.
+    fn base_dist(&self, s: NodeId, t: NodeId) -> Option<u64> {
+        self.with_spt(s, |spt| spt.base_dist(t))
+    }
+
+    /// Full cost (base, perturbed, hops) from `s` to `t`.
+    fn base_cost(&self, s: NodeId, t: NodeId) -> Option<PathCost> {
+        self.with_spt(s, |spt| spt.cost_to(t))
+    }
+
+    /// Whether `path` is exactly the canonical base path between its
+    /// endpoints. `O(len)` via tree-step checks; trivial paths qualify.
+    fn is_base_path(&self, path: &Path) -> bool {
+        self.longest_base_prefix(path, 0) == path.nodes().len() - 1
+    }
+
+    /// The largest node index `j ≥ from` such that `path[from..=j]` is a
+    /// base path. Returns `from` itself when not even one hop matches the
+    /// tree of `path.nodes()[from]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range for the path.
+    fn longest_base_prefix(&self, path: &Path, from: usize) -> usize {
+        let nodes = path.nodes();
+        let edges = path.edges();
+        assert!(from < nodes.len(), "from out of range");
+        self.with_spt(nodes[from], |spt| {
+            let mut j = from;
+            while j + 1 < nodes.len() && spt.is_tree_step(nodes[j], edges[j], nodes[j + 1]) {
+                j += 1;
+            }
+            j
+        })
+    }
+}
+
+/// Precomputed all-pairs base paths: one [`ShortestPathTree`] per source.
+///
+/// Memory is `O(n²)`; see [`LazyBasePaths`] for large graphs.
+#[derive(Debug, Clone)]
+pub struct DenseBasePaths {
+    graph: Graph,
+    model: CostModel,
+    trees: Vec<ShortestPathTree>,
+}
+
+impl DenseBasePaths {
+    /// Computes every source's tree up front.
+    pub fn build(graph: Graph, model: CostModel) -> Self {
+        let trees = (0..graph.node_count())
+            .map(|s| shortest_path_tree(&graph, &model, NodeId::new(s)))
+            .collect();
+        DenseBasePaths {
+            graph,
+            model,
+            trees,
+        }
+    }
+
+    /// Direct access to a source's tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn spt(&self, source: NodeId) -> &ShortestPathTree {
+        &self.trees[source.index()]
+    }
+}
+
+impl BasePathOracle for DenseBasePaths {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
+        f(&self.trees[source.index()])
+    }
+}
+
+/// On-demand base paths with a bounded FIFO tree cache.
+///
+/// Answers are identical to [`DenseBasePaths`] (trees are canonical); only
+/// memory and latency differ. Thread-safe: the cache is lock-protected and
+/// trees are shared via [`Arc`], so parallel experiment sampling can share
+/// one oracle.
+#[derive(Debug)]
+pub struct LazyBasePaths {
+    graph: Graph,
+    model: CostModel,
+    cache: Mutex<LazyCache>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct LazyCache {
+    map: HashMap<u32, Arc<ShortestPathTree>>,
+    order: VecDeque<u32>,
+}
+
+impl LazyBasePaths {
+    /// Default number of cached trees.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// Creates a lazy oracle with the default cache capacity.
+    pub fn new(graph: Graph, model: CostModel) -> Self {
+        Self::with_capacity(graph, model, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a lazy oracle caching at most `capacity` trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(graph: Graph, model: CostModel, capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be positive");
+        LazyBasePaths {
+            graph,
+            model,
+            cache: Mutex::new(LazyCache::default()),
+            capacity,
+        }
+    }
+
+    /// Number of trees currently cached (for tests and monitoring).
+    pub fn cached_trees(&self) -> usize {
+        self.cache.lock().map.len()
+    }
+
+    fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
+        let key = source.index() as u32;
+        if let Some(t) = self.cache.lock().map.get(&key) {
+            return Arc::clone(t);
+        }
+        // Compute outside the lock; a racing thread may duplicate the work
+        // but the result is identical either way.
+        let computed = Arc::new(shortest_path_tree(&self.graph, &self.model, source));
+        let mut cache = self.cache.lock();
+        if let Some(t) = cache.map.get(&key) {
+            return Arc::clone(t);
+        }
+        while cache.map.len() >= self.capacity {
+            if let Some(old) = cache.order.pop_front() {
+                cache.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+        cache.map.insert(key, Arc::clone(&computed));
+        cache.order.push_back(key);
+        computed
+    }
+}
+
+impl BasePathOracle for LazyBasePaths {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
+        let tree = self.tree(source);
+        f(&tree)
+    }
+}
+
+impl<O: BasePathOracle> BasePathOracle for &O {
+    fn graph(&self) -> &Graph {
+        (**self).graph()
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        (**self).cost_model()
+    }
+
+    fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
+        (**self).with_spt(source, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::Metric;
+    use rbpc_topo::gnm_connected;
+
+    fn model() -> CostModel {
+        CostModel::new(Metric::Weighted, 21)
+    }
+
+    #[test]
+    fn dense_and_lazy_agree_exactly() {
+        let g = gnm_connected(40, 90, 12, 5);
+        let dense = DenseBasePaths::build(g.clone(), model());
+        let lazy = LazyBasePaths::with_capacity(g.clone(), model(), 4);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(dense.base_path(s, t), lazy.base_path(s, t));
+                assert_eq!(dense.base_dist(s, t), lazy.base_dist(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_cache_evicts_fifo() {
+        let g = gnm_connected(20, 40, 5, 1);
+        let lazy = LazyBasePaths::with_capacity(g, model(), 3);
+        for s in 0..6usize {
+            let _ = lazy.base_dist(s.into(), 0.into());
+        }
+        assert_eq!(lazy.cached_trees(), 3);
+        // Re-query an evicted source: still correct.
+        let d = lazy.base_dist(0.into(), 5.into());
+        assert!(d.is_some());
+    }
+
+    #[test]
+    fn base_paths_are_recognized() {
+        let g = gnm_connected(30, 70, 9, 3);
+        let oracle = DenseBasePaths::build(g.clone(), model());
+        for t in [5usize, 17, 29] {
+            let p = oracle.base_path(0.into(), t.into()).unwrap();
+            assert!(oracle.is_base_path(&p));
+            // Subpaths of base paths are base paths (padding uniqueness).
+            if p.hop_count() >= 2 {
+                assert!(oracle.is_base_path(&p.subpath(1, p.nodes().len() - 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn non_base_paths_are_rejected() {
+        // A square with one heavy edge: the heavy detour is not a base path.
+        let mut g = Graph::new(4);
+        for (a, b, w) in [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 10)] {
+            g.add_edge(a, b, w).unwrap();
+        }
+        let oracle = DenseBasePaths::build(g.clone(), model());
+        let heavy = Path::from_edges(&g, 0.into(), &[3.into()]).unwrap();
+        assert!(!oracle.is_base_path(&heavy)); // 0-3 direct costs 10 vs 3
+        assert_eq!(oracle.base_dist(0.into(), 3.into()), Some(3));
+    }
+
+    #[test]
+    fn longest_base_prefix_walks_maximally() {
+        let mut g = Graph::new(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            g.add_unit_edge(a, b).unwrap();
+        }
+        let oracle = DenseBasePaths::build(g.clone(), model());
+        let p = oracle.base_path(0.into(), 3.into()).unwrap();
+        assert_eq!(oracle.longest_base_prefix(&p, 0), 3);
+        assert_eq!(oracle.longest_base_prefix(&p, 2), 3);
+        assert_eq!(oracle.longest_base_prefix(&p, 3), 3);
+    }
+
+    #[test]
+    fn trivial_path_is_base() {
+        let g = gnm_connected(5, 6, 3, 0);
+        let oracle = DenseBasePaths::build(g, model());
+        assert!(oracle.is_base_path(&Path::trivial(2.into())));
+    }
+
+    #[test]
+    fn disconnected_pairs_have_no_base_path() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1).unwrap();
+        let oracle = DenseBasePaths::build(g, model());
+        assert_eq!(oracle.base_path(0.into(), 2.into()), None);
+        assert_eq!(oracle.base_dist(0.into(), 2.into()), None);
+        assert_eq!(oracle.base_cost(0.into(), 2.into()), None);
+    }
+
+    #[test]
+    fn oracle_by_reference_works() {
+        fn takes_oracle<O: BasePathOracle>(o: O) -> usize {
+            o.graph().node_count()
+        }
+        let g = gnm_connected(5, 6, 3, 0);
+        let oracle = DenseBasePaths::build(g, model());
+        assert_eq!(takes_oracle(&oracle), 5);
+        assert_eq!(takes_oracle(&&oracle), 5);
+    }
+
+    #[test]
+    fn lazy_is_shareable_across_threads() {
+        let g = gnm_connected(25, 60, 7, 2);
+        let lazy = LazyBasePaths::new(g.clone(), model());
+        let dense = DenseBasePaths::build(g.clone(), model());
+        std::thread::scope(|scope| {
+            for chunk in 0..4usize {
+                let lazy = &lazy;
+                let dense = &dense;
+                scope.spawn(move || {
+                    for s in (0..25).filter(|s| s % 4 == chunk) {
+                        for t in 0..25usize {
+                            assert_eq!(
+                                lazy.base_dist(s.into(), t.into()),
+                                dense.base_dist(s.into(), t.into())
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,267 @@
+//! Failure/recovery churn: keeping the domain correct over time.
+//!
+//! The paper notes that every restoration action "is reversed when the
+//! link recovers". [`ChurnDriver`] manages that statefulness: it tracks a
+//! live failure set, applies source-RBPC FEC rewrites for routes the
+//! current failures disrupt, restores the *default* FEC entries for routes
+//! they no longer disrupt, and can verify the whole domain by forwarding a
+//! packet for every tracked pair after every event.
+
+use crate::{BasePathOracle, ProvisionedDomain, RestoreError, Restorer};
+use rbpc_graph::{EdgeId, FailureSet, NodeId};
+use rbpc_mpls::MplsError;
+use std::collections::HashSet;
+
+/// Drives a provisioned domain through a sequence of link failures and
+/// recoveries, keeping every tracked route restored (or reverted).
+#[derive(Debug)]
+pub struct ChurnDriver<'a, O> {
+    oracle: &'a O,
+    domain: ProvisionedDomain,
+    failures: FailureSet,
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Pairs currently riding a restoration FEC entry.
+    rerouted: HashSet<(NodeId, NodeId)>,
+    /// Pairs currently unrestorable (disconnected by the failures).
+    dark: HashSet<(NodeId, NodeId)>,
+}
+
+impl<'a, O: BasePathOracle> ChurnDriver<'a, O> {
+    /// Provisions the tracked pairs and starts with everything healthy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MplsError`] from provisioning.
+    pub fn new(oracle: &'a O, pairs: Vec<(NodeId, NodeId)>) -> Result<Self, MplsError> {
+        let mut domain = ProvisionedDomain::new(oracle);
+        for &(s, t) in &pairs {
+            domain.provision_pair(oracle, s, t)?;
+        }
+        Ok(ChurnDriver {
+            oracle,
+            domain,
+            failures: FailureSet::new(),
+            pairs,
+            rerouted: HashSet::new(),
+            dark: HashSet::new(),
+        })
+    }
+
+    /// The current failure set.
+    pub fn failures(&self) -> &FailureSet {
+        &self.failures
+    }
+
+    /// The tracked pairs.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Pairs currently riding restoration state.
+    pub fn rerouted_count(&self) -> usize {
+        self.rerouted.len()
+    }
+
+    /// Pairs currently disconnected.
+    pub fn dark_count(&self) -> usize {
+        self.dark.len()
+    }
+
+    /// Access to the underlying domain (read-only).
+    pub fn domain(&self) -> &ProvisionedDomain {
+        &self.domain
+    }
+
+    /// Fails a link and reconciles every tracked route.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MplsError`] from table updates.
+    pub fn fail_link(&mut self, e: EdgeId) -> Result<(), MplsError> {
+        self.failures.fail_edge(e);
+        self.reconcile()
+    }
+
+    /// Recovers a link and reconciles every tracked route (reverting
+    /// restorations that are no longer needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MplsError`] from table updates.
+    pub fn recover_link(&mut self, e: EdgeId) -> Result<(), MplsError> {
+        self.failures.restore_edge(e);
+        self.reconcile()
+    }
+
+    fn reconcile(&mut self) -> Result<(), MplsError> {
+        let restorer = Restorer::new(self.oracle);
+        for &(s, t) in &self.pairs {
+            let Some(base) = self.oracle.base_path(s, t) else {
+                continue;
+            };
+            let disrupted = base
+                .edges()
+                .iter()
+                .any(|&e| self.failures.edge_failed(e));
+            if disrupted {
+                match restorer.restore(s, t, &self.failures) {
+                    Ok(r) => {
+                        self.domain.apply_source_restoration(&r)?;
+                        self.rerouted.insert((s, t));
+                        self.dark.remove(&(s, t));
+                    }
+                    Err(RestoreError::Disconnected { .. }) => {
+                        self.dark.insert((s, t));
+                        self.rerouted.remove(&(s, t));
+                    }
+                    Err(_) => {
+                        self.dark.insert((s, t));
+                        self.rerouted.remove(&(s, t));
+                    }
+                }
+            } else if self.rerouted.remove(&(s, t)) || self.dark.remove(&(s, t)) {
+                // Back to the default entry over the pair's base LSP.
+                let lsp = self
+                    .domain
+                    .lsp_for_pair(s, t)
+                    .expect("tracked pairs are provisioned");
+                self.domain.net_mut().set_fec_via_lsps(s, t, &[lsp])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies every tracked, connected route by forwarding a packet:
+    /// it must be delivered along the canonical shortest path of the
+    /// *current* (failed) topology. Dark pairs must really be
+    /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with context) on any mismatch — intended for tests and
+    /// validation harnesses.
+    pub fn verify(&self) {
+        let graph = self.oracle.graph();
+        let model = self.oracle.cost_model();
+        for &(s, t) in &self.pairs {
+            let view = self.failures.view(graph);
+            match rbpc_graph::shortest_path(&view, model, s, t) {
+                Some(want) => {
+                    let trace = self
+                        .domain
+                        .forward(s, t, &self.failures)
+                        .unwrap_or_else(|e| panic!("{s}->{t} undeliverable: {e}"));
+                    assert_eq!(
+                        trace.route(),
+                        want.nodes(),
+                        "{s}->{t} not on the canonical current path"
+                    );
+                }
+                None => {
+                    assert!(
+                        self.dark.contains(&(s, t)) || self.oracle.base_path(s, t).is_none(),
+                        "{s}->{t} disconnected but not marked dark"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseBasePaths;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rbpc_graph::{CostModel, Metric};
+    use rbpc_topo::gnm_connected;
+
+    fn driver(seed: u64) -> (DenseBasePaths, Vec<(NodeId, NodeId)>) {
+        let g = gnm_connected(16, 36, 6, seed);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, seed));
+        let pairs = (1..16)
+            .step_by(2)
+            .map(|t| (NodeId::new(0), NodeId::new(t)))
+            .collect();
+        (oracle, pairs)
+    }
+
+    #[test]
+    fn fail_then_recover_round_trips() {
+        let (oracle, pairs) = driver(1);
+        let mut churn = ChurnDriver::new(&oracle, pairs).unwrap();
+        churn.verify();
+        let base = oracle.base_path(NodeId::new(0), NodeId::new(15)).unwrap();
+        let e = base.edges()[0];
+        churn.fail_link(e).unwrap();
+        assert!(churn.rerouted_count() > 0 || churn.dark_count() > 0);
+        churn.verify();
+        churn.recover_link(e).unwrap();
+        assert_eq!(churn.rerouted_count(), 0);
+        assert_eq!(churn.dark_count(), 0);
+        churn.verify();
+    }
+
+    #[test]
+    fn overlapping_failures_and_partial_recovery() {
+        let (oracle, pairs) = driver(2);
+        let mut churn = ChurnDriver::new(&oracle, pairs).unwrap();
+        let base = oracle.base_path(NodeId::new(0), NodeId::new(15)).unwrap();
+        if base.hop_count() < 2 {
+            return;
+        }
+        let (e1, e2) = (base.edges()[0], base.edges()[base.hop_count() - 1]);
+        churn.fail_link(e1).unwrap();
+        churn.verify();
+        churn.fail_link(e2).unwrap();
+        churn.verify();
+        churn.recover_link(e1).unwrap();
+        churn.verify();
+        churn.recover_link(e2).unwrap();
+        churn.verify();
+        assert_eq!(churn.rerouted_count(), 0);
+    }
+
+    #[test]
+    fn random_churn_sequences_stay_consistent() {
+        for seed in 0..5u64 {
+            let (oracle, pairs) = driver(10 + seed);
+            let mut churn = ChurnDriver::new(&oracle, pairs).unwrap();
+            let m = oracle.graph().edge_count();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut down: Vec<EdgeId> = Vec::new();
+            for _ in 0..30 {
+                if !down.is_empty() && rng.gen_bool(0.4) {
+                    let i = rng.gen_range(0..down.len());
+                    let e = down.swap_remove(i);
+                    churn.recover_link(e).unwrap();
+                } else {
+                    let e = EdgeId::new(rng.gen_range(0..m));
+                    if !churn.failures().edge_failed(e) {
+                        down.push(e);
+                    }
+                    churn.fail_link(e).unwrap();
+                }
+                churn.verify();
+            }
+            // Recover everything: the domain must return to baseline.
+            for e in down {
+                churn.recover_link(e).unwrap();
+            }
+            churn.verify();
+            assert_eq!(churn.rerouted_count(), 0, "seed {seed}");
+            assert_eq!(churn.dark_count(), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let (oracle, pairs) = driver(3);
+        let n_pairs = pairs.len();
+        let churn = ChurnDriver::new(&oracle, pairs).unwrap();
+        assert_eq!(churn.pairs().len(), n_pairs);
+        assert!(churn.failures().is_empty());
+        assert!(churn.domain().net().total_ilm_entries() > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for restoration operations.
+
+use core::fmt;
+use rbpc_graph::{EdgeId, NodeId};
+
+/// Error returned by restoration computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// No surviving path connects the endpoints — restoration is
+    /// impossible until repairs happen.
+    Disconnected {
+        /// The route's source.
+        source: NodeId,
+        /// The route's destination.
+        target: NodeId,
+    },
+    /// An endpoint of the route itself failed.
+    EndpointFailed {
+        /// The failed endpoint.
+        node: NodeId,
+    },
+    /// The named edge is not on the path being restored (local RBPC takes
+    /// the failed edge together with the disrupted LSP's path).
+    EdgeNotOnPath {
+        /// The edge that was expected on the path.
+        edge: EdgeId,
+    },
+    /// A node id was out of range for the oracle's graph.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RestoreError::Disconnected { source, target } => {
+                write!(f, "no surviving path from {source} to {target}")
+            }
+            RestoreError::EndpointFailed { node } => {
+                write!(f, "route endpoint {node} has failed")
+            }
+            RestoreError::EdgeNotOnPath { edge } => {
+                write!(f, "edge {edge} is not on the disrupted path")
+            }
+            RestoreError::UnknownNode { node } => write!(f, "unknown node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = RestoreError::Disconnected {
+            source: NodeId::new(0),
+            target: NodeId::new(5),
+        };
+        assert!(e.to_string().contains("n0"));
+        assert!(e.to_string().contains("n5"));
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RestoreError>();
+    }
+}

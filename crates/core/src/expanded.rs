@@ -1,0 +1,233 @@
+//! Corollary 4: the **expanded base set**.
+//!
+//! Theorem 2 leaves `k` raw edges in the weighted-case decomposition. The
+//! paper's Corollary 4 removes them by enlarging the base set: for every
+//! edge, append it to every base path starting or terminating at one of
+//! its endpoints. With directed base paths (the Remark) the expanded set
+//! has `n(n−1) + 2m(n−1)` LSPs, and every restoration after `k` failures
+//! is a concatenation of at most `k + 1` *expanded* base paths — at the
+//! cost of a base set roughly `1 + 2m/n` times larger.
+//!
+//! The expanded set is closed under taking subpaths, so the greedy
+//! longest-prefix decomposition is again optimal; a prefix is either a
+//! base path, a base path plus one appended edge, or one prepended edge
+//! plus a base path.
+
+use crate::BasePathOracle;
+use rbpc_graph::{Graph, Path};
+
+/// What an expanded-set segment is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpandedKind {
+    /// A plain base path.
+    BasePath,
+    /// A base path with one edge appended at its end (possibly a lone
+    /// edge, when the base part is trivial).
+    BaseThenEdge,
+    /// One edge prepended to a base path.
+    EdgeThenBase,
+}
+
+/// One segment of an expanded-set concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandedSegment {
+    /// The segment's flavor in the expanded set.
+    pub kind: ExpandedKind,
+    /// The segment itself (a subpath of the restoration path).
+    pub path: Path,
+}
+
+/// A restoration path as a concatenation of expanded base-set LSPs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandedConcatenation {
+    segments: Vec<ExpandedSegment>,
+}
+
+impl ExpandedConcatenation {
+    /// The segments in order.
+    pub fn segments(&self) -> &[ExpandedSegment] {
+        &self.segments
+    }
+
+    /// Number of segments (Corollary 4 bounds this by `k + 1`).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether there are no segments (trivial restoration).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Reassembles the full path, or `None` when empty.
+    pub fn full_path(&self) -> Option<Path> {
+        let mut iter = self.segments.iter();
+        let mut path = iter.next()?.path.clone();
+        for seg in iter {
+            path = path
+                .concat(&seg.path)
+                .expect("segments are contiguous by construction");
+        }
+        Some(path)
+    }
+}
+
+/// The size of the expanded base set for a graph, per the paper's Remark
+/// (directed base paths): `n(n−1)` primaries plus `2m(n−1)` edge-extended
+/// paths.
+pub fn expanded_base_set_size(graph: &Graph) -> u64 {
+    let n = graph.node_count() as u64;
+    let m = graph.edge_count() as u64;
+    if n == 0 {
+        return 0;
+    }
+    n * (n - 1) + 2 * m * (n - 1)
+}
+
+/// Greedy decomposition of `path` over the expanded base set of
+/// Corollary 4. Produces the minimum number of expanded segments; after
+/// `k` failures this is at most `k + 1` (versus `k + 1` paths *plus* `k`
+/// edges for the plain base set).
+///
+/// ```
+/// use rbpc_core::{expanded_decompose, greedy_decompose, DenseBasePaths};
+/// use rbpc_graph::{shortest_path, CostModel, FailureSet, Metric};
+///
+/// let w = rbpc_topo::weighted_tight(2); // Figure 3, k = 2
+/// let model = CostModel::new(Metric::Weighted, 0);
+/// let oracle = DenseBasePaths::build(w.graph.clone(), model);
+/// let failures = FailureSet::of_edges(w.cheap_edges.iter().copied());
+/// let backup = shortest_path(&failures.view(&w.graph), &model, w.s, w.t).unwrap();
+/// assert_eq!(greedy_decompose(&oracle, &backup).len(), 5);   // 2k + 1 plain pieces
+/// assert_eq!(expanded_decompose(&oracle, &backup).len(), 3); // k + 1 expanded
+/// ```
+pub fn expanded_decompose<O: BasePathOracle>(oracle: &O, path: &Path) -> ExpandedConcatenation {
+    let last = path.nodes().len() - 1;
+    let mut segments = Vec::new();
+    let mut i = 0;
+    while i < last {
+        let j0 = oracle.longest_base_prefix(path, i);
+        let mut end = j0;
+        let mut kind = ExpandedKind::BasePath;
+        if j0 < last {
+            // Base (possibly trivial) plus one appended edge.
+            if j0 + 1 > end {
+                end = j0 + 1;
+                kind = ExpandedKind::BaseThenEdge;
+            }
+            // One prepended edge plus the longest base path after it.
+            let alt_end = oracle.longest_base_prefix(path, i + 1);
+            if alt_end > end {
+                end = alt_end;
+                kind = ExpandedKind::EdgeThenBase;
+            }
+        }
+        debug_assert!(end > i, "expanded prefixes always advance");
+        segments.push(ExpandedSegment {
+            kind,
+            path: path.subpath(i, end),
+        });
+        i = end;
+    }
+    ExpandedConcatenation { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_decompose, DenseBasePaths};
+    use rbpc_graph::{shortest_path, CostModel, FailureSet, Metric, NodeId};
+    use rbpc_topo::{gnm_connected, weighted_tight};
+
+    #[test]
+    fn size_formula() {
+        let g = gnm_connected(10, 20, 5, 0);
+        assert_eq!(expanded_base_set_size(&g), 10 * 9 + 2 * 20 * 9);
+        assert_eq!(expanded_base_set_size(&rbpc_graph::Graph::new(0)), 0);
+    }
+
+    #[test]
+    fn weighted_tight_drops_to_k_plus_one() {
+        // The whole point: the Figure 3 chain needed 2k+1 plain segments;
+        // the expanded set needs exactly k+1.
+        for k in 1..=5 {
+            let w = weighted_tight(k);
+            let model = CostModel::new(Metric::Weighted, 3);
+            let oracle = DenseBasePaths::build(w.graph.clone(), model);
+            let failures = FailureSet::of_edges(w.cheap_edges.iter().copied());
+            let view = failures.view(&w.graph);
+            let backup = shortest_path(&view, &model, w.s, w.t).unwrap();
+            let plain = greedy_decompose(&oracle, &backup);
+            let expanded = expanded_decompose(&oracle, &backup);
+            assert_eq!(plain.len(), 2 * k + 1, "plain, k = {k}");
+            assert_eq!(expanded.len(), k + 1, "expanded, k = {k}");
+            assert_eq!(expanded.full_path().unwrap(), backup);
+        }
+    }
+
+    #[test]
+    fn expanded_never_worse_than_plain() {
+        for seed in 0..12u64 {
+            let g = gnm_connected(20, 45, 9, seed);
+            let model = CostModel::new(Metric::Weighted, seed);
+            let oracle = DenseBasePaths::build(g.clone(), model);
+            let base = oracle
+                .base_path(NodeId::new(0), NodeId::new(19))
+                .unwrap();
+            for &e in base.edges() {
+                let failures = FailureSet::of_edge(e);
+                let view = failures.view(&g);
+                let Some(backup) =
+                    shortest_path(&view, &model, NodeId::new(0), NodeId::new(19))
+                else {
+                    continue;
+                };
+                let plain = greedy_decompose(&oracle, &backup);
+                let expanded = expanded_decompose(&oracle, &backup);
+                assert!(expanded.len() <= plain.len(), "seed {seed}");
+                assert!(expanded.len() <= 2, "seed {seed}: k=1 gives k+1=2");
+                assert_eq!(expanded.full_path().unwrap(), backup);
+            }
+        }
+    }
+
+    #[test]
+    fn base_paths_stay_single_segments() {
+        let g = gnm_connected(15, 30, 6, 4);
+        let model = CostModel::new(Metric::Weighted, 4);
+        let oracle = DenseBasePaths::build(g, model);
+        let p = oracle.base_path(NodeId::new(0), NodeId::new(14)).unwrap();
+        let c = expanded_decompose(&oracle, &p);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.segments()[0].kind, ExpandedKind::BasePath);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn trivial_path_is_empty() {
+        let g = gnm_connected(5, 8, 3, 1);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 1));
+        let c = expanded_decompose(&oracle, &Path::trivial(NodeId::new(2)));
+        assert!(c.is_empty());
+        assert_eq!(c.full_path(), None);
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        // On the Figure 3 chain the k+1 segments after failure are
+        // base-plus-edge (or edge-plus-base) except the last one.
+        let w = weighted_tight(2);
+        let model = CostModel::new(Metric::Weighted, 3);
+        let oracle = DenseBasePaths::build(w.graph.clone(), model);
+        let failures = FailureSet::of_edges(w.cheap_edges.iter().copied());
+        let view = failures.view(&w.graph);
+        let backup = shortest_path(&view, &model, w.s, w.t).unwrap();
+        let c = expanded_decompose(&oracle, &backup);
+        let extended = c
+            .segments()
+            .iter()
+            .filter(|s| s.kind != ExpandedKind::BasePath)
+            .count();
+        assert_eq!(extended, 2, "each failed junction contributes one extension");
+    }
+}

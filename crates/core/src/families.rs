@@ -1,0 +1,323 @@
+//! Route families over subnet restrictions (§1 of the paper).
+//!
+//! The deployments that motivated RBPC maintain *several* families of
+//! shortest paths simultaneously: the plain IGP paths, plus "shortest
+//! paths over all the OC48 links", "over links with available capacity",
+//! "over links with delay below a threshold", and so on. Each family is
+//! RBPC over a subgraph on the same routers; restoration stays **within
+//! the family** (a premium route must not fail over to slow links).
+//!
+//! [`RouteFamily`] packages the subgraph extraction, a base-path oracle
+//! over it, and restoration that accepts failures in parent-graph terms
+//! and returns paths in parent-graph terms — so a multi-family deployment
+//! shares one topology, one failure feed, and one MPLS domain.
+
+use crate::{greedy_decompose, BasePathOracle, Concatenation, DenseBasePaths, RestoreError};
+use rbpc_graph::{
+    extract_subgraph, shortest_path, CostModel, EdgeId, EdgeRecord, FailureSet, Graph, NodeId,
+    Path, Subgraph, Topology,
+};
+
+/// A restoration outcome within one family, expressed in parent-graph
+/// terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyRestoration {
+    /// The family's pre-failure canonical path (parent edge ids).
+    pub original: Path,
+    /// The post-failure canonical path within the family (parent edge
+    /// ids).
+    pub backup: Path,
+    /// The concatenation over the family's base LSPs (paths in parent
+    /// edge ids).
+    pub concatenation: Concatenation,
+    /// Whether the failures disrupted the family's original path.
+    pub affected: bool,
+}
+
+/// One family of routes: RBPC over a subnet restriction.
+#[derive(Debug)]
+pub struct RouteFamily {
+    name: String,
+    subgraph: Subgraph,
+    oracle: DenseBasePaths,
+}
+
+impl RouteFamily {
+    /// Builds a family over the edges of `parent` for which `keep`
+    /// returns `true`, with its own canonical base set.
+    pub fn new(
+        name: impl Into<String>,
+        parent: &Graph,
+        model: CostModel,
+        keep: impl FnMut(EdgeId, &EdgeRecord) -> bool,
+    ) -> Self {
+        let subgraph = extract_subgraph(parent, keep);
+        let oracle = DenseBasePaths::build(subgraph.graph.clone(), model);
+        RouteFamily {
+            name: name.into(),
+            subgraph,
+            oracle,
+        }
+    }
+
+    /// The family's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The family's restricted subgraph.
+    pub fn subgraph(&self) -> &Subgraph {
+        &self.subgraph
+    }
+
+    /// The family's base-path oracle (subgraph edge ids).
+    pub fn oracle(&self) -> &DenseBasePaths {
+        &self.oracle
+    }
+
+    /// Whether the family connects `s` to `t` at all.
+    pub fn connects(&self, s: NodeId, t: NodeId) -> bool {
+        self.oracle.base_dist(s, t).is_some()
+    }
+
+    /// The family's canonical path `s → t` in parent-graph terms.
+    pub fn base_path(&self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.oracle
+            .base_path(s, t)
+            .map(|p| self.subgraph.path_to_parent(&p))
+    }
+
+    /// Restores `s → t` within the family under `failures` (parent-graph
+    /// ids). Failed edges outside the family are ignored — they cannot
+    /// affect family routes.
+    ///
+    /// # Errors
+    ///
+    /// * [`RestoreError::EndpointFailed`] when an endpoint router failed;
+    /// * [`RestoreError::Disconnected`] when the *family* has no surviving
+    ///   route (even if the full topology does — restoration must not
+    ///   leave the subnet).
+    pub fn restore(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        failures: &FailureSet,
+    ) -> Result<FamilyRestoration, RestoreError> {
+        for node in [s, t] {
+            if node.index() >= self.subgraph.graph.node_count() {
+                return Err(RestoreError::UnknownNode { node });
+            }
+            if failures.node_failed(node) {
+                return Err(RestoreError::EndpointFailed { node });
+            }
+        }
+        let local_failures = self.subgraph.failures_from_parent(failures);
+        let original = self
+            .oracle
+            .base_path(s, t)
+            .ok_or(RestoreError::Disconnected {
+                source: s,
+                target: t,
+            })?;
+        let affected = !original.edges().iter().all(|&e| {
+            let view = local_failures.view(&self.subgraph.graph);
+            view.edge_alive(e)
+        }) || original
+            .nodes()
+            .iter()
+            .any(|&v| local_failures.node_failed(v));
+        let backup = if affected {
+            let view = local_failures.view(&self.subgraph.graph);
+            shortest_path(&view, self.oracle.cost_model(), s, t).ok_or(
+                RestoreError::Disconnected {
+                    source: s,
+                    target: t,
+                },
+            )?
+        } else {
+            original.clone()
+        };
+        let concatenation = greedy_decompose(&self.oracle, &backup);
+        // Map everything back to parent ids.
+        let mapped_segments: Vec<crate::Segment> = concatenation
+            .segments()
+            .iter()
+            .map(|seg| crate::Segment {
+                kind: seg.kind,
+                path: self.subgraph.path_to_parent(&seg.path),
+            })
+            .collect();
+        Ok(FamilyRestoration {
+            original: self.subgraph.path_to_parent(&original),
+            backup: self.subgraph.path_to_parent(&backup),
+            concatenation: Concatenation::from_segments(mapped_segments),
+            affected,
+        })
+    }
+}
+
+/// A set of route families over one parent topology, restored together
+/// from one failure feed.
+#[derive(Debug, Default)]
+pub struct FamilySet {
+    families: Vec<RouteFamily>,
+}
+
+impl FamilySet {
+    /// An empty set.
+    pub fn new() -> Self {
+        FamilySet::default()
+    }
+
+    /// Adds a family; returns `self` for chaining.
+    pub fn with(mut self, family: RouteFamily) -> Self {
+        self.families.push(family);
+        self
+    }
+
+    /// The families in insertion order.
+    pub fn families(&self) -> &[RouteFamily] {
+        &self.families
+    }
+
+    /// Restores `s → t` in every family; returns `(name, result)` pairs.
+    pub fn restore_all(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        failures: &FailureSet,
+    ) -> Vec<(&str, Result<FamilyRestoration, RestoreError>)> {
+        self.families
+            .iter()
+            .map(|f| (f.name(), f.restore(s, t, failures)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::Metric;
+    use rbpc_topo::{isp_topology, IspParams};
+
+    /// ISP with its weight classes: 1 = core, 4 = uplink, 2/8 = PoP.
+    fn fixture() -> (Graph, CostModel) {
+        let g = isp_topology(
+            IspParams {
+                pops: 8,
+                core_routers: 6,
+                ..IspParams::default()
+            },
+            3,
+        )
+        .graph;
+        (g, CostModel::new(Metric::Weighted, 3))
+    }
+
+    #[test]
+    fn backbone_family_stays_on_backbone() {
+        let (g, model) = fixture();
+        // "OC48 family": core + uplink links only (weights 1 and 4).
+        let family = RouteFamily::new("oc48", &g, model, |_, rec| rec.weight <= 4);
+        for e in family.subgraph().graph.edge_ids() {
+            assert!(family.subgraph().graph.weight(e) <= 4);
+        }
+        // Core routers are connected within the family.
+        assert!(family.connects(0.into(), 5.into()));
+        let p = family.base_path(0.into(), 5.into()).unwrap();
+        for &e in p.edges() {
+            assert!(g.weight(e) <= 4, "family path left the subnet");
+        }
+    }
+
+    #[test]
+    fn family_restoration_respects_the_subnet() {
+        let (g, model) = fixture();
+        let family = RouteFamily::new("oc48", &g, model, |_, rec| rec.weight <= 4);
+        let (s, t) = (NodeId::new(0), NodeId::new(3));
+        let base = family.base_path(s, t).unwrap();
+        let failed = base.edges()[0];
+        let failures = FailureSet::of_edge(failed);
+        let r = family.restore(s, t, &failures).unwrap();
+        assert!(r.affected);
+        assert!(!r.backup.contains_edge(failed));
+        for &e in r.backup.edges() {
+            assert!(g.weight(e) <= 4, "restoration left the subnet");
+        }
+        assert_eq!(r.concatenation.full_path().unwrap(), r.backup);
+    }
+
+    #[test]
+    fn failures_outside_the_family_do_not_affect_it() {
+        let (g, model) = fixture();
+        let family = RouteFamily::new("oc48", &g, model, |_, rec| rec.weight <= 4);
+        // Fail an access link (weight 8): not in the family.
+        let access = g
+            .edge_ids()
+            .find(|&e| g.weight(e) == 8)
+            .expect("access links exist");
+        let r = family
+            .restore(0.into(), 4.into(), &FailureSet::of_edge(access))
+            .unwrap();
+        assert!(!r.affected);
+        assert_eq!(r.backup, r.original);
+    }
+
+    #[test]
+    fn family_disconnection_is_not_papered_over() {
+        // A family with a bridge must report Disconnected even though the
+        // full graph has a detour.
+        let mut g = Graph::new(3);
+        let fast = g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(0, 2, 10).unwrap(); // slow detour, outside the family
+        let model = CostModel::new(Metric::Weighted, 1);
+        let family = RouteFamily::new("fast", &g, model, |_, rec| rec.weight == 1);
+        let err = family
+            .restore(0.into(), 1.into(), &FailureSet::of_edge(fast))
+            .unwrap_err();
+        assert!(matches!(err, RestoreError::Disconnected { .. }));
+        // The unrestricted graph restores fine, by contrast.
+        let full = RouteFamily::new("all", &g, model, |_, _| true);
+        assert!(full
+            .restore(0.into(), 1.into(), &FailureSet::of_edge(fast))
+            .is_ok());
+    }
+
+    #[test]
+    fn family_set_reports_per_family() {
+        let (g, model) = fixture();
+        let set = FamilySet::new()
+            .with(RouteFamily::new("all", &g, model, |_, _| true))
+            .with(RouteFamily::new("oc48", &g, model, |_, rec| rec.weight <= 4))
+            .with(RouteFamily::new("core", &g, model, |_, rec| rec.weight == 1));
+        assert_eq!(set.families().len(), 3);
+        let (s, t) = (NodeId::new(0), NodeId::new(5));
+        let results = set.restore_all(s, t, &FailureSet::new());
+        assert_eq!(results.len(), 3);
+        for (name, r) in &results {
+            assert!(r.is_ok(), "family {name} failed: {r:?}");
+        }
+        // The restricted family's route can never be cheaper than the
+        // unrestricted one.
+        let all_cost = results[0].1.as_ref().unwrap().backup.cost(&g, &model).base;
+        let oc48_cost = results[1].1.as_ref().unwrap().backup.cost(&g, &model).base;
+        assert!(oc48_cost >= all_cost);
+    }
+
+    #[test]
+    fn theorem_bounds_hold_within_families() {
+        let (g, model) = fixture();
+        let family = RouteFamily::new("oc48", &g, model, |_, rec| rec.weight <= 4);
+        let (s, t) = (NodeId::new(0), NodeId::new(4));
+        let base = family.base_path(s, t).unwrap();
+        for &e in base.edges() {
+            let failures = FailureSet::of_edge(e);
+            let Ok(r) = family.restore(s, t, &failures) else {
+                continue;
+            };
+            assert!(r.concatenation.len() <= 3); // k = 1 within the family
+            assert!(r.concatenation.raw_edge_count() <= 1);
+        }
+    }
+}

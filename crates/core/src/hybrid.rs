@@ -1,0 +1,239 @@
+//! The hybrid restoration scheme (§4.2, last paragraph).
+//!
+//! Local RBPC restores *instantly* — the router adjacent to the failure
+//! rewrites one ILM entry as soon as its interface goes down — but may
+//! route sub-optimally. Source RBPC restores *optimally* — one FEC rewrite
+//! onto the post-failure shortest path — but only after the link-state
+//! flood reaches the source. The hybrid does both: packets ride the local
+//! splice during the flood interval, then the source takes over.
+//!
+//! [`hybrid_restore`] computes both phases; [`HybridRestoration`] reports
+//! the interim penalty (how much longer packets travel until the source
+//! reacts) and the flood distance (how many hops the failure notification
+//! must travel — a proxy for how long the interim lasts).
+
+use crate::{edge_bypass, end_route, BasePathOracle, LocalRestoration, Restoration, RestoreError, Restorer};
+use rbpc_graph::{EdgeId, FailureSet, PathCost};
+
+/// Which local variant phase 1 ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalVariant {
+    /// The failed link was patched around and the original LSP resumed.
+    EdgeBypass,
+    /// The adjacent router re-routed straight to the destination.
+    EndRoute,
+}
+
+/// Both phases of a hybrid restoration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridRestoration {
+    /// Phase 1: the instant local splice at the router adjacent to the
+    /// failure.
+    pub local: LocalRestoration,
+    /// Which local variant was used (edge-bypass preferred; end-route when
+    /// the LSP tail is also broken).
+    pub variant: LocalVariant,
+    /// Phase 2: the optimal source restoration.
+    pub source: Restoration,
+    /// End-to-end cost of the interim (phase 1) route.
+    pub interim_cost: PathCost,
+    /// Hop distance from the splicing router back to the LSP source — the
+    /// distance the link-state notification travels before phase 2 can
+    /// happen.
+    pub flood_hops: u32,
+}
+
+impl HybridRestoration {
+    /// Interim cost penalty: phase-1 route cost over the optimal backup
+    /// cost (≥ 1).
+    pub fn interim_stretch(&self) -> f64 {
+        if self.source.backup_cost.base == 0 {
+            1.0
+        } else {
+            self.interim_cost.base as f64 / self.source.backup_cost.base as f64
+        }
+    }
+
+    /// Whether phase 2 actually improves on phase 1.
+    pub fn source_improves(&self) -> bool {
+        self.source.backup_cost.base < self.interim_cost.base
+    }
+}
+
+/// Computes the hybrid restoration for the LSP `s → t` whose link `failed`
+/// died, under the full failure set `failures`.
+///
+/// Phase 1 prefers **edge-bypass** (smallest ILM churn, resumes the
+/// original LSP) and falls back to **end-route** when the LSP's tail is
+/// also broken; phase 2 is plain source RBPC.
+///
+/// ```
+/// use rbpc_core::{hybrid_restore, BasePathOracle, DenseBasePaths, Restorer};
+/// use rbpc_graph::{CostModel, FailureSet, Metric};
+///
+/// # fn main() -> Result<(), rbpc_core::RestoreError> {
+/// let g = rbpc_topo::cycle(8);
+/// let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Unweighted, 2));
+/// let restorer = Restorer::new(&oracle);
+/// let lsp = oracle.base_path(0.into(), 3.into()).expect("connected");
+/// let failed = lsp.edges()[1];
+/// let h = hybrid_restore(&oracle, &restorer, failed, &FailureSet::of_edge(failed), 0.into(), 3.into())?;
+/// assert!(h.interim_stretch() >= 1.0);
+/// assert_eq!(h.flood_hops, 1); // the notification travels one hop back
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`RestoreError`] when neither local variant can restore or
+/// the pair is disconnected.
+pub fn hybrid_restore<O: BasePathOracle>(
+    oracle: &O,
+    restorer: &Restorer<'_, O>,
+    failed: EdgeId,
+    failures: &FailureSet,
+    s: rbpc_graph::NodeId,
+    t: rbpc_graph::NodeId,
+) -> Result<HybridRestoration, RestoreError> {
+    let lsp_path = oracle.base_path(s, t).ok_or(RestoreError::Disconnected {
+        source: s,
+        target: t,
+    })?;
+    let (local, variant) = match edge_bypass(oracle, &lsp_path, failed, failures) {
+        Ok(l) => (l, LocalVariant::EdgeBypass),
+        Err(_) => (
+            end_route(oracle, &lsp_path, failed, failures)?,
+            LocalVariant::EndRoute,
+        ),
+    };
+    let source = restorer.restore(s, t, failures)?;
+    let interim_cost = local.end_to_end.cost(oracle.graph(), oracle.cost_model());
+    // The notification travels back along the (surviving) LSP prefix.
+    let flood_hops = lsp_path
+        .position_of(local.r1)
+        .expect("r1 lies on the LSP") as u32;
+    Ok(HybridRestoration {
+        local,
+        variant,
+        source,
+        interim_cost,
+        flood_hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseBasePaths, ProvisionedDomain};
+    use rbpc_graph::{CostModel, Metric, NodeId};
+    use rbpc_topo::{cycle, gnm_connected};
+
+    fn fixture(seed: u64) -> DenseBasePaths {
+        let g = gnm_connected(25, 55, 8, seed);
+        DenseBasePaths::build(g, CostModel::new(Metric::Weighted, seed))
+    }
+
+    #[test]
+    fn hybrid_phases_are_consistent() {
+        for seed in 0..8 {
+            let oracle = fixture(seed);
+            let restorer = Restorer::new(&oracle);
+            let (s, t) = (NodeId::new(0), NodeId::new(24));
+            let base = oracle.base_path(s, t).unwrap();
+            for &failed in base.edges() {
+                let failures = FailureSet::of_edge(failed);
+                let Ok(h) = hybrid_restore(&oracle, &restorer, failed, &failures, s, t)
+                else {
+                    continue;
+                };
+                // Interim route is never better than the optimum.
+                assert!(h.interim_stretch() >= 1.0 - 1e-12, "seed {seed}");
+                assert!(h.interim_cost.base >= h.source.backup_cost.base);
+                // Phase-1 route really avoids the failure and connects s to t.
+                assert!(!h.local.end_to_end.contains_edge(failed));
+                assert_eq!(h.local.end_to_end.source(), s);
+                assert_eq!(h.local.end_to_end.target(), t);
+                // Flood distance is within the LSP length.
+                assert!((h.flood_hops as usize) < base.nodes().len());
+                if h.source_improves() {
+                    assert!(h.interim_stretch() > 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_bypass_preferred_single_failure() {
+        let g = cycle(8);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 2));
+        let restorer = Restorer::new(&oracle);
+        let (s, t) = (NodeId::new(0), NodeId::new(3));
+        let base = oracle.base_path(s, t).unwrap();
+        let failed = base.edges()[1];
+        let failures = FailureSet::of_edge(failed);
+        let h = hybrid_restore(&oracle, &restorer, failed, &failures, s, t).unwrap();
+        assert_eq!(h.variant, LocalVariant::EdgeBypass);
+        assert_eq!(h.flood_hops, 1);
+    }
+
+    #[test]
+    fn falls_back_to_end_route_on_broken_tail() {
+        let g = cycle(8);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 2));
+        let restorer = Restorer::new(&oracle);
+        let (s, t) = (NodeId::new(0), NodeId::new(3));
+        let base = oracle.base_path(s, t).unwrap();
+        assert_eq!(base.hop_count(), 3);
+        // First and last hop both fail: edge-bypass of the first cannot
+        // resume, so the hybrid uses end-route.
+        let mut failures = FailureSet::of_edge(base.edges()[0]);
+        failures.fail_edge(base.edges()[2]);
+        let h = hybrid_restore(&oracle, &restorer, base.edges()[0], &failures, s, t).unwrap();
+        assert_eq!(h.variant, LocalVariant::EndRoute);
+        assert!(!h.local.end_to_end.contains_edge(base.edges()[0]));
+        assert!(!h.local.end_to_end.contains_edge(base.edges()[2]));
+    }
+
+    #[test]
+    fn hybrid_runs_end_to_end_in_mpls() {
+        let oracle = fixture(3);
+        let restorer = Restorer::new(&oracle);
+        let mut dom = ProvisionedDomain::new(&oracle);
+        dom.provision_all_pairs(&oracle).unwrap();
+        let (s, t) = (NodeId::new(0), NodeId::new(24));
+        let base = oracle.base_path(s, t).unwrap();
+        let failed = base.edges()[base.hop_count() / 2];
+        let failures = FailureSet::of_edge(failed);
+        let h = hybrid_restore(&oracle, &restorer, failed, &failures, s, t).unwrap();
+        // Phase 1.
+        let lsp = dom.lsp_for_pair(s, t).unwrap();
+        dom.apply_local_restoration(lsp, &h.local).unwrap();
+        let interim = dom.forward(s, t, &failures).unwrap();
+        assert_eq!(interim.route(), h.local.end_to_end.nodes());
+        // Phase 2.
+        dom.apply_source_restoration(&h.source).unwrap();
+        let final_trace = dom.forward(s, t, &failures).unwrap();
+        assert_eq!(final_trace.route(), h.source.backup.nodes());
+        assert!(final_trace.hop_count() <= interim.hop_count());
+    }
+
+    #[test]
+    fn disconnected_pair_errors() {
+        let mut g = rbpc_graph::Graph::new(3);
+        let bridge = g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 1));
+        let restorer = Restorer::new(&oracle);
+        let failures = FailureSet::of_edge(bridge);
+        assert!(hybrid_restore(
+            &oracle,
+            &restorer,
+            bridge,
+            &failures,
+            NodeId::new(0),
+            NodeId::new(2)
+        )
+        .is_err());
+    }
+}

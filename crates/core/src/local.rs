@@ -1,0 +1,324 @@
+//! Local RBPC: restoration at the router adjacent to the failure (§4.2).
+//!
+//! When router `R1` detects that its downstream link on some LSP died, it
+//! can restore *immediately* — before the link-state protocol reaches the
+//! LSP's source — by rewriting one ILM entry:
+//!
+//! * **end-route** ([`end_route`]): splice onto a concatenation of base
+//!   LSPs going straight to the LSP's destination;
+//! * **edge-bypass** ([`edge_bypass`]): splice onto a concatenation that
+//!   patches around the failed link, then resume the original LSP at the
+//!   far endpoint.
+//!
+//! Both may yield a longer end-to-end route than source RBPC (the paper's
+//! Figure 10 quantifies the stretch); the hybrid scheme applies a local
+//! splice instantly and lets the source re-route optimally later.
+
+use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
+use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path};
+
+/// The result of a local (adjacent-router) restoration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalRestoration {
+    /// The router adjacent to (upstream of) the failed link that acts.
+    pub r1: NodeId,
+    /// The splice: surviving base LSPs (+ raw edges) the packet follows
+    /// from `r1`. For end-route it reaches the LSP destination; for
+    /// edge-bypass it reaches the failed link's far endpoint.
+    pub concatenation: Concatenation,
+    /// The resulting end-to-end route of the disrupted LSP, from its
+    /// original source to its destination (may be a non-simple walk).
+    pub end_to_end: Path,
+}
+
+impl LocalRestoration {
+    /// Number of spliced pieces (labels pushed at `r1`).
+    pub fn pc_length(&self) -> usize {
+        self.concatenation.len()
+    }
+}
+
+/// Finds the index of `failed` on `lsp_path` and returns `(pos, r1, far)`:
+/// the hop index, the upstream router, and the downstream endpoint.
+fn locate(lsp_path: &Path, failed: EdgeId) -> Result<(usize, NodeId, NodeId), RestoreError> {
+    let pos = lsp_path
+        .edges()
+        .iter()
+        .position(|&e| e == failed)
+        .ok_or(RestoreError::EdgeNotOnPath { edge: failed })?;
+    Ok((pos, lsp_path.nodes()[pos], lsp_path.nodes()[pos + 1]))
+}
+
+/// **End-route** local RBPC: `R1` (upstream of `failed` on `lsp_path`)
+/// re-routes straight to the LSP's destination over surviving base LSPs.
+///
+/// `failures` is the current failure set and must contain `failed`.
+///
+/// ```
+/// use rbpc_core::{end_route, BasePathOracle, DenseBasePaths};
+/// use rbpc_graph::{CostModel, FailureSet, Metric};
+///
+/// # fn main() -> Result<(), rbpc_core::RestoreError> {
+/// let g = rbpc_topo::cycle(6);
+/// let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Unweighted, 2));
+/// let lsp = oracle.base_path(0.into(), 2.into()).expect("connected");
+/// let failed = lsp.edges()[1];
+/// let lr = end_route(&oracle, &lsp, failed, &FailureSet::of_edge(failed))?;
+/// assert_eq!(lr.r1, lsp.nodes()[1]); // the router upstream of the failure acts
+/// assert!(!lr.end_to_end.contains_edge(failed));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`RestoreError::EdgeNotOnPath`] if `failed` is not on `lsp_path`;
+/// * [`RestoreError::Disconnected`] if no surviving route exists from `R1`.
+pub fn end_route<O: BasePathOracle>(
+    oracle: &O,
+    lsp_path: &Path,
+    failed: EdgeId,
+    failures: &FailureSet,
+) -> Result<LocalRestoration, RestoreError> {
+    let (pos, r1, _) = locate(lsp_path, failed)?;
+    let dest = lsp_path.target();
+    let view = failures.view(oracle.graph());
+    let detour =
+        shortest_path(&view, oracle.cost_model(), r1, dest).ok_or(RestoreError::Disconnected {
+            source: r1,
+            target: dest,
+        })?;
+    let concatenation = greedy_decompose(oracle, &detour);
+    let end_to_end = lsp_path
+        .subpath(0, pos)
+        .concat(&detour)
+        .expect("detour starts at r1");
+    Ok(LocalRestoration {
+        r1,
+        concatenation,
+        end_to_end,
+    })
+}
+
+/// **Edge-bypass** local RBPC: `R1` patches around the failed link with a
+/// concatenation of surviving base LSPs, after which the packet resumes
+/// the original LSP at the link's far endpoint.
+///
+/// The remainder of `lsp_path` past the failed link must itself survive
+/// `failures` (with multiple failures, local patching alone cannot
+/// guarantee loop-free delivery — the paper's hybrid scheme falls back to
+/// the source).
+///
+/// # Errors
+///
+/// * [`RestoreError::EdgeNotOnPath`] if `failed` is not on `lsp_path`;
+/// * [`RestoreError::Disconnected`] if the link cannot be bypassed or the
+///   LSP's tail is also broken.
+pub fn edge_bypass<O: BasePathOracle>(
+    oracle: &O,
+    lsp_path: &Path,
+    failed: EdgeId,
+    failures: &FailureSet,
+) -> Result<LocalRestoration, RestoreError> {
+    let (pos, r1, far) = locate(lsp_path, failed)?;
+    let view = failures.view(oracle.graph());
+    let bypass =
+        shortest_path(&view, oracle.cost_model(), r1, far).ok_or(RestoreError::Disconnected {
+            source: r1,
+            target: far,
+        })?;
+    let tail = lsp_path.subpath(pos + 1, lsp_path.nodes().len() - 1);
+    if !crate::decompose::path_survives(&tail, failures) {
+        return Err(RestoreError::Disconnected {
+            source: far,
+            target: lsp_path.target(),
+        });
+    }
+    let concatenation = greedy_decompose(oracle, &bypass);
+    let end_to_end = lsp_path
+        .subpath(0, pos)
+        .concat(&bypass)
+        .expect("bypass starts at r1")
+        .concat(&tail)
+        .expect("bypass ends at the far endpoint");
+    Ok(LocalRestoration {
+        r1,
+        concatenation,
+        end_to_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseBasePaths, Restorer};
+    use rbpc_graph::{CostModel, Graph, Metric};
+    use rbpc_topo::{cycle, gnm_connected};
+
+    fn model() -> CostModel {
+        CostModel::new(Metric::Weighted, 31)
+    }
+
+    fn oracle(g: &Graph) -> DenseBasePaths {
+        DenseBasePaths::build(g.clone(), model())
+    }
+
+    #[test]
+    fn end_route_restores_on_cycle() {
+        let g = cycle(6);
+        let o = oracle(&g);
+        let base = o.base_path(0.into(), 2.into()).unwrap();
+        let failed = base.edges()[0];
+        let failures = FailureSet::of_edge(failed);
+        let lr = end_route(&o, &base, failed, &failures).unwrap();
+        assert_eq!(lr.r1, base.nodes()[0]);
+        assert_eq!(lr.end_to_end.source(), 0.into());
+        assert_eq!(lr.end_to_end.target(), 2.into());
+        assert!(!lr.end_to_end.contains_edge(failed));
+        // Around the cycle: 4 hops the other way.
+        assert_eq!(lr.end_to_end.hop_count(), 4);
+    }
+
+    #[test]
+    fn edge_bypass_resumes_original_path() {
+        let g = cycle(6);
+        let o = oracle(&g);
+        let base = o.base_path(0.into(), 2.into()).unwrap();
+        // Fail the middle link of the 2-hop path 0-1-2.
+        let failed = base.edges()[1];
+        let failures = FailureSet::of_edge(failed);
+        let lr = edge_bypass(&o, &base, failed, &failures).unwrap();
+        assert_eq!(lr.r1, base.nodes()[1]);
+        // Bypass of 1-2 goes 1-0-5-4-3-2 (4... the other way around): the
+        // end-to-end walk still starts 0-1 and ends at 2 without the edge.
+        assert_eq!(lr.end_to_end.source(), 0.into());
+        assert_eq!(lr.end_to_end.target(), 2.into());
+        assert!(!lr.end_to_end.contains_edge(failed));
+        assert!(lr.end_to_end.hop_count() > base.hop_count());
+    }
+
+    #[test]
+    fn mid_path_failure_keeps_prefix() {
+        for seed in 0..6 {
+            let g = gnm_connected(30, 70, 9, seed);
+            let o = oracle(&g);
+            let base = o.base_path(0.into(), 29.into()).unwrap();
+            if base.hop_count() < 3 {
+                continue;
+            }
+            let failed = base.edges()[base.hop_count() / 2];
+            let failures = FailureSet::of_edge(failed);
+            let pos = base.edges().iter().position(|&e| e == failed).unwrap();
+            for result in [
+                end_route(&o, &base, failed, &failures),
+                edge_bypass(&o, &base, failed, &failures),
+            ] {
+                let Ok(lr) = result else { continue };
+                // Prefix up to R1 is untouched.
+                assert_eq!(
+                    &lr.end_to_end.nodes()[..=pos],
+                    &base.nodes()[..=pos],
+                    "seed {seed}"
+                );
+                assert!(!lr.end_to_end.contains_edge(failed));
+                assert!(lr.pc_length() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn local_is_never_shorter_than_source_rbpc() {
+        for seed in 0..6 {
+            let g = gnm_connected(25, 60, 9, seed);
+            let o = oracle(&g);
+            let restorer = Restorer::new(&o);
+            let base = o.base_path(2.into(), 20.into()).unwrap();
+            for &failed in base.edges() {
+                let failures = FailureSet::of_edge(failed);
+                let Ok(source_res) = restorer.restore(2.into(), 20.into(), &failures) else {
+                    continue;
+                };
+                for result in [
+                    end_route(&o, &base, failed, &failures),
+                    edge_bypass(&o, &base, failed, &failures),
+                ] {
+                    let Ok(lr) = result else { continue };
+                    let local_cost = lr.end_to_end.cost(&g, &model()).base;
+                    assert!(
+                        local_cost >= source_res.backup_cost.base,
+                        "seed {seed}: local beat optimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_edge_is_rejected() {
+        let g = cycle(5);
+        let o = oracle(&g);
+        let base = o.base_path(0.into(), 1.into()).unwrap();
+        let other = g.find_edge(2.into(), 3.into()).unwrap();
+        let failures = FailureSet::of_edge(other);
+        assert_eq!(
+            end_route(&o, &base, other, &failures).unwrap_err(),
+            RestoreError::EdgeNotOnPath { edge: other }
+        );
+        assert_eq!(
+            edge_bypass(&o, &base, other, &failures).unwrap_err(),
+            RestoreError::EdgeNotOnPath { edge: other }
+        );
+    }
+
+    #[test]
+    fn unbypassable_bridge_errors() {
+        let mut g = Graph::new(3);
+        let bridge = g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        let o = oracle(&g);
+        let base = o.base_path(0.into(), 2.into()).unwrap();
+        let failures = FailureSet::of_edge(bridge);
+        assert!(matches!(
+            end_route(&o, &base, bridge, &failures),
+            Err(RestoreError::Disconnected { .. })
+        ));
+        assert!(matches!(
+            edge_bypass(&o, &base, bridge, &failures),
+            Err(RestoreError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_bypass_rejects_broken_tail() {
+        let g = cycle(6);
+        let o = oracle(&g);
+        let base = o.base_path(0.into(), 3.into()).unwrap();
+        assert_eq!(base.hop_count(), 3);
+        // Fail the first hop AND a later hop of the LSP.
+        let mut failures = FailureSet::of_edge(base.edges()[0]);
+        failures.fail_edge(base.edges()[2]);
+        assert!(matches!(
+            edge_bypass(&o, &base, base.edges()[0], &failures),
+            Err(RestoreError::Disconnected { .. })
+        ));
+        // End-route handles it: it ignores the broken tail entirely.
+        // (0-1 and 3-... wait: with two of six cycle edges down the graph
+        // may split; just assert it doesn't panic.)
+        let _ = end_route(&o, &base, base.edges()[0], &failures);
+    }
+
+    #[test]
+    fn node_failure_end_route() {
+        let g = cycle(6);
+        let o = DenseBasePaths::build(g.clone(), CostModel::new(Metric::Unweighted, 4));
+        let base = o.base_path(0.into(), 3.into()).unwrap();
+        // The router after R1 on the path dies; its incident link on the
+        // path is the failed element R1 detects.
+        let dead = base.nodes()[2];
+        let failures = FailureSet::of_nodes([dead.index()]);
+        let failed_edge = base.edges()[1]; // link into the dead router
+        let lr = end_route(&o, &base, failed_edge, &failures).unwrap();
+        assert!(!lr.end_to_end.contains_node(dead));
+        assert_eq!(lr.end_to_end.target(), 3.into());
+    }
+}

@@ -1,0 +1,423 @@
+//! Source-router RBPC: restore disrupted routes by rewriting one FEC entry
+//! at the source with a stack of base-LSP labels.
+
+use crate::decompose::path_survives;
+use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
+use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path, PathCost};
+
+/// The result of restoring one source–destination route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Restoration {
+    /// The route's source router.
+    pub source: NodeId,
+    /// The route's destination router.
+    pub target: NodeId,
+    /// The pre-failure base path.
+    pub original: Path,
+    /// The post-failure canonical shortest path (equals `original` when the
+    /// route was unaffected).
+    pub backup: Path,
+    /// The backup expressed as base LSPs + raw edges — the label stack.
+    pub concatenation: Concatenation,
+    /// Whether the failures actually disrupted the original path.
+    pub affected: bool,
+    /// Cost of the original path.
+    pub original_cost: PathCost,
+    /// Cost of the backup path.
+    pub backup_cost: PathCost,
+}
+
+impl Restoration {
+    /// The paper's **PC length**: number of concatenated pieces.
+    pub fn pc_length(&self) -> usize {
+        self.concatenation.len()
+    }
+
+    /// Whether the backup costs exactly as much as the original (the
+    /// paper's **redundancy** predicate: an equal-cost alternative existed).
+    pub fn cost_preserved(&self) -> bool {
+        self.backup_cost.base == self.original_cost.base
+    }
+
+    /// Hop-count stretch `backup_hops / original_hops`.
+    pub fn hop_stretch(&self) -> f64 {
+        if self.original_cost.hops == 0 {
+            1.0
+        } else {
+            f64::from(self.backup_cost.hops) / f64::from(self.original_cost.hops)
+        }
+    }
+}
+
+/// Computes restorations against a base-path oracle.
+///
+/// ```
+/// use rbpc_core::{BasePathOracle, DenseBasePaths, Restorer};
+/// use rbpc_graph::{CostModel, FailureSet, Metric};
+///
+/// # fn main() -> Result<(), rbpc_core::RestoreError> {
+/// let g = rbpc_topo::cycle(6);
+/// let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Unweighted, 1));
+/// let restorer = Restorer::new(&oracle);
+///
+/// let base = oracle.base_path(0.into(), 2.into()).expect("connected");
+/// let r = restorer.restore(0.into(), 2.into(), &FailureSet::of_edge(base.edges()[0]))?;
+/// assert!(r.affected);
+/// assert!(r.pc_length() <= 2); // Theorem 1, k = 1: at most two base paths
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Restorer<'a, O> {
+    oracle: &'a O,
+}
+
+impl<'a, O: BasePathOracle> Restorer<'a, O> {
+    /// Creates a restorer over the given oracle.
+    pub fn new(oracle: &'a O) -> Self {
+        Restorer { oracle }
+    }
+
+    /// The oracle in use.
+    pub fn oracle(&self) -> &'a O {
+        self.oracle
+    }
+
+    /// Restores the route `s → t` under `failures`: computes the
+    /// post-failure canonical shortest path and its decomposition into
+    /// surviving base LSPs (Theorems 1–3 bound the stack depth).
+    ///
+    /// # Errors
+    ///
+    /// * [`RestoreError::UnknownNode`] for out-of-range endpoints;
+    /// * [`RestoreError::EndpointFailed`] when `s` or `t` failed;
+    /// * [`RestoreError::Disconnected`] when no surviving path exists
+    ///   (including pairs that were never connected).
+    pub fn restore(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        failures: &FailureSet,
+    ) -> Result<Restoration, RestoreError> {
+        let graph = self.oracle.graph();
+        let model = self.oracle.cost_model();
+        for node in [s, t] {
+            if node.index() >= graph.node_count() {
+                return Err(RestoreError::UnknownNode { node });
+            }
+            if failures.node_failed(node) {
+                return Err(RestoreError::EndpointFailed { node });
+            }
+        }
+        let original = self
+            .oracle
+            .base_path(s, t)
+            .ok_or(RestoreError::Disconnected {
+                source: s,
+                target: t,
+            })?;
+        let affected = !path_survives(&original, failures);
+        let backup = if affected {
+            let view = failures.view(graph);
+            shortest_path(&view, model, s, t).ok_or(RestoreError::Disconnected {
+                source: s,
+                target: t,
+            })?
+        } else {
+            original.clone()
+        };
+        let concatenation = greedy_decompose(self.oracle, &backup);
+        Ok(Restoration {
+            source: s,
+            target: t,
+            original_cost: original.cost(graph, model),
+            backup_cost: backup.cost(graph, model),
+            original,
+            backup,
+            concatenation,
+            affected,
+        })
+    }
+
+    /// Builds the failover plan for a single link: for every given pair
+    /// whose base path crosses `link`, the restoration (FEC update) its
+    /// source must apply when the link fails. This is what the paper
+    /// pre-computes and indexes by link.
+    pub fn failover_plan(
+        &self,
+        link: EdgeId,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> FailoverPlan {
+        let failures = FailureSet::of_edge(link);
+        let mut updates = Vec::new();
+        let mut unrestorable = Vec::new();
+        for (s, t) in pairs {
+            let Some(original) = self.oracle.base_path(s, t) else {
+                continue;
+            };
+            if !original.contains_edge(link) {
+                continue;
+            }
+            match self.restore(s, t, &failures) {
+                Ok(r) => updates.push(FecUpdate {
+                    source: s,
+                    dest: t,
+                    restoration: r,
+                }),
+                Err(_) => unrestorable.push((s, t)),
+            }
+        }
+        FailoverPlan {
+            link,
+            updates,
+            unrestorable,
+        }
+    }
+}
+
+/// One FEC-table update triggered by a link failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FecUpdate {
+    /// The router whose FEC table changes.
+    pub source: NodeId,
+    /// The destination whose entry changes.
+    pub dest: NodeId,
+    /// The restoration to encode (label stack = its concatenation).
+    pub restoration: Restoration,
+}
+
+/// All FEC updates associated with one link's failure, pre-computable and
+/// indexable by link as §4.1 of the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPlan {
+    /// The link this plan responds to.
+    pub link: EdgeId,
+    /// FEC updates to apply at the affected sources.
+    pub updates: Vec<FecUpdate>,
+    /// Pairs left disconnected by the failure (no restoration exists).
+    pub unrestorable: Vec<(NodeId, NodeId)>,
+}
+
+impl FailoverPlan {
+    /// Number of routes this link failure disrupts (restorable or not).
+    pub fn affected_routes(&self) -> usize {
+        self.updates.len() + self.unrestorable.len()
+    }
+}
+
+/// The destinations whose base path from `source` traverses `edge` — the
+/// subtree hanging below `edge` in the source's shortest-path tree.
+///
+/// Useful for discovering affected pairs without scanning all of them.
+pub fn destinations_through_edge<O: BasePathOracle>(
+    oracle: &O,
+    source: NodeId,
+    edge: EdgeId,
+) -> Vec<NodeId> {
+    let (u, v) = oracle.graph().endpoints(edge);
+    oracle.with_spt(source, |spt| {
+        for below in [u, v] {
+            if spt.parent_edge(below) == Some(edge) {
+                return spt.subtree(below);
+            }
+        }
+        Vec::new()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseBasePaths;
+    use rbpc_graph::{CostModel, Graph, Metric};
+    use rbpc_topo::{cycle, gnm_connected, two_hop_star};
+
+    fn model() -> CostModel {
+        CostModel::new(Metric::Weighted, 13)
+    }
+
+    fn oracle(g: &Graph) -> DenseBasePaths {
+        DenseBasePaths::build(g.clone(), model())
+    }
+
+    #[test]
+    fn unaffected_route_passes_through() {
+        let g = gnm_connected(20, 45, 8, 3);
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        let base = o.base_path(0.into(), 19.into()).unwrap();
+        // Fail an edge NOT on the base path.
+        let off_path = g.edge_ids().find(|e| !base.contains_edge(*e)).unwrap();
+        let res = r.restore(0.into(), 19.into(), &FailureSet::of_edge(off_path)).unwrap();
+        assert!(!res.affected);
+        assert_eq!(res.backup, res.original);
+        assert_eq!(res.pc_length(), 1);
+        assert!(res.cost_preserved());
+        assert!((res.hop_stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_link_failure_restores_with_short_stack() {
+        for seed in 0..6 {
+            let g = gnm_connected(25, 55, 7, seed);
+            let o = oracle(&g);
+            let r = Restorer::new(&o);
+            let base = o.base_path(1.into(), 24.into()).unwrap();
+            for &e in base.edges() {
+                match r.restore(1.into(), 24.into(), &FailureSet::of_edge(e)) {
+                    Ok(res) => {
+                        assert!(res.affected);
+                        assert!(!res.backup.contains_edge(e));
+                        // Theorem 3, k = 1: ≤ 3 components, ≤ 1 raw edge.
+                        assert!(res.concatenation.len() <= 3);
+                        assert!(res.concatenation.raw_edge_count() <= 1);
+                        assert!(res.backup_cost.base >= res.original_cost.base);
+                        assert_eq!(res.concatenation.full_path().unwrap(), res.backup);
+                    }
+                    Err(RestoreError::Disconnected { .. }) => {} // bridge edge
+                    Err(other) => panic!("unexpected {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_failure_restores_around_router() {
+        let star = two_hop_star(10);
+        let o = DenseBasePaths::build(star.graph.clone(), CostModel::new(Metric::Unweighted, 1));
+        let r = Restorer::new(&o);
+        let failures = FailureSet::of_nodes([star.hub.index()]);
+        let res = r.restore(star.s, star.t, &failures).unwrap();
+        assert!(res.affected || !res.original.contains_node(star.hub));
+        assert!(!res.backup.contains_node(star.hub));
+        // The line is the only survivor: 8 hops, pieces of ≤ 2 hops.
+        assert_eq!(res.backup.hop_count(), 8);
+        assert!(res.pc_length() >= 4);
+    }
+
+    #[test]
+    fn endpoint_failure_is_an_error() {
+        let g = cycle(5);
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        let f = FailureSet::of_nodes([0usize]);
+        assert_eq!(
+            r.restore(0.into(), 2.into(), &f).unwrap_err(),
+            RestoreError::EndpointFailed { node: 0.into() }
+        );
+        assert_eq!(
+            r.restore(2.into(), 0.into(), &f).unwrap_err(),
+            RestoreError::EndpointFailed { node: 0.into() }
+        );
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let g = cycle(4);
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        assert_eq!(
+            r.restore(0.into(), 9.into(), &FailureSet::new()).unwrap_err(),
+            RestoreError::UnknownNode { node: 9.into() }
+        );
+    }
+
+    #[test]
+    fn disconnection_is_an_error() {
+        let mut g = Graph::new(3);
+        let bridge = g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        assert_eq!(
+            r.restore(0.into(), 2.into(), &FailureSet::of_edge(bridge))
+                .unwrap_err(),
+            RestoreError::Disconnected {
+                source: 0.into(),
+                target: 2.into()
+            }
+        );
+    }
+
+    #[test]
+    fn failover_plan_covers_exactly_crossing_pairs() {
+        let g = cycle(6);
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        let link = g.find_edge(0.into(), 1.into()).unwrap();
+        let all_pairs: Vec<_> = (0..6)
+            .flat_map(|s| (0..6).map(move |t| (NodeId::new(s), NodeId::new(t))))
+            .filter(|(s, t)| s != t)
+            .collect();
+        let plan = r.failover_plan(link, all_pairs.iter().copied());
+        assert_eq!(plan.link, link);
+        assert!(plan.unrestorable.is_empty()); // a cycle survives any one edge
+        assert!(!plan.updates.is_empty());
+        for u in &plan.updates {
+            assert!(u.restoration.original.contains_edge(link));
+            assert!(!u.restoration.backup.contains_edge(link));
+            assert_eq!(u.source, u.restoration.source);
+            assert_eq!(u.dest, u.restoration.target);
+        }
+        assert_eq!(plan.affected_routes(), plan.updates.len());
+        // Cross-check affected-pair discovery via SPT subtrees.
+        let mut via_subtree = 0usize;
+        for s in g.nodes() {
+            via_subtree += destinations_through_edge(&o, s, link).len();
+        }
+        assert_eq!(via_subtree, plan.updates.len());
+    }
+
+    #[test]
+    fn plan_records_unrestorable_pairs() {
+        let mut g = Graph::new(3);
+        let bridge = g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        let plan = r.failover_plan(
+            bridge,
+            [(NodeId::new(0), NodeId::new(2)), (NodeId::new(2), NodeId::new(0))],
+        );
+        assert_eq!(plan.updates.len(), 0);
+        assert_eq!(plan.unrestorable.len(), 2);
+        assert_eq!(plan.affected_routes(), 2);
+    }
+
+    #[test]
+    fn destinations_through_edge_matches_paths() {
+        let g = gnm_connected(20, 40, 6, 9);
+        let o = oracle(&g);
+        for e in g.edge_ids().take(10) {
+            let got = destinations_through_edge(&o, 0.into(), e);
+            for t in g.nodes() {
+                let crosses = o
+                    .base_path(0.into(), t)
+                    .map(|p| p.contains_edge(e))
+                    .unwrap_or(false);
+                assert_eq!(got.contains(&t), crosses, "edge {e} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_link_failures_stay_bounded() {
+        for seed in 0..4 {
+            let g = gnm_connected(25, 60, 1, seed); // unweighted-ish (w=1)
+            let o = DenseBasePaths::build(g.clone(), CostModel::new(Metric::Unweighted, 2));
+            let r = Restorer::new(&o);
+            let base = o.base_path(0.into(), 24.into()).unwrap();
+            if base.hop_count() < 2 {
+                continue;
+            }
+            let mut f = FailureSet::new();
+            f.fail_edge(base.edges()[0]);
+            f.fail_edge(base.edges()[base.hop_count() - 1]);
+            if let Ok(res) = r.restore(0.into(), 24.into(), &f) {
+                // Theorem 3, k = 2: ≤ 5 components, ≤ 2 raw edges.
+                assert!(res.concatenation.len() <= 5, "seed {seed}");
+                assert!(res.concatenation.raw_edge_count() <= 2, "seed {seed}");
+            }
+        }
+    }
+}

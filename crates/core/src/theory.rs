@@ -1,0 +1,252 @@
+//! Checkers for the paper's theorems.
+//!
+//! These compute the *minimum* decomposition of a path into pieces that are
+//! shortest paths of the original network `G` (any shortest path — not just
+//! the provisioned base paths), with single non-shortest edges allowed as
+//! their own pieces:
+//!
+//! * **Theorem 1** (unweighted): after `k` edge failures, the new shortest
+//!   path splits into at most `k + 1` original shortest paths (and in an
+//!   unweighted graph every edge is a shortest path, so no edge pieces
+//!   appear);
+//! * **Theorem 2** (weighted): at most `k + 1` original shortest paths
+//!   interleaved with at most `k` edges.
+//!
+//! The minimum cover is computed greedily: "subpath of `P` is a shortest
+//! path of `G`" is closed under taking subpaths, so longest-prefix is
+//! optimal — the same argument as for base-path decomposition.
+
+use crate::BasePathOracle;
+use rbpc_graph::{Metric, Path};
+
+/// The minimum cover of a path by original shortest paths and raw edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShortestPathCover {
+    /// Pieces that are shortest paths of the original network.
+    pub path_segments: usize,
+    /// Single-edge pieces that are not shortest paths (weighted case only).
+    pub edge_segments: usize,
+}
+
+impl ShortestPathCover {
+    /// Total pieces.
+    pub fn total(&self) -> usize {
+        self.path_segments + self.edge_segments
+    }
+
+    /// Whether this cover witnesses Theorem 1's bound for `k` failures
+    /// (unweighted: at most `k + 1` shortest paths, no edge pieces).
+    pub fn within_theorem1(&self, k: usize) -> bool {
+        self.edge_segments == 0 && self.path_segments <= k + 1
+    }
+
+    /// Whether this cover is consistent with Theorem 2's bound for `k`
+    /// failures. The theorem promises *some* decomposition into at most
+    /// `k + 1` shortest paths and `k` single edges; since a one-hop
+    /// shortest-path piece can serve as one of the theorem's "edges", the
+    /// certifiable consequences of the theorem for the *minimum* cover are
+    /// `total ≤ 2k + 1` and at most `k` forced edge pieces (edges that are
+    /// not shortest paths must be their own piece in every decomposition).
+    pub fn within_theorem2(&self, k: usize) -> bool {
+        self.total() <= 2 * k + 1 && self.edge_segments <= k
+    }
+}
+
+/// Computes the minimum cover of `path` by shortest paths of the oracle's
+/// graph (under its metric), with non-shortest edges as their own pieces.
+///
+/// A trivial path has an empty cover.
+pub fn min_shortest_path_cover<O: BasePathOracle>(oracle: &O, path: &Path) -> ShortestPathCover {
+    let graph = oracle.graph();
+    let model = oracle.cost_model();
+    let nodes = path.nodes();
+    let edges = path.edges();
+    // Prefix sums of base costs along the path.
+    let mut prefix = Vec::with_capacity(edges.len() + 1);
+    prefix.push(0u64);
+    for &e in edges {
+        prefix.push(prefix.last().unwrap() + model.base_weight(graph, e));
+    }
+
+    let mut cover = ShortestPathCover {
+        path_segments: 0,
+        edge_segments: 0,
+    };
+    let mut i = 0;
+    while i + 1 < nodes.len() {
+        // Extend j as far as the subpath cost matches the true distance.
+        let mut j = i;
+        while j + 1 < nodes.len() {
+            let sub_cost = prefix[j + 1] - prefix[i];
+            match oracle.base_dist(nodes[i], nodes[j + 1]) {
+                Some(d) if d == sub_cost => j += 1,
+                _ => break,
+            }
+        }
+        if j == i {
+            // Not even one edge is a shortest path (strictly heavier than
+            // the true distance): a raw edge piece.
+            cover.edge_segments += 1;
+            i += 1;
+        } else {
+            cover.path_segments += 1;
+            i = j;
+        }
+    }
+    cover
+}
+
+/// Convenience: `true` iff every edge of the oracle's graph is a shortest
+/// path between its endpoints (always true under [`Metric::Unweighted`]).
+pub fn all_edges_are_shortest<O: BasePathOracle>(oracle: &O) -> bool {
+    let graph = oracle.graph();
+    let model = oracle.cost_model();
+    if model.metric() == Metric::Unweighted {
+        return true;
+    }
+    graph.edges().all(|(e, rec)| {
+        oracle.base_dist(rec.u, rec.v) == Some(model.base_weight(graph, e))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseBasePaths;
+    use rbpc_graph::{shortest_path, CostModel, FailureSet, Metric, NodeId};
+    use rbpc_topo::{comb, gnm_connected, two_hop_star, weighted_tight};
+
+    #[test]
+    fn theorem1_on_random_unweighted_graphs() {
+        for seed in 0..10 {
+            let g = gnm_connected(25, 55, 1, seed);
+            let model = CostModel::new(Metric::Unweighted, seed);
+            let oracle = DenseBasePaths::build(g.clone(), model);
+            let base = oracle.base_path(0.into(), 24.into()).unwrap();
+            for k in 1..=3.min(base.hop_count()) {
+                let failures = FailureSet::of_edges(base.edges()[..k].iter().copied());
+                let view = failures.view(&g);
+                let Some(backup) = shortest_path(&view, &model, 0.into(), 24.into()) else {
+                    continue;
+                };
+                let cover = min_shortest_path_cover(&oracle, &backup);
+                assert!(
+                    cover.within_theorem1(k),
+                    "seed {seed} k {k}: {cover:?} for {backup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_on_random_weighted_graphs() {
+        for seed in 0..10 {
+            let g = gnm_connected(25, 55, 9, seed);
+            let model = CostModel::new(Metric::Weighted, seed);
+            let oracle = DenseBasePaths::build(g.clone(), model);
+            let base = oracle.base_path(0.into(), 24.into()).unwrap();
+            for k in 1..=3.min(base.hop_count()) {
+                let failures = FailureSet::of_edges(base.edges()[..k].iter().copied());
+                let view = failures.view(&g);
+                let Some(backup) = shortest_path(&view, &model, 0.into(), 24.into()) else {
+                    continue;
+                };
+                let cover = min_shortest_path_cover(&oracle, &backup);
+                assert!(
+                    cover.within_theorem2(k),
+                    "seed {seed} k {k}: {cover:?} for {backup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comb_is_exactly_tight() {
+        for k in 1..=6 {
+            let c = comb(k);
+            let model = CostModel::new(Metric::Unweighted, 0);
+            let oracle = DenseBasePaths::build(c.graph.clone(), model);
+            let failures = FailureSet::of_edges(c.spine_edges.iter().copied());
+            let view = failures.view(&c.graph);
+            let backup = shortest_path(&view, &model, c.s, c.t).unwrap();
+            let cover = min_shortest_path_cover(&oracle, &backup);
+            assert_eq!(cover.path_segments, k + 1, "comb({k})");
+            assert_eq!(cover.edge_segments, 0);
+            assert!(cover.within_theorem1(k));
+            assert!(!cover.within_theorem1(k - 1));
+        }
+    }
+
+    #[test]
+    fn weighted_tight_is_exactly_tight() {
+        for k in 1..=4 {
+            let w = weighted_tight(k);
+            let model = CostModel::new(Metric::Weighted, 0);
+            let oracle = DenseBasePaths::build(w.graph.clone(), model);
+            let failures = FailureSet::of_edges(w.cheap_edges.iter().copied());
+            let view = failures.view(&w.graph);
+            let backup = shortest_path(&view, &model, w.s, w.t).unwrap();
+            let cover = min_shortest_path_cover(&oracle, &backup);
+            assert_eq!(cover.path_segments, k + 1, "weighted_tight({k})");
+            assert_eq!(cover.edge_segments, k);
+            assert!(cover.within_theorem2(k));
+            assert!(!cover.within_theorem2(k - 1));
+        }
+    }
+
+    #[test]
+    fn star_shows_node_failures_unbounded() {
+        // Figure 4: after the hub dies, the line of n-2 edges needs at
+        // least (n-2)/2 pieces even though only ONE router failed.
+        let n = 12;
+        let star = two_hop_star(n);
+        let model = CostModel::new(Metric::Unweighted, 0);
+        let oracle = DenseBasePaths::build(star.graph.clone(), model);
+        let failures = FailureSet::of_nodes([star.hub.index()]);
+        let view = failures.view(&star.graph);
+        let backup = shortest_path(&view, &model, star.s, star.t).unwrap();
+        let cover = min_shortest_path_cover(&oracle, &backup);
+        assert!(cover.path_segments >= (n - 2) / 2);
+    }
+
+    #[test]
+    fn base_path_covers_itself() {
+        let g = gnm_connected(15, 30, 7, 2);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 2));
+        let p = oracle.base_path(0.into(), 14.into()).unwrap();
+        let cover = min_shortest_path_cover(&oracle, &p);
+        assert_eq!(cover.path_segments, 1);
+        assert_eq!(cover.edge_segments, 0);
+        assert_eq!(cover.total(), 1);
+    }
+
+    #[test]
+    fn trivial_path_has_empty_cover() {
+        let g = gnm_connected(5, 8, 3, 0);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 0));
+        let cover = min_shortest_path_cover(&oracle, &Path::trivial(NodeId::new(1)));
+        assert_eq!(cover.total(), 0);
+    }
+
+    #[test]
+    fn edges_are_shortest_in_unweighted_graphs() {
+        let g = gnm_connected(12, 30, 1, 3);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Unweighted, 3));
+        assert!(all_edges_are_shortest(&oracle));
+    }
+
+    #[test]
+    fn heavy_edge_is_not_shortest() {
+        let mut g = rbpc_graph::Graph::new(3);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        let heavy = g.add_edge(0, 2, 10).unwrap();
+        let oracle = DenseBasePaths::build(g.clone(), CostModel::new(Metric::Weighted, 1));
+        assert!(!all_edges_are_shortest(&oracle));
+        // A path over the heavy edge needs an edge piece.
+        let p = Path::from_edges(&g, 0.into(), &[heavy]).unwrap();
+        let cover = min_shortest_path_cover(&oracle, &p);
+        assert_eq!(cover.edge_segments, 1);
+        assert_eq!(cover.path_segments, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment harness regenerating every table and figure of the RBPC
+//! paper (Afek, Bremler-Barr, Cohen, Kaplan, Merritt, PODC 2001).
+//!
+//! | Paper artifact | Module | What it reports |
+//! |---|---|---|
+//! | Table 1 | [`table1`] | nodes / links / average degree per topology |
+//! | Table 2 | [`table2`] | ILM stretch factor, PC length, length stretch, redundancy after 1–2 link / router failures |
+//! | Table 3 | [`table3`] | distribution of min-cost bypass hop counts |
+//! | Figure 10 | [`figure10`] | cost / hop-count stretch histograms of local RBPC |
+//!
+//! The paper's topologies are proprietary or unobtainable; [`suite`]
+//! generates the synthetic stand-ins described in `DESIGN.md` at either
+//! the paper's full scale ([`EvalScale::Paper`]) or a quick scale for CI
+//! and benches ([`EvalScale::Quick`]). Sampling follows the paper's
+//! protocol (200 pairs on the ISP, 40 on the large graphs), parallelized
+//! with crossbeam scoped threads; everything is deterministic per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figure10;
+pub mod report;
+pub mod sampling;
+pub mod suite;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use ablation::{
+    decomposition_agreement, ksp_comparison, protection_coverage, provisioning_footprint,
+    DecompositionAgreement, KspRow, ProtectionCoverage, ProvisioningFootprint,
+};
+pub use figure10::{figure10, Figure10, StretchHistogram};
+pub use report::{format_table, Csv};
+pub use sampling::sample_pairs;
+pub use suite::{standard_suite, AnyOracle, EvalScale, NetworkCase};
+pub use table1::{table1, Table1Row};
+pub use table2::{table2_block, FailureClass, Table2Row};
+pub use table3::{table3, BypassHistogram};

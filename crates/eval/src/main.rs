@@ -1,0 +1,285 @@
+//! `rbpc-eval` — regenerate the RBPC paper's tables and figures.
+//!
+//! ```text
+//! rbpc-eval <table1|table2|table3|figure10|latency|ablation|all>
+//!           [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]
+//!           [--topology FILE --metric weighted|unweighted]
+//! ```
+//!
+//! With `--csv DIR`, each artifact is additionally written as a CSV file
+//! into `DIR` (created if missing). With `--topology FILE` the standard
+//! suite is replaced by a single custom network loaded from an edge-list
+//! file (see `rbpc_topo::parse_edge_list` for the format).
+
+use rbpc_eval::{
+    figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
+};
+use rbpc_sim::{outage_summary, LatencyModel, Scheme};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: EvalScale,
+    seed: u64,
+    threads: usize,
+    csv_dir: Option<PathBuf>,
+    topology: Option<PathBuf>,
+    metric: rbpc_graph::Metric,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut scale = EvalScale::Quick;
+    let mut seed = 1u64;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut csv_dir = None;
+    let mut topology = None;
+    let mut metric = rbpc_graph::Metric::Weighted;
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                scale = match value()?.as_str() {
+                    "quick" => EvalScale::Quick,
+                    "paper" => EvalScale::Paper,
+                    other => return Err(format!("unknown scale `{other}`")),
+                }
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--threads" => {
+                threads = value()?.parse().map_err(|e| format!("bad threads: {e}"))?
+            }
+            "--csv" => csv_dir = Some(PathBuf::from(value()?)),
+            "--topology" => topology = Some(PathBuf::from(value()?)),
+            "--metric" => {
+                metric = match value()?.as_str() {
+                    "weighted" => rbpc_graph::Metric::Weighted,
+                    "unweighted" => rbpc_graph::Metric::Unweighted,
+                    other => return Err(format!("unknown metric `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        command,
+        scale,
+        seed,
+        threads,
+        csv_dir,
+        topology,
+        metric,
+    })
+}
+
+fn load_custom_suite(path: &PathBuf, metric: rbpc_graph::Metric) -> Result<Vec<rbpc_eval::NetworkCase>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let graph = rbpc_topo::parse_edge_list(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "custom".to_string());
+    let samples = if graph.node_count() <= 600 { 200 } else { 40 };
+    Ok(vec![rbpc_eval::NetworkCase {
+        name,
+        graph,
+        metric,
+        samples,
+    }])
+}
+
+fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|all> \
+                 [--scale quick|paper] [--seed N] [--threads N] [--csv DIR] \
+                 [--topology FILE --metric weighted|unweighted]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale_name = match args.scale {
+        EvalScale::Quick => "quick",
+        EvalScale::Paper => "paper",
+    };
+    eprintln!(
+        "# rbpc-eval {} --scale {scale_name} --seed {} --threads {}",
+        args.command, args.seed, args.threads
+    );
+    let suite = match &args.topology {
+        Some(path) => {
+            eprintln!("# loading topology {}…", path.display());
+            match load_custom_suite(path, args.metric) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            eprintln!("# generating topologies…");
+            standard_suite(args.scale, args.seed)
+        }
+    };
+
+    let run_t1 = || {
+        println!("== Table 1: networks ==");
+        let rows = table1(&suite);
+        println!("{}", rbpc_eval::table1::render(&rows));
+        write_csv(&args.csv_dir, "table1.csv", &rbpc_eval::table1::to_csv(&rows));
+    };
+    let run_t2 = || {
+        println!("== Table 2: source-router RBPC ==");
+        let mut rows = Vec::new();
+        for class in FailureClass::all() {
+            for case in &suite {
+                eprintln!("#   table2: {} / {}", case.name, class.label());
+                let oracle = case.oracle(args.seed);
+                let pairs = sample_pairs(&case.graph, case.samples, args.seed);
+                rows.push(table2_block(
+                    &case.name,
+                    &oracle,
+                    class,
+                    &pairs,
+                    args.threads,
+                ));
+            }
+        }
+        println!("{}", rbpc_eval::table2::render(&rows));
+        write_csv(&args.csv_dir, "table2.csv", &rbpc_eval::table2::to_csv(&rows));
+    };
+    let run_t3 = || {
+        println!("== Table 3: edge bypass hop counts ==");
+        let mut hists = Vec::new();
+        for case in &suite {
+            eprintln!("#   table3: {}", case.name);
+            hists.push(table3(
+                &case.name,
+                &case.graph,
+                case.metric,
+                args.seed,
+                args.threads,
+            ));
+        }
+        println!("{}", rbpc_eval::table3::render(&hists));
+        write_csv(&args.csv_dir, "table3.csv", &rbpc_eval::table3::to_csv(&hists));
+    };
+    let run_f10 = || {
+        println!("== Figure 10: local RBPC stretch (weighted ISP) ==");
+        let case = &suite[0];
+        let oracle = case.oracle(args.seed);
+        let pairs = sample_pairs(&case.graph, case.samples, args.seed);
+        let fig = figure10(&oracle, &pairs, args.threads);
+        println!("{}", rbpc_eval::figure10::render(&fig));
+        write_csv(
+            &args.csv_dir,
+            "figure10.csv",
+            &rbpc_eval::figure10::to_csv(&fig),
+        );
+    };
+    let run_latency = || {
+        println!("== Extension: restoration latency per scheme (weighted ISP) ==");
+        let case = &suite[0];
+        let oracle = case.oracle(args.seed);
+        let pairs = sample_pairs(&case.graph, case.samples, args.seed);
+        let model = LatencyModel::default();
+        let mut csv = rbpc_eval::Csv::new();
+        csv.row(["scheme", "events", "unrestorable", "mean_us", "max_us"]);
+        for scheme in Scheme::all() {
+            let s = outage_summary(&oracle, &model, &pairs, scheme);
+            println!(
+                "{:<18} mean outage {:>8.1} ms   max {:>8.1} ms   ({} events, {} unrestorable)",
+                format!("{:?}", s.scheme),
+                s.mean_us / 1000.0,
+                s.max_us as f64 / 1000.0,
+                s.events,
+                s.unrestorable,
+            );
+            csv.row([
+                format!("{:?}", s.scheme),
+                s.events.to_string(),
+                s.unrestorable.to_string(),
+                format!("{:.1}", s.mean_us),
+                s.max_us.to_string(),
+            ]);
+        }
+        println!();
+        write_csv(&args.csv_dir, "latency.csv", csv.as_str());
+    };
+    let run_ablation = || {
+        println!("== Extension: ablations ==");
+        // Footprint on a scaled-down ISP (all-pairs state is quadratic).
+        let small = rbpc_topo::isp_topology(
+            rbpc_topo::IspParams {
+                pops: 8,
+                core_routers: 6,
+                ..rbpc_topo::IspParams::default()
+            },
+            args.seed,
+        )
+        .graph;
+        let small_oracle = rbpc_eval::AnyOracle::for_graph(
+            small.clone(),
+            rbpc_graph::CostModel::new(rbpc_graph::Metric::Weighted, args.seed),
+        );
+        let footprint = rbpc_eval::provisioning_footprint(&small_oracle);
+        let case = &suite[0];
+        let oracle = case.oracle(args.seed);
+        let pairs = sample_pairs(&case.graph, case.samples.min(60), args.seed);
+        let ksp = rbpc_eval::ksp_comparison(&oracle, &pairs, &[1, 2, 3, 4]);
+        let agreement = rbpc_eval::decomposition_agreement(&oracle, &pairs);
+        let coverage = rbpc_eval::protection_coverage(&case.graph);
+        println!(
+            "{}",
+            rbpc_eval::ablation::render(&footprint, &ksp, &agreement, &coverage)
+        );
+    };
+
+    match args.command.as_str() {
+        "table1" => run_t1(),
+        "table2" => run_t2(),
+        "table3" => run_t3(),
+        "figure10" => run_f10(),
+        "latency" => run_latency(),
+        "ablation" => run_ablation(),
+        "all" => {
+            run_t1();
+            run_t2();
+            run_t3();
+            run_f10();
+            run_latency();
+            run_ablation();
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,135 @@
+//! ASCII-table and CSV rendering for experiment results.
+
+/// Renders rows as a fixed-width ASCII table with a header rule.
+///
+/// ```
+/// use rbpc_eval::format_table;
+/// let s = format_table(
+///     &["name", "n"],
+///     &[vec!["isp".into(), "209".into()], vec!["as".into(), "4746".into()]],
+/// );
+/// assert!(s.contains("name"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push(' ');
+            line.push_str(c);
+            line.push_str(&" ".repeat(widths[i].saturating_sub(c.len()) + 1));
+            line.push('|');
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(header.to_vec(), &widths));
+    let rule: String = widths
+        .iter()
+        .map(|w| format!("|{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "|\n";
+    out.push_str(&rule);
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Minimal CSV builder (comma-separated, quotes cells containing commas).
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    buf: String,
+}
+
+impl Csv {
+    /// An empty document.
+    pub fn new() -> Self {
+        Csv::default()
+    }
+
+    /// Appends one row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for c in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let c = c.as_ref();
+            if c.contains(',') || c.contains('"') {
+                self.buf.push('"');
+                self.buf.push_str(&c.replace('"', "\"\""));
+                self.buf.push('"');
+            } else {
+                self.buf.push_str(c);
+            }
+        }
+        self.buf.push('\n');
+        self
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the builder, returning the document.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats a ratio as the paper's percent strings, e.g. `12.5%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["a", "long-header"],
+            &[vec!["xxxxxx".into(), "1".into()]],
+        );
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with("|--"));
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let t = format_table(&["x"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut c = Csv::new();
+        c.row(["a,b", "plain", "qu\"ote"]);
+        assert_eq!(c.as_str(), "\"a,b\",plain,\"qu\"\"ote\"\n");
+        assert_eq!(c.clone().into_string(), c.as_str());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,88 @@
+//! Deterministic sampling of source–destination pairs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbpc_graph::{bfs_distances, Graph, NodeId};
+
+/// Samples `count` distinct connected ordered pairs, deterministically per
+/// seed — the paper's sampling protocol (200 pairs on the ISP, 40 on the
+/// large networks).
+///
+/// Pairs are connected (a base path exists) and have distinct endpoints.
+/// If the graph cannot supply `count` distinct pairs, every available pair
+/// is returned.
+pub fn sample_pairs(graph: &Graph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut reach_cache: std::collections::HashMap<u32, Vec<Option<u32>>> =
+        std::collections::HashMap::new();
+    let mut attempts = 0usize;
+    let max_attempts = 200 * count + 1000;
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s == t || !seen.insert((s, t)) {
+            continue;
+        }
+        let dist = reach_cache
+            .entry(s as u32)
+            .or_insert_with(|| bfs_distances(graph, NodeId::new(s)));
+        if dist[t].is_some() {
+            out.push((NodeId::new(s), NodeId::new(t)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_topo::gnm_connected;
+
+    #[test]
+    fn samples_connected_distinct_pairs() {
+        let g = gnm_connected(30, 60, 5, 3);
+        let pairs = sample_pairs(&g, 25, 9);
+        assert_eq!(pairs.len(), 25);
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 25);
+        for (s, t) in pairs {
+            assert_ne!(s, t);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gnm_connected(30, 60, 5, 3);
+        assert_eq!(sample_pairs(&g, 10, 1), sample_pairs(&g, 10, 1));
+        assert_ne!(sample_pairs(&g, 10, 1), sample_pairs(&g, 10, 2));
+    }
+
+    #[test]
+    fn skips_disconnected_pairs() {
+        let mut g = rbpc_graph::Graph::new(4);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        let pairs = sample_pairs(&g, 50, 0);
+        for (s, t) in pairs {
+            // Both endpoints in the same two-node component.
+            assert_eq!(s.index() / 2, t.index() / 2);
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        assert!(sample_pairs(&rbpc_graph::Graph::new(0), 5, 0).is_empty());
+        assert!(sample_pairs(&rbpc_graph::Graph::new(1), 5, 0).is_empty());
+        let mut g = rbpc_graph::Graph::new(2);
+        g.add_edge(0, 1, 1).unwrap();
+        let pairs = sample_pairs(&g, 50, 0);
+        assert_eq!(pairs.len(), 2); // (0,1) and (1,0)
+    }
+}

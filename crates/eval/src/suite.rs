@@ -1,0 +1,176 @@
+//! The evaluated networks and oracle selection.
+
+use rbpc_core::{BasePathOracle, DenseBasePaths, LazyBasePaths};
+use rbpc_graph::{CostModel, Graph, Metric, NodeId, ShortestPathTree};
+use rbpc_topo::{
+    as_graph_like, ba_graph_clustered, internet_like, internet_like_scaled, isp_topology,
+    IspParams, INTERNET_TRIAD_PCT,
+};
+
+/// How big to make the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalScale {
+    /// Scaled-down graphs (seconds): for CI, tests, and benches.
+    Quick,
+    /// The paper's Table 1 sizes, including the 40 377-node Internet map.
+    Paper,
+}
+
+/// One network under evaluation.
+#[derive(Debug, Clone)]
+pub struct NetworkCase {
+    /// Display name, matching the paper's tables.
+    pub name: String,
+    /// The topology.
+    pub graph: Graph,
+    /// The metric the paper used on this network.
+    pub metric: Metric,
+    /// Number of sampled source–destination pairs (paper: 200 ISP / 40
+    /// large).
+    pub samples: usize,
+}
+
+impl NetworkCase {
+    /// Builds the right oracle for this network's size.
+    pub fn oracle(&self, seed: u64) -> AnyOracle {
+        AnyOracle::for_graph(self.graph.clone(), CostModel::new(self.metric, seed))
+    }
+}
+
+/// The standard four-network suite of the paper (ISP weighted, ISP
+/// unweighted, Internet, AS graph), generated deterministically from
+/// `seed`.
+pub fn standard_suite(scale: EvalScale, seed: u64) -> Vec<NetworkCase> {
+    let isp = isp_topology(IspParams::default(), seed).graph;
+    let (internet, as_graph, big_samples) = match scale {
+        EvalScale::Paper => (internet_like(seed), as_graph_like(seed), 40),
+        EvalScale::Quick => (
+            internet_like_scaled(1_500, seed),
+            ba_graph_clustered(1_000, 2_081, INTERNET_TRIAD_PCT, seed),
+            12,
+        ),
+    };
+    vec![
+        NetworkCase {
+            name: "ISP, Weighted".into(),
+            graph: isp.clone(),
+            metric: Metric::Weighted,
+            samples: match scale {
+                EvalScale::Paper => 200,
+                EvalScale::Quick => 40,
+            },
+        },
+        NetworkCase {
+            name: "ISP, Unweighted".into(),
+            graph: isp,
+            metric: Metric::Unweighted,
+            samples: match scale {
+                EvalScale::Paper => 200,
+                EvalScale::Quick => 40,
+            },
+        },
+        NetworkCase {
+            name: "Internet".into(),
+            graph: internet,
+            metric: Metric::Unweighted,
+            samples: big_samples,
+        },
+        NetworkCase {
+            name: "AS Graph".into(),
+            graph: as_graph,
+            metric: Metric::Unweighted,
+            samples: big_samples,
+        },
+    ]
+}
+
+/// Size threshold above which the dense (all-pairs) oracle is replaced by
+/// the lazy cached one.
+pub const DENSE_ORACLE_MAX_NODES: usize = 600;
+
+/// Either base-path oracle, chosen by graph size.
+#[derive(Debug)]
+pub enum AnyOracle {
+    /// Precomputed all-pairs trees (small graphs).
+    Dense(DenseBasePaths),
+    /// On-demand cached trees (large graphs).
+    Lazy(LazyBasePaths),
+}
+
+impl AnyOracle {
+    /// Picks dense for graphs up to [`DENSE_ORACLE_MAX_NODES`] nodes,
+    /// lazy beyond.
+    pub fn for_graph(graph: Graph, model: CostModel) -> Self {
+        if graph.node_count() <= DENSE_ORACLE_MAX_NODES {
+            AnyOracle::Dense(DenseBasePaths::build(graph, model))
+        } else {
+            AnyOracle::Lazy(LazyBasePaths::new(graph, model))
+        }
+    }
+}
+
+impl BasePathOracle for AnyOracle {
+    fn graph(&self) -> &Graph {
+        match self {
+            AnyOracle::Dense(o) => o.graph(),
+            AnyOracle::Lazy(o) => o.graph(),
+        }
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        match self {
+            AnyOracle::Dense(o) => o.cost_model(),
+            AnyOracle::Lazy(o) => o.cost_model(),
+        }
+    }
+
+    fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
+        match self {
+            AnyOracle::Dense(o) => o.with_spt(source, f),
+            AnyOracle::Lazy(o) => o.with_spt(source, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_has_four_networks() {
+        let suite = standard_suite(EvalScale::Quick, 7);
+        assert_eq!(suite.len(), 4);
+        let names: Vec<_> = suite.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["ISP, Weighted", "ISP, Unweighted", "Internet", "AS Graph"]
+        );
+        // The two ISP rows share the topology; metrics differ.
+        assert_eq!(suite[0].graph, suite[1].graph);
+        assert_ne!(suite[0].metric, suite[1].metric);
+    }
+
+    #[test]
+    fn oracle_selection_by_size() {
+        let suite = standard_suite(EvalScale::Quick, 1);
+        assert!(matches!(suite[0].oracle(1), AnyOracle::Dense(_))); // ISP ~200
+        assert!(matches!(suite[2].oracle(1), AnyOracle::Lazy(_))); // 1500 nodes
+    }
+
+    #[test]
+    fn any_oracle_delegates() {
+        let case = &standard_suite(EvalScale::Quick, 2)[0];
+        let oracle = case.oracle(2);
+        assert_eq!(oracle.graph().node_count(), case.graph.node_count());
+        assert_eq!(oracle.cost_model().metric(), Metric::Weighted);
+        let d = oracle.base_dist(0.into(), 1.into());
+        assert!(d.is_some());
+    }
+
+    #[test]
+    fn deterministic_suites() {
+        let a = standard_suite(EvalScale::Quick, 5);
+        let b = standard_suite(EvalScale::Quick, 5);
+        assert_eq!(a[2].graph, b[2].graph);
+    }
+}

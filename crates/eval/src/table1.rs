@@ -1,0 +1,116 @@
+//! Table 1: the networks used in the paper.
+
+use crate::{format_table, NetworkCase};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Network name.
+    pub name: String,
+    /// Number of routers.
+    pub nodes: usize,
+    /// Number of links.
+    pub links: usize,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+}
+
+/// Computes Table 1 for a suite of networks. The two ISP rows of the suite
+/// share a topology, so (like the paper) only one ISP row is emitted.
+pub fn table1(cases: &[NetworkCase]) -> Vec<Table1Row> {
+    let mut rows: Vec<Table1Row> = Vec::new();
+    for case in cases {
+        let name = case
+            .name
+            .split(',')
+            .next()
+            .unwrap_or(&case.name)
+            .to_string();
+        if rows.iter().any(|r| r.name == name) {
+            continue;
+        }
+        let stats = case.graph.degree_stats();
+        rows.push(Table1Row {
+            name,
+            nodes: case.graph.node_count(),
+            links: case.graph.edge_count(),
+            avg_degree: stats.map(|s| s.avg).unwrap_or(0.0),
+        });
+    }
+    rows
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    format_table(
+        &["name", "nodes", "links", "avg.deg."],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nodes.to_string(),
+                    r.links.to_string(),
+                    format!("{:.3}", r.avg_degree),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Renders Table 1 as CSV.
+pub fn to_csv(rows: &[Table1Row]) -> String {
+    let mut csv = crate::Csv::new();
+    csv.row(["name", "nodes", "links", "avg_degree"]);
+    for r in rows {
+        csv.row([
+            r.name.clone(),
+            r.nodes.to_string(),
+            r.links.to_string(),
+            format!("{:.4}", r.avg_degree),
+        ]);
+    }
+    csv.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{standard_suite, EvalScale};
+
+    #[test]
+    fn one_row_per_topology() {
+        let suite = standard_suite(EvalScale::Quick, 3);
+        let rows = table1(&suite);
+        assert_eq!(rows.len(), 3); // ISP deduplicated
+        assert_eq!(rows[0].name, "ISP");
+        assert_eq!(rows[1].name, "Internet");
+        assert_eq!(rows[2].name, "AS Graph");
+    }
+
+    #[test]
+    fn isp_row_matches_paper_shape() {
+        let suite = standard_suite(EvalScale::Quick, 3);
+        let rows = table1(&suite);
+        let isp = &rows[0];
+        assert!((150..=260).contains(&isp.nodes));
+        assert!((3.0..4.2).contains(&isp.avg_degree));
+        assert!((isp.avg_degree - 2.0 * isp.links as f64 / isp.nodes as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders() {
+        let suite = standard_suite(EvalScale::Quick, 3);
+        let out = render(&table1(&suite));
+        assert!(out.contains("ISP"));
+        assert!(out.contains("avg.deg."));
+    }
+
+    #[test]
+    fn csv_round() {
+        let suite = standard_suite(EvalScale::Quick, 3);
+        let csv = to_csv(&table1(&suite));
+        assert!(csv.starts_with("name,nodes,links,avg_degree\n"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

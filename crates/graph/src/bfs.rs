@@ -1,0 +1,171 @@
+//! Breadth-first search and connectivity.
+
+use crate::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` over `topo` (ignoring weights).
+///
+/// `None` marks unreachable nodes (including everything when the source is
+/// failed).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances<T: Topology>(topo: &T, source: NodeId) -> Vec<Option<u32>> {
+    let n = topo.graph().node_count();
+    assert!(source.index() < n, "source {source} out of range");
+    let mut dist = vec![None; n];
+    if !topo.node_alive(source) {
+        return dist;
+    }
+    dist[source.index()] = Some(0);
+    let mut q = VecDeque::new();
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for h in topo.live_neighbors(u) {
+            if dist[h.to.index()].is_none() {
+                dist[h.to.index()] = Some(du + 1);
+                q.push_back(h.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labelling of a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// Component index per node; `None` for failed nodes.
+    pub label: Vec<Option<u32>>,
+    /// Number of components among live nodes.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Whether `a` and `b` are live and in the same component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.label[a.index()], self.label[b.index()]) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// Labels the connected components of the live part of `topo`.
+pub fn connected_components<T: Topology>(topo: &T) -> ComponentLabels {
+    let n = topo.graph().node_count();
+    let mut label = vec![None; n];
+    let mut count = 0usize;
+    let mut q = VecDeque::new();
+    for s in 0..n {
+        let s = NodeId::new(s);
+        if label[s.index()].is_some() || !topo.node_alive(s) {
+            continue;
+        }
+        let c = count as u32;
+        count += 1;
+        label[s.index()] = Some(c);
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for h in topo.live_neighbors(u) {
+                if label[h.to.index()].is_none() {
+                    label[h.to.index()] = Some(c);
+                    q.push_back(h.to);
+                }
+            }
+        }
+    }
+    ComponentLabels { label, count }
+}
+
+/// Whether all live nodes of `topo` are mutually reachable.
+///
+/// A topology with zero live nodes is considered connected.
+pub fn is_connected<T: Topology>(topo: &T) -> bool {
+    connected_components(topo).count <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeId, FailureSet, Graph};
+
+    fn two_triangles() -> Graph {
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(a, b, 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_hop_counts() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 100).unwrap(); // weight ignored by BFS
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        let d = bfs_distances(&g, 0.into());
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_and_dead_source() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, 0.into());
+        assert_eq!(d[3], None);
+        let f = FailureSet::of_nodes([0usize]);
+        let d2 = bfs_distances(&f.view(&g), 0.into());
+        assert!(d2.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn components_of_disjoint_triangles() {
+        let g = two_triangles();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert!(c.same_component(0.into(), 2.into()));
+        assert!(!c.same_component(0.into(), 3.into()));
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn bridging_edge_connects() {
+        let mut g = two_triangles();
+        g.add_edge(2, 3, 1).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn failure_splits_component() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1).unwrap();
+        let bridge = g.add_edge(1, 2, 1).unwrap();
+        assert!(is_connected(&g));
+        let f = FailureSet::of_edge(bridge);
+        let v = f.view(&g);
+        assert!(!is_connected(&v));
+        assert_eq!(connected_components(&v).count, 2);
+    }
+
+    #[test]
+    fn failed_nodes_have_no_label() {
+        let g = two_triangles();
+        let f = FailureSet::of_nodes([1usize]);
+        let v = f.view(&g);
+        let c = connected_components(&v);
+        assert_eq!(c.label[1], None);
+        // 0 and 2 remain connected through... nothing: triangle loses its
+        // middle, but 0-2 edge survives.
+        assert!(c.same_component(0.into(), 2.into()));
+        assert!(!c.same_component(0.into(), 1.into()));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new(0);
+        assert!(is_connected(&g));
+        let _ = EdgeId::new(0); // silence unused import on some cfgs
+    }
+}

@@ -1,0 +1,253 @@
+//! Bridges and articulation points — the elements RBPC cannot protect.
+//!
+//! A bridge's failure disconnects its endpoints, and an articulation
+//! point's failure disconnects some pair: no restoration scheme can help
+//! there. Network planners run this analysis before provisioning; the
+//! evaluation uses it to separate "unrestorable by topology" from
+//! "unrestored by the scheme".
+//!
+//! Iterative Tarjan lowpoint computation (no recursion — the Internet
+//! topology is 40 377 nodes deep in the worst case). Parallel edges are
+//! handled correctly: only the specific tree edge is skipped on the way
+//! back up, so a doubled link is never a bridge.
+
+use crate::{EdgeId, NodeId, Topology};
+
+/// The cut elements of a topology.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CutElements {
+    /// Edges whose removal disconnects their endpoints, in discovery order.
+    pub bridges: Vec<EdgeId>,
+    /// Nodes whose removal disconnects their component, sorted by id.
+    pub articulation_points: Vec<NodeId>,
+}
+
+impl CutElements {
+    /// Whether the live part of the topology has no cut elements (is
+    /// 2-edge-connected and 2-vertex-connected per component).
+    pub fn is_biconnected(&self) -> bool {
+        self.bridges.is_empty() && self.articulation_points.is_empty()
+    }
+}
+
+/// Computes all bridges and articulation points of the live part of
+/// `topo`.
+pub fn cut_elements<T: Topology>(topo: &T) -> CutElements {
+    let n = topo.graph().node_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut is_ap = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut time = 0u32;
+
+    // Iterative DFS frame: (node, parent edge, neighbor iterator state).
+    struct Frame {
+        node: NodeId,
+        parent_edge: Option<EdgeId>,
+        next_neighbor: usize,
+        children: u32,
+    }
+
+    for root in 0..n {
+        let root = NodeId::new(root);
+        if disc[root.index()] != 0 || !topo.node_alive(root) {
+            continue;
+        }
+        time += 1;
+        disc[root.index()] = time;
+        low[root.index()] = time;
+        let mut stack = vec![Frame {
+            node: root,
+            parent_edge: None,
+            next_neighbor: 0,
+            children: 0,
+        }];
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.node;
+            // Find the next live neighbor to process.
+            let neighbor = topo
+                .live_neighbors(u)
+                .nth(frame.next_neighbor);
+            frame.next_neighbor += 1;
+            match neighbor {
+                Some(h) => {
+                    if Some(h.edge) == frame.parent_edge {
+                        continue;
+                    }
+                    if disc[h.to.index()] != 0 {
+                        // Back edge.
+                        low[u.index()] = low[u.index()].min(disc[h.to.index()]);
+                        continue;
+                    }
+                    time += 1;
+                    disc[h.to.index()] = time;
+                    low[h.to.index()] = time;
+                    frame.children += 1;
+                    stack.push(Frame {
+                        node: h.to,
+                        parent_edge: Some(h.edge),
+                        next_neighbor: 0,
+                        children: 0,
+                    });
+                }
+                None => {
+                    // Done with u: propagate lowpoint to the parent.
+                    let finished = stack.pop().expect("frame exists");
+                    let u = finished.node;
+                    if u == root {
+                        if finished.children >= 2 {
+                            is_ap[u.index()] = true;
+                        }
+                        continue;
+                    }
+                    let parent = stack.last().expect("non-root has a parent");
+                    let p = parent.node;
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if low[u.index()] > disc[p.index()] {
+                        bridges.push(finished.parent_edge.expect("non-root has a parent edge"));
+                    }
+                    if low[u.index()] >= disc[p.index()] && p != root {
+                        is_ap[p.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    CutElements {
+        bridges,
+        articulation_points: (0..n)
+            .filter(|&i| is_ap[i])
+            .map(NodeId::new)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{connected_components, FailureSet, Graph};
+
+    fn barbell() -> Graph {
+        // Two triangles joined by a bridge 2-3.
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(a, b, 1).unwrap();
+        }
+        g.add_edge(2, 3, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn barbell_has_one_bridge_two_aps() {
+        let g = barbell();
+        let cuts = cut_elements(&g);
+        assert_eq!(cuts.bridges, vec![g.find_edge(2.into(), 3.into()).unwrap()]);
+        assert_eq!(
+            cuts.articulation_points,
+            vec![NodeId::new(2), NodeId::new(3)]
+        );
+        assert!(!cuts.is_biconnected());
+    }
+
+    #[test]
+    fn cycle_is_biconnected() {
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5, 1).unwrap();
+        }
+        assert!(cut_elements(&g).is_biconnected());
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1, 1).unwrap();
+        }
+        let cuts = cut_elements(&g);
+        assert_eq!(cuts.bridges.len(), 3);
+        assert_eq!(
+            cuts.articulation_points,
+            vec![NodeId::new(1), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(0, 1, 1).unwrap(); // doubled: not a bridge
+        g.add_edge(1, 2, 1).unwrap(); // single: bridge
+        let cuts = cut_elements(&g);
+        assert_eq!(cuts.bridges, vec![EdgeId::new(2)]);
+        assert_eq!(cuts.articulation_points, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn respects_failure_views() {
+        let g = barbell();
+        // Failing a triangle edge turns the two remaining sides into
+        // bridges.
+        let e01 = g.find_edge(0.into(), 1.into()).unwrap();
+        let f = FailureSet::of_edge(e01);
+        let cuts = cut_elements(&f.view(&g));
+        assert_eq!(cuts.bridges.len(), 3); // 1-2, 2-0, and 2-3
+    }
+
+    #[test]
+    fn brute_force_agreement_on_random_graphs() {
+        use crate::splitmix64;
+        for seed in 0..8u64 {
+            let mut g = Graph::new(10);
+            let mut x = seed + 1;
+            for a in 0..10usize {
+                for b in a + 1..10 {
+                    x = splitmix64(x);
+                    if x % 4 == 0 {
+                        g.add_edge(a, b, 1).unwrap();
+                    }
+                }
+            }
+            let cuts = cut_elements(&g);
+            let base_components = connected_components(&g).count;
+            // Brute force bridges.
+            for e in g.edge_ids() {
+                let f = FailureSet::of_edge(e);
+                let after = connected_components(&f.view(&g)).count;
+                assert_eq!(
+                    after > base_components,
+                    cuts.bridges.contains(&e),
+                    "seed {seed} edge {e}"
+                );
+            }
+            // Brute force articulation points: removing the node must
+            // split its remaining component (ignoring the node itself).
+            for v in g.nodes() {
+                if g.degree(v) == 0 {
+                    continue;
+                }
+                let f = FailureSet::of_nodes([v.index()]);
+                let after = connected_components(&f.view(&g)).count;
+                // Removing v also removes it from the count (singleton
+                // components of dead nodes are not counted).
+                let expect_split = after > base_components;
+                assert_eq!(
+                    expect_split,
+                    cuts.articulation_points.contains(&v),
+                    "seed {seed} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Graph::new(0);
+        assert!(cut_elements(&g).is_biconnected());
+        let mut g2 = Graph::new(3);
+        g2.add_edge(0, 1, 1).unwrap();
+        let cuts = cut_elements(&g2);
+        assert_eq!(cuts.bridges.len(), 1);
+        assert!(cuts.articulation_points.is_empty());
+    }
+}

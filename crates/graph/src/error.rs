@@ -1,0 +1,143 @@
+//! Error types for graph construction and path manipulation.
+
+use crate::{EdgeId, NodeId};
+use core::fmt;
+
+/// Error returned by graph construction and mutation operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint index was `>= node_count`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge index was `>= edge_count`.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The number of edges in the graph.
+        edge_count: usize,
+    },
+    /// Self-loops are rejected: a link connects two distinct routers.
+    SelfLoop {
+        /// The node both endpoints referred to.
+        node: NodeId,
+    },
+    /// Edge weights must be strictly positive (OSPF-style costs).
+    ZeroWeight,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::EdgeOutOfRange { edge, edge_count } => {
+                write!(f, "edge {edge} out of range (graph has {edge_count} edges)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at {node} rejected")
+            }
+            GraphError::ZeroWeight => write!(f, "edge weight must be strictly positive"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Error returned by [`Path`](crate::Path) construction and concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathError {
+    /// The node/edge sequences do not describe a walk in the graph.
+    NotAWalk {
+        /// Position of the first offending hop.
+        position: usize,
+    },
+    /// Two paths were concatenated but the first does not end where the
+    /// second starts.
+    ConcatMismatch {
+        /// Last node of the left path.
+        left_end: NodeId,
+        /// First node of the right path.
+        right_start: NodeId,
+    },
+    /// A path was requested between nodes that are not connected.
+    Disconnected {
+        /// Source node.
+        source: NodeId,
+        /// Target node.
+        target: NodeId,
+    },
+    /// An empty node sequence was supplied; paths contain at least one node.
+    Empty,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PathError::NotAWalk { position } => {
+                write!(f, "node/edge sequence is not a walk at hop {position}")
+            }
+            PathError::ConcatMismatch {
+                left_end,
+                right_start,
+            } => write!(
+                f,
+                "cannot concatenate: left path ends at {left_end}, right starts at {right_start}"
+            ),
+            PathError::Disconnected { source, target } => {
+                write!(f, "no path between {source} and {target}")
+            }
+            PathError::Empty => write!(f, "a path must contain at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<String> = vec![
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(9),
+                node_count: 4,
+            }
+            .to_string(),
+            GraphError::SelfLoop {
+                node: NodeId::new(2),
+            }
+            .to_string(),
+            GraphError::ZeroWeight.to_string(),
+        ];
+        for e in errs {
+            assert!(!e.is_empty());
+            assert!(e.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+        assert_err::<PathError>();
+    }
+
+    #[test]
+    fn path_error_display() {
+        let e = PathError::ConcatMismatch {
+            left_end: NodeId::new(1),
+            right_start: NodeId::new(2),
+        };
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("n2"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Shortest-path trees.
+
+use crate::{EdgeId, Graph, NodeId, Path, PathCost};
+
+const NO_EDGE: u32 = u32::MAX;
+const NO_NODE: u32 = u32::MAX;
+
+/// A single-source shortest-path tree over some topology, produced by
+/// [`shortest_path_tree`](crate::shortest_path_tree).
+///
+/// Stores, per node: the perturbed distance (unique tie-breaking), the
+/// original-metric distance, the hop count, and the tree parent. Because
+/// perturbed costs make shortest paths unique (see
+/// [`CostModel`](crate::CostModel)), tree paths are canonical: *the* base
+/// path of the RBPC scheme from this source to every node.
+///
+/// ```
+/// use rbpc_graph::{CostModel, Graph, Metric, shortest_path_tree};
+/// # fn main() -> Result<(), rbpc_graph::GraphError> {
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 2)?;
+/// g.add_edge(1, 2, 2)?;
+/// g.add_edge(0, 2, 10)?;
+/// let spt = shortest_path_tree(&g, &CostModel::new(Metric::Weighted, 0), 0.into());
+/// assert_eq!(spt.base_dist(2.into()), Some(4));
+/// assert_eq!(spt.path_to(2.into()).unwrap().hop_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<u128>,
+    base_dist: Vec<u64>,
+    hops: Vec<u32>,
+    parent_edge: Vec<u32>,
+    parent_node: Vec<u32>,
+}
+
+impl ShortestPathTree {
+    /// Creates an all-unreachable tree skeleton (crate-internal).
+    pub(crate) fn unreachable(source: NodeId, n: usize) -> Self {
+        ShortestPathTree {
+            source,
+            dist: vec![u128::MAX; n],
+            base_dist: vec![u64::MAX; n],
+            hops: vec![u32::MAX; n],
+            parent_edge: vec![NO_EDGE; n],
+            parent_node: vec![NO_NODE; n],
+        }
+    }
+
+    pub(crate) fn settle(
+        &mut self,
+        v: NodeId,
+        dist: u128,
+        base: u64,
+        hops: u32,
+        parent: Option<(NodeId, EdgeId)>,
+    ) {
+        let i = v.index();
+        self.dist[i] = dist;
+        self.base_dist[i] = base;
+        self.hops[i] = hops;
+        match parent {
+            Some((pn, pe)) => {
+                self.parent_node[i] = pn.index() as u32;
+                self.parent_edge[i] = pe.index() as u32;
+            }
+            None => {
+                self.parent_node[i] = NO_NODE;
+                self.parent_edge[i] = NO_EDGE;
+            }
+        }
+    }
+
+    /// The tree's source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Number of nodes the tree was computed over.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether `v` is reachable from the source.
+    #[inline]
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != u128::MAX
+    }
+
+    /// Perturbed (tie-broken) distance to `v`, or `None` if unreachable.
+    #[inline]
+    pub fn perturbed_dist(&self, v: NodeId) -> Option<u128> {
+        match self.dist[v.index()] {
+            u128::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Original-metric distance to `v`, or `None` if unreachable.
+    #[inline]
+    pub fn base_dist(&self, v: NodeId) -> Option<u64> {
+        match self.base_dist[v.index()] {
+            u64::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Hop count of the tree path to `v`, or `None` if unreachable.
+    #[inline]
+    pub fn hops(&self, v: NodeId) -> Option<u32> {
+        match self.hops[v.index()] {
+            u32::MAX => None,
+            h => Some(h),
+        }
+    }
+
+    /// Full [`PathCost`] of the tree path to `v`, or `None` if unreachable.
+    pub fn cost_to(&self, v: NodeId) -> Option<PathCost> {
+        Some(PathCost {
+            base: self.base_dist(v)?,
+            perturbed: self.perturbed_dist(v)?,
+            hops: self.hops(v)?,
+        })
+    }
+
+    /// The tree edge entering `v`, or `None` for the source / unreachable
+    /// nodes.
+    #[inline]
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        match self.parent_edge[v.index()] {
+            NO_EDGE => None,
+            e => Some(EdgeId::new(e as usize)),
+        }
+    }
+
+    /// The tree parent of `v`, or `None` for the source / unreachable nodes.
+    #[inline]
+    pub fn parent_node(&self, v: NodeId) -> Option<NodeId> {
+        match self.parent_node[v.index()] {
+            NO_NODE => None,
+            n => Some(NodeId::new(n as usize)),
+        }
+    }
+
+    /// Checks whether edge `pe` into node `v` from `pu` is the tree edge of
+    /// `v` — i.e. whether extending the tree path of `pu` by `pe` yields the
+    /// canonical shortest path to `v`. This is the O(1) primitive behind
+    /// greedy longest-prefix decomposition.
+    #[inline]
+    pub fn is_tree_step(&self, pu: NodeId, pe: EdgeId, v: NodeId) -> bool {
+        self.parent_node[v.index()] == pu.index() as u32
+            && self.parent_edge[v.index()] == pe.index() as u32
+    }
+
+    /// Materializes the tree path from the source to `v`.
+    ///
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Path> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut nodes = vec![v];
+        let mut edges = Vec::new();
+        let mut at = v;
+        while let Some(pe) = self.parent_edge(at) {
+            let pn = self.parent_node(at).expect("parent edge implies parent node");
+            edges.push(pe);
+            nodes.push(pn);
+            at = pn;
+        }
+        debug_assert_eq!(at, self.source);
+        nodes.reverse();
+        edges.reverse();
+        Some(Path::from_parts_unchecked(nodes, edges))
+    }
+
+    /// Enumerates, for every node, its tree children. Useful for computing
+    /// which destinations route through a given edge.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.dist.len()];
+        for i in 0..self.dist.len() {
+            if self.parent_node[i] != NO_NODE {
+                out[self.parent_node[i] as usize].push(NodeId::new(i));
+            }
+        }
+        out
+    }
+
+    /// All nodes whose tree path traverses the tree edge entering `below`
+    /// (i.e. the subtree rooted at `below`). Linear in subtree size after a
+    /// `children()` precomputation, or linear in `n` standalone.
+    pub fn subtree(&self, below: NodeId) -> Vec<NodeId> {
+        if !self.reachable(below) {
+            return Vec::new();
+        }
+        let children = self.children();
+        let mut stack = vec![below];
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            stack.extend(children[v.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Memory-relevant size in bytes (for cache budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        self.dist.len() * (16 + 8 + 4 + 4 + 4)
+    }
+
+    /// Reference to the raw graph this tree indexes into is not stored;
+    /// validate compatibility by node count.
+    pub fn compatible_with(&self, graph: &Graph) -> bool {
+        graph.node_count() == self.dist.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shortest_path_tree, CostModel, Metric};
+
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, (i + 1) as u32).unwrap();
+        }
+        g
+    }
+
+    fn spt(g: &Graph, s: usize) -> ShortestPathTree {
+        shortest_path_tree(g, &CostModel::new(Metric::Weighted, 11), s.into())
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = line(4); // weights 1, 2, 3
+        let t = spt(&g, 0);
+        assert_eq!(t.base_dist(0.into()), Some(0));
+        assert_eq!(t.base_dist(1.into()), Some(1));
+        assert_eq!(t.base_dist(2.into()), Some(3));
+        assert_eq!(t.base_dist(3.into()), Some(6));
+        assert_eq!(t.hops(3.into()), Some(3));
+        assert_eq!(t.source(), 0.into());
+        assert_eq!(t.node_count(), 4);
+    }
+
+    #[test]
+    fn unreachable_node() {
+        let mut g = line(3);
+        let iso = g.add_node();
+        let t = spt(&g, 0);
+        assert!(!t.reachable(iso));
+        assert_eq!(t.base_dist(iso), None);
+        assert_eq!(t.perturbed_dist(iso), None);
+        assert_eq!(t.hops(iso), None);
+        assert_eq!(t.path_to(iso), None);
+        assert_eq!(t.cost_to(iso), None);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = line(4);
+        let t = spt(&g, 0);
+        let p = t.path_to(3.into()).unwrap();
+        assert_eq!(p.source(), 0.into());
+        assert_eq!(p.target(), 3.into());
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(
+            p.nodes(),
+            &[0usize.into(), 1usize.into(), 2usize.into(), 3usize.into()] as &[NodeId]
+        );
+        let src = t.path_to(0.into()).unwrap();
+        assert!(src.is_trivial());
+    }
+
+    #[test]
+    fn parents_and_tree_steps() {
+        let g = line(3);
+        let t = spt(&g, 0);
+        assert_eq!(t.parent_node(0.into()), None);
+        assert_eq!(t.parent_edge(0.into()), None);
+        assert_eq!(t.parent_node(2.into()), Some(1.into()));
+        let e = t.parent_edge(2.into()).unwrap();
+        assert!(t.is_tree_step(1.into(), e, 2.into()));
+        assert!(!t.is_tree_step(0.into(), e, 2.into()));
+    }
+
+    #[test]
+    fn children_and_subtree() {
+        let g = line(4);
+        let t = spt(&g, 0);
+        let kids = t.children();
+        assert_eq!(kids[0], vec![NodeId::new(1)]);
+        assert_eq!(kids[3], Vec::<NodeId>::new());
+        let mut sub = t.subtree(1.into());
+        sub.sort();
+        assert_eq!(sub, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        let mut g2 = line(2);
+        let iso = g2.add_node();
+        let t2 = spt(&g2, 0);
+        assert!(t2.subtree(iso).is_empty());
+    }
+
+    #[test]
+    fn cost_to_combines_fields() {
+        let g = line(3);
+        let t = spt(&g, 0);
+        let c = t.cost_to(2.into()).unwrap();
+        assert_eq!(c.base, 3);
+        assert_eq!(c.hops, 2);
+        assert_eq!(Some(c.perturbed), t.perturbed_dist(2.into()));
+    }
+
+    #[test]
+    fn compatibility_and_size() {
+        let g = line(3);
+        let t = spt(&g, 0);
+        assert!(t.compatible_with(&g));
+        assert!(!t.compatible_with(&line(4)));
+        assert!(t.approx_bytes() >= 3 * 32);
+    }
+}

@@ -1,0 +1,163 @@
+//! Subgraph extraction with edge-id mapping.
+//!
+//! The paper's motivating deployments (§1) maintain *several* families of
+//! shortest paths: over the full topology, over "all the OC48 links", over
+//! "links with available capacity", and so on. Each family is the same
+//! machinery run over a **subnet restriction** — a subgraph on the same
+//! node set. [`extract_subgraph`] builds that subgraph and keeps the edge
+//! mappings in both directions so failures (expressed in parent-graph ids)
+//! and restorations (paths in subgraph ids) can cross the boundary.
+
+use crate::{EdgeId, EdgeRecord, FailureSet, Graph, Path};
+
+/// A subgraph on the same node set, with edge-id mappings to and from the
+/// parent graph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph (same node count as the parent; only edges
+    /// satisfying the predicate).
+    pub graph: Graph,
+    to_parent: Vec<EdgeId>,
+    from_parent: Vec<Option<EdgeId>>,
+}
+
+impl Subgraph {
+    /// The parent-graph id of subgraph edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the subgraph.
+    pub fn to_parent(&self, e: EdgeId) -> EdgeId {
+        self.to_parent[e.index()]
+    }
+
+    /// The subgraph id of parent edge `e`, if the edge was kept.
+    pub fn from_parent(&self, e: EdgeId) -> Option<EdgeId> {
+        self.from_parent.get(e.index()).copied().flatten()
+    }
+
+    /// Translates a failure set expressed in parent ids into subgraph ids
+    /// (failed edges outside the subgraph are dropped; failed nodes are
+    /// shared, as the node set is).
+    pub fn failures_from_parent(&self, failures: &FailureSet) -> FailureSet {
+        let mut out = FailureSet::new();
+        for e in failures.failed_edges() {
+            if let Some(sub) = self.from_parent(e) {
+                out.fail_edge(sub);
+            }
+        }
+        for v in failures.failed_nodes() {
+            out.fail_node(v);
+        }
+        out
+    }
+
+    /// Translates a subgraph path into a parent-graph path (node ids are
+    /// shared; edge ids are mapped).
+    pub fn path_to_parent(&self, path: &Path) -> Path {
+        let edges: Vec<EdgeId> = path.edges().iter().map(|&e| self.to_parent(e)).collect();
+        Path::from_parts_unchecked(path.nodes().to_vec(), edges)
+    }
+}
+
+/// Extracts the subgraph of `graph` keeping exactly the edges for which
+/// `keep` returns `true`. The node set is unchanged (nodes may become
+/// isolated).
+pub fn extract_subgraph(
+    graph: &Graph,
+    mut keep: impl FnMut(EdgeId, &EdgeRecord) -> bool,
+) -> Subgraph {
+    let mut sub = Graph::with_capacity(graph.node_count(), graph.edge_count());
+    let mut to_parent = Vec::new();
+    let mut from_parent = vec![None; graph.edge_count()];
+    for (e, rec) in graph.edges() {
+        if keep(e, rec) {
+            let id = sub
+                .add_edge(rec.u, rec.v, rec.weight)
+                .expect("edge valid in parent, valid in subgraph");
+            from_parent[e.index()] = Some(id);
+            to_parent.push(e);
+        }
+    }
+    Subgraph {
+        graph: sub,
+        to_parent,
+        from_parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shortest_path, CostModel, Metric, NodeId};
+
+    fn mixed() -> Graph {
+        // Weights 1 = fast links, 10 = slow links.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 10).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        g.add_edge(0, 3, 10).unwrap();
+        g.add_edge(0, 2, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn extraction_keeps_matching_edges() {
+        let g = mixed();
+        let sub = extract_subgraph(&g, |_, rec| rec.weight == 1);
+        assert_eq!(sub.graph.node_count(), 4);
+        assert_eq!(sub.graph.edge_count(), 3);
+        for e in sub.graph.edge_ids() {
+            assert_eq!(sub.graph.weight(e), 1);
+            // Round trip.
+            assert_eq!(sub.from_parent(sub.to_parent(e)), Some(e));
+        }
+    }
+
+    #[test]
+    fn dropped_edges_map_to_none() {
+        let g = mixed();
+        let sub = extract_subgraph(&g, |_, rec| rec.weight == 1);
+        let slow = g.find_edge(1.into(), 2.into()).unwrap();
+        assert_eq!(sub.from_parent(slow), None);
+    }
+
+    #[test]
+    fn failure_translation() {
+        let g = mixed();
+        let sub = extract_subgraph(&g, |_, rec| rec.weight == 1);
+        let fast = g.find_edge(0.into(), 1.into()).unwrap();
+        let slow = g.find_edge(0.into(), 3.into()).unwrap();
+        let mut f = FailureSet::of_edge(fast);
+        f.fail_edge(slow);
+        f.fail_node(NodeId::new(2));
+        let mapped = sub.failures_from_parent(&f);
+        assert_eq!(mapped.failed_edge_count(), 1); // the slow edge dropped
+        assert!(mapped.node_failed(NodeId::new(2)));
+    }
+
+    #[test]
+    fn paths_round_trip_to_parent() {
+        let g = mixed();
+        let sub = extract_subgraph(&g, |_, rec| rec.weight == 1);
+        let m = CostModel::new(Metric::Weighted, 5);
+        let p = shortest_path(&sub.graph, &m, 0.into(), 3.into()).unwrap();
+        let parent = sub.path_to_parent(&p);
+        assert_eq!(parent.nodes(), p.nodes());
+        // Every mapped edge exists in the parent and joins the same nodes.
+        for (i, &e) in parent.edges().iter().enumerate() {
+            let rec = g.edge(e);
+            assert!(rec.touches(parent.nodes()[i]));
+            assert!(rec.touches(parent.nodes()[i + 1]));
+        }
+    }
+
+    #[test]
+    fn empty_restriction_isolates_everything() {
+        let g = mixed();
+        let sub = extract_subgraph(&g, |_, _| false);
+        assert_eq!(sub.graph.edge_count(), 0);
+        assert_eq!(sub.graph.node_count(), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Disjoint-set union (union-find) with path compression and union by rank.
+
+/// A classic union-find over dense indices, used by topology generators to
+/// guarantee connectivity without repeated BFS.
+///
+/// ```
+/// use rbpc_graph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.same(0, 2));
+/// assert!(uf.union(1, 2));
+/// assert!(uf.same(0, 3));
+/// assert_eq!(uf.set_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.find(2), 2);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same(0, n - 1));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Failure sets and masked topology views.
+//!
+//! Restoration experiments repeatedly ask "what does the network look like
+//! after these elements fail?". [`FailureView`] answers that without copying
+//! the graph: it is the original [`Graph`] plus a [`FailureSet`] mask, and
+//! every shortest-path routine in this crate runs over any [`Topology`].
+
+use crate::{EdgeId, Graph, HalfEdge, NodeId};
+use std::collections::HashSet;
+
+/// A view of a network: the underlying graph plus liveness of each element.
+///
+/// Implemented by [`Graph`] itself (everything alive) and by
+/// [`FailureView`] (elements masked by a [`FailureSet`]).
+pub trait Topology {
+    /// The underlying graph.
+    fn graph(&self) -> &Graph;
+
+    /// Whether edge `e` is operational.
+    fn edge_alive(&self, e: EdgeId) -> bool;
+
+    /// Whether node `v` is operational.
+    fn node_alive(&self, v: NodeId) -> bool;
+
+    /// Iterates over the live half-edges out of `u`: the edge must be alive
+    /// and lead to a live node. Yields nothing if `u` itself is down.
+    fn live_neighbors(&self, u: NodeId) -> LiveNeighbors<'_, Self>
+    where
+        Self: Sized,
+    {
+        LiveNeighbors {
+            topo: self,
+            from_alive: self.node_alive(u),
+            inner: self.graph().neighbors_raw(u),
+        }
+    }
+}
+
+/// Iterator over live half-edges; see [`Topology::live_neighbors`].
+#[derive(Debug)]
+pub struct LiveNeighbors<'a, T: Topology> {
+    topo: &'a T,
+    from_alive: bool,
+    inner: std::slice::Iter<'a, (NodeId, EdgeId)>,
+}
+
+impl<'a, T: Topology> Iterator for LiveNeighbors<'a, T> {
+    type Item = HalfEdge;
+
+    fn next(&mut self) -> Option<HalfEdge> {
+        if !self.from_alive {
+            return None;
+        }
+        for &(to, edge) in self.inner.by_ref() {
+            if self.topo.edge_alive(edge) && self.topo.node_alive(to) {
+                return Some(HalfEdge { to, edge });
+            }
+        }
+        None
+    }
+}
+
+impl Graph {
+    /// Raw adjacency slice iterator (internal; used by [`LiveNeighbors`]).
+    #[doc(hidden)]
+    pub fn neighbors_raw(&self, u: NodeId) -> std::slice::Iter<'_, (NodeId, EdgeId)> {
+        self.adjacency_slice(u).iter()
+    }
+}
+
+impl Topology for Graph {
+    #[inline]
+    fn graph(&self) -> &Graph {
+        self
+    }
+
+    #[inline]
+    fn edge_alive(&self, _e: EdgeId) -> bool {
+        true
+    }
+
+    #[inline]
+    fn node_alive(&self, _v: NodeId) -> bool {
+        true
+    }
+}
+
+impl<T: Topology> Topology for &T {
+    #[inline]
+    fn graph(&self) -> &Graph {
+        (**self).graph()
+    }
+
+    #[inline]
+    fn edge_alive(&self, e: EdgeId) -> bool {
+        (**self).edge_alive(e)
+    }
+
+    #[inline]
+    fn node_alive(&self, v: NodeId) -> bool {
+        (**self).node_alive(v)
+    }
+}
+
+/// A set of failed links and routers.
+///
+/// A failed router implicitly fails all its incident links (the paper treats
+/// a node failure as the failure of all incident edges).
+///
+/// ```
+/// use rbpc_graph::{FailureSet, Graph, Topology};
+/// # fn main() -> Result<(), rbpc_graph::GraphError> {
+/// let mut g = Graph::new(3);
+/// let e01 = g.add_edge(0, 1, 1)?;
+/// let e12 = g.add_edge(1, 2, 1)?;
+///
+/// let failures = FailureSet::of_nodes([1usize]);
+/// let view = failures.view(&g);
+/// assert!(!view.node_alive(1.into()));
+/// // edges stay "alive" as records, but no live neighbor crosses node 1:
+/// assert_eq!(view.live_neighbors(0.into()).count(), 0);
+/// # let _ = (e01, e12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSet {
+    edges: HashSet<EdgeId>,
+    nodes: HashSet<NodeId>,
+}
+
+impl FailureSet {
+    /// Creates an empty failure set (everything operational).
+    pub fn new() -> Self {
+        FailureSet::default()
+    }
+
+    /// A failure set containing a single failed edge.
+    pub fn of_edge(e: EdgeId) -> Self {
+        let mut f = FailureSet::new();
+        f.fail_edge(e);
+        f
+    }
+
+    /// A failure set containing the given failed edges.
+    pub fn of_edges(edges: impl IntoIterator<Item = EdgeId>) -> Self {
+        let mut f = FailureSet::new();
+        for e in edges {
+            f.fail_edge(e);
+        }
+        f
+    }
+
+    /// A failure set containing the given failed nodes.
+    pub fn of_nodes<N: Into<NodeId>>(nodes: impl IntoIterator<Item = N>) -> Self {
+        let mut f = FailureSet::new();
+        for n in nodes {
+            f.fail_node(n.into());
+        }
+        f
+    }
+
+    /// Marks an edge as failed. Idempotent.
+    pub fn fail_edge(&mut self, e: EdgeId) -> &mut Self {
+        self.edges.insert(e);
+        self
+    }
+
+    /// Marks a node (and implicitly its incident edges) as failed. Idempotent.
+    pub fn fail_node(&mut self, v: NodeId) -> &mut Self {
+        self.nodes.insert(v);
+        self
+    }
+
+    /// Restores a previously failed edge. Returns `true` if it was failed.
+    pub fn restore_edge(&mut self, e: EdgeId) -> bool {
+        self.edges.remove(&e)
+    }
+
+    /// Restores a previously failed node. Returns `true` if it was failed.
+    pub fn restore_node(&mut self, v: NodeId) -> bool {
+        self.nodes.remove(&v)
+    }
+
+    /// Whether this edge is in the failed set (node failures not considered).
+    pub fn edge_failed(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Whether this node is in the failed set.
+    pub fn node_failed(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Whether nothing has failed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.nodes.is_empty()
+    }
+
+    /// Number of explicitly failed edges.
+    pub fn failed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of failed nodes.
+    pub fn failed_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over explicitly failed edges (order unspecified).
+    pub fn failed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Iterates over failed nodes (order unspecified).
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The paper's `k`: total failed elements, counting a node failure as
+    /// the failure of all its incident edges in `graph`.
+    pub fn equivalent_edge_failures(&self, graph: &Graph) -> usize {
+        let mut failed: HashSet<EdgeId> = self.edges.clone();
+        for &v in &self.nodes {
+            for h in graph.neighbors(v) {
+                failed.insert(h.edge);
+            }
+        }
+        failed.len()
+    }
+
+    /// Wraps a graph into a [`FailureView`] masked by this failure set.
+    pub fn view<'a>(&'a self, graph: &'a Graph) -> FailureView<'a> {
+        FailureView {
+            graph,
+            failures: self,
+        }
+    }
+}
+
+impl FromIterator<EdgeId> for FailureSet {
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        FailureSet::of_edges(iter)
+    }
+}
+
+impl Extend<EdgeId> for FailureSet {
+    fn extend<I: IntoIterator<Item = EdgeId>>(&mut self, iter: I) {
+        for e in iter {
+            self.fail_edge(e);
+        }
+    }
+}
+
+/// A [`Graph`] with a [`FailureSet`] mask applied — the network `G′ = (V, E − E_k)`
+/// from the paper, without copying `G`.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureView<'a> {
+    graph: &'a Graph,
+    failures: &'a FailureSet,
+}
+
+impl<'a> FailureView<'a> {
+    /// Creates a view of `graph` masked by `failures`.
+    pub fn new(graph: &'a Graph, failures: &'a FailureSet) -> Self {
+        FailureView { graph, failures }
+    }
+
+    /// The failure set backing this view.
+    pub fn failures(&self) -> &FailureSet {
+        self.failures
+    }
+}
+
+impl Topology for FailureView<'_> {
+    #[inline]
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    #[inline]
+    fn edge_alive(&self, e: EdgeId) -> bool {
+        if self.failures.edge_failed(e) {
+            return false;
+        }
+        let r = self.graph.edge(e);
+        !self.failures.node_failed(r.u) && !self.failures.node_failed(r.v)
+    }
+
+    #[inline]
+    fn node_alive(&self, v: NodeId) -> bool {
+        !self.failures.node_failed(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn graph_is_fully_alive_topology() {
+        let g = path_graph(3);
+        assert!(g.edge_alive(EdgeId::new(0)));
+        assert!(g.node_alive(NodeId::new(2)));
+        assert_eq!(g.live_neighbors(1.into()).count(), 2);
+    }
+
+    #[test]
+    fn edge_failure_masks_edge() {
+        let g = path_graph(3);
+        let f = FailureSet::of_edge(EdgeId::new(0));
+        let v = f.view(&g);
+        assert!(!v.edge_alive(EdgeId::new(0)));
+        assert!(v.edge_alive(EdgeId::new(1)));
+        assert_eq!(v.live_neighbors(0.into()).count(), 0);
+        assert_eq!(v.live_neighbors(1.into()).count(), 1);
+    }
+
+    #[test]
+    fn node_failure_kills_incident_edges() {
+        let g = path_graph(3);
+        let f = FailureSet::of_nodes([1usize]);
+        let v = f.view(&g);
+        assert!(!v.node_alive(1.into()));
+        assert!(!v.edge_alive(EdgeId::new(0)));
+        assert!(!v.edge_alive(EdgeId::new(1)));
+        assert_eq!(v.live_neighbors(1.into()).count(), 0);
+        assert_eq!(f.equivalent_edge_failures(&g), 2);
+    }
+
+    #[test]
+    fn restore_round_trip() {
+        let mut f = FailureSet::new();
+        f.fail_edge(EdgeId::new(3)).fail_node(NodeId::new(1));
+        assert!(!f.is_empty());
+        assert!(f.restore_edge(EdgeId::new(3)));
+        assert!(!f.restore_edge(EdgeId::new(3)));
+        assert!(f.restore_node(NodeId::new(1)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn collectors_and_counts() {
+        let f: FailureSet = [EdgeId::new(1), EdgeId::new(2), EdgeId::new(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(f.failed_edge_count(), 2);
+        assert_eq!(f.failed_node_count(), 0);
+        let mut g = FailureSet::new();
+        g.extend([EdgeId::new(7)]);
+        assert!(g.edge_failed(EdgeId::new(7)));
+    }
+
+    #[test]
+    fn equivalent_edge_failures_deduplicates() {
+        let g = path_graph(3);
+        let mut f = FailureSet::of_nodes([1usize]);
+        f.fail_edge(EdgeId::new(0)); // already implied by node 1 failing
+        assert_eq!(f.equivalent_edge_failures(&g), 2);
+    }
+
+    #[test]
+    fn view_is_copy_and_exposes_failures() {
+        let g = path_graph(2);
+        let f = FailureSet::of_edge(EdgeId::new(0));
+        let v = FailureView::new(&g, &f);
+        let w = v; // Copy
+        assert!(w.failures().edge_failed(EdgeId::new(0)));
+        assert!(!v.edge_alive(EdgeId::new(0)));
+    }
+}

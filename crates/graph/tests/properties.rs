@@ -1,0 +1,227 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rbpc_graph::{
+    bfs_distances, count_shortest_paths, distance, shortest_path, shortest_path_tree, CostModel,
+    FailureSet, Graph, Metric, NodeId,
+};
+
+/// Strategy: a connected-ish random multigraph with 2..=24 nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 1u32..=20), 1..=3 * n);
+        edges.prop_map(move |list| {
+            let mut g = Graph::new(n);
+            // A deterministic spine keeps most generated graphs connected,
+            // which makes the reachability-dependent properties bite.
+            for i in 0..n - 1 {
+                g.add_edge(i, i + 1, 7).unwrap();
+            }
+            for (a, b, w) in list {
+                if a != b {
+                    g.add_edge(a, b, w).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distances are symmetric in an undirected graph.
+    #[test]
+    fn distance_symmetry(g in arb_graph(), seed in 0u64..1000) {
+        let m = CostModel::new(Metric::Weighted, seed);
+        let n = g.node_count();
+        for s in 0..n.min(5) {
+            for t in 0..n.min(5) {
+                let st = distance(&g, &m, s.into(), t.into()).map(|c| c.base);
+                let ts = distance(&g, &m, t.into(), s.into()).map(|c| c.base);
+                prop_assert_eq!(st, ts);
+            }
+        }
+    }
+
+    /// Triangle inequality holds for base distances.
+    #[test]
+    fn triangle_inequality(g in arb_graph(), seed in 0u64..1000) {
+        let m = CostModel::new(Metric::Weighted, seed);
+        let t0 = shortest_path_tree(&g, &m, 0.into());
+        let t1 = shortest_path_tree(&g, &m, NodeId::new(g.node_count() - 1));
+        for v in g.nodes() {
+            if let (Some(a), Some(b), Some(direct)) = (
+                t0.base_dist(v),
+                t1.base_dist(v),
+                t0.base_dist(t1.source()),
+            ) {
+                prop_assert!(direct <= a + b);
+            }
+        }
+    }
+
+    /// Under the unweighted metric, Dijkstra's hop distances equal BFS.
+    #[test]
+    fn unweighted_equals_bfs(g in arb_graph(), seed in 0u64..1000) {
+        let m = CostModel::new(Metric::Unweighted, seed);
+        let t = shortest_path_tree(&g, &m, 0.into());
+        let bfs = bfs_distances(&g, 0.into());
+        for v in g.nodes() {
+            prop_assert_eq!(t.base_dist(v), bfs[v.index()].map(u64::from));
+        }
+    }
+
+    /// The tie-broken shortest path is unique: forward and reverse queries
+    /// return the same path (reversed), and the tree agrees with the
+    /// point-to-point query.
+    #[test]
+    fn canonical_paths_agree(g in arb_graph(), seed in 0u64..1000) {
+        let m = CostModel::new(Metric::Weighted, seed);
+        let n = g.node_count();
+        let t = NodeId::new(n - 1);
+        let tree = shortest_path_tree(&g, &m, 0.into());
+        if let Some(p) = shortest_path(&g, &m, 0.into(), t) {
+            prop_assert_eq!(&p, &tree.path_to(t).unwrap());
+            let back = shortest_path(&g, &m, t, 0.into()).unwrap();
+            prop_assert_eq!(p, back.reversed());
+        }
+    }
+
+    /// Subpath optimality under the perturbed metric: every subpath of a
+    /// canonical shortest path is itself the canonical shortest path of its
+    /// endpoints. (This is what greedy RBPC decomposition relies on.)
+    #[test]
+    fn subpath_optimality(g in arb_graph(), seed in 0u64..1000) {
+        let m = CostModel::new(Metric::Weighted, seed);
+        let n = g.node_count();
+        let tree = shortest_path_tree(&g, &m, 0.into());
+        if let Some(p) = tree.path_to(NodeId::new(n - 1)) {
+            let len = p.nodes().len();
+            for i in 0..len.min(4) {
+                for j in i..len {
+                    let sub = p.subpath(i, j);
+                    let canonical =
+                        shortest_path(&g, &m, sub.source(), sub.target()).unwrap();
+                    prop_assert_eq!(sub, canonical);
+                }
+            }
+        }
+    }
+
+    /// Failing elements never shortens any distance, and restoring them
+    /// returns to baseline.
+    #[test]
+    fn failures_monotone(g in arb_graph(), seed in 0u64..1000, kill in 0usize..6) {
+        let m = CostModel::new(Metric::Weighted, seed);
+        let t = NodeId::new(g.node_count() - 1);
+        let before = distance(&g, &m, 0.into(), t).map(|c| c.base);
+        let mut f = FailureSet::new();
+        for e in g.edge_ids().take(kill) {
+            f.fail_edge(e);
+        }
+        let view = f.view(&g);
+        let after = distance(&view, &m, 0.into(), t).map(|c| c.base);
+        match (before, after) {
+            (None, Some(_)) => prop_assert!(false, "failure created connectivity"),
+            (Some(b), Some(a)) => prop_assert!(a >= b),
+            _ => {}
+        }
+    }
+
+    /// Shortest-path counts are positive exactly on reachable nodes.
+    #[test]
+    fn counts_match_reachability(g in arb_graph()) {
+        let counts = count_shortest_paths(&g, Metric::Weighted, 0.into());
+        let bfs = bfs_distances(&g, 0.into());
+        for v in g.nodes() {
+            prop_assert_eq!(counts[v.index()] > 0, bfs[v.index()].is_some());
+        }
+    }
+
+    /// The returned path is a valid walk whose cost matches the reported
+    /// distance.
+    #[test]
+    fn path_cost_consistency(g in arb_graph(), seed in 0u64..1000) {
+        let m = CostModel::new(Metric::Weighted, seed);
+        let t = NodeId::new(g.node_count() / 2);
+        if let Some(p) = shortest_path(&g, &m, 0.into(), t) {
+            prop_assert!(p.is_simple());
+            prop_assert_eq!(p.source(), 0.into());
+            prop_assert_eq!(p.target(), t);
+            let d = distance(&g, &m, 0.into(), t).unwrap();
+            prop_assert_eq!(p.cost(&g, &m), d);
+            // Every hop must be a real edge joining consecutive nodes.
+            for (i, &e) in p.edges().iter().enumerate() {
+                let rec = g.edge(e);
+                prop_assert!(rec.touches(p.nodes()[i]));
+                prop_assert!(rec.touches(p.nodes()[i + 1]));
+            }
+        }
+    }
+}
+
+mod yen_and_cuts {
+    use proptest::prelude::*;
+    use rbpc_graph::{
+        cut_elements, distance, k_shortest_paths, CostModel, FailureSet, Graph, Metric, NodeId,
+    };
+
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (4usize..=14).prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n, 1u32..=9), 1..=2 * n);
+            edges.prop_map(move |list| {
+                let mut g = Graph::new(n);
+                for i in 0..n - 1 {
+                    g.add_edge(i, i + 1, 5).unwrap();
+                }
+                for (a, b, w) in list {
+                    if a != b {
+                        g.add_edge(a, b, w).unwrap();
+                    }
+                }
+                g
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Yen's paths are simple, distinct, sorted, and start with the
+        /// canonical shortest path.
+        #[test]
+        fn yen_invariants(g in arb_graph(), seed in 0u64..500, k in 1usize..6) {
+            let m = CostModel::new(Metric::Weighted, seed);
+            let t = NodeId::new(g.node_count() - 1);
+            let ps = k_shortest_paths(&g, &m, NodeId::new(0), t, k);
+            prop_assert!(!ps.is_empty());
+            prop_assert!(ps.len() <= k);
+            prop_assert_eq!(
+                ps[0].cost(&g, &m).base,
+                distance(&g, &m, NodeId::new(0), t).unwrap().base
+            );
+            for w in ps.windows(2) {
+                prop_assert!(w[0].cost(&g, &m).perturbed <= w[1].cost(&g, &m).perturbed);
+                prop_assert_ne!(&w[0], &w[1]);
+            }
+            for p in &ps {
+                prop_assert!(p.is_simple());
+            }
+        }
+
+        /// An edge is a bridge iff failing it disconnects its endpoints.
+        #[test]
+        fn bridges_match_disconnection(g in arb_graph(), seed in 0u64..500) {
+            let m = CostModel::new(Metric::Weighted, seed);
+            let cuts = cut_elements(&g);
+            for e in g.edge_ids() {
+                let (u, v) = g.endpoints(e);
+                let f = FailureSet::of_edge(e);
+                let view = f.view(&g);
+                let disconnected = distance(&view, &m, u, v).is_none();
+                prop_assert_eq!(disconnected, cuts.bridges.contains(&e), "edge {}", e);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Forwarding traces.
+
+use rbpc_graph::{EdgeId, NodeId};
+
+/// The record of one packet's trip through the data plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardTrace {
+    route: Vec<NodeId>,
+    links: Vec<EdgeId>,
+    label_ops: u32,
+    max_stack_depth: u32,
+}
+
+impl ForwardTrace {
+    pub(crate) fn new(start: NodeId) -> Self {
+        ForwardTrace {
+            route: vec![start],
+            links: Vec::new(),
+            label_ops: 0,
+            max_stack_depth: 0,
+        }
+    }
+
+    pub(crate) fn hop(&mut self, link: EdgeId, to: NodeId) {
+        self.links.push(link);
+        self.route.push(to);
+    }
+
+    pub(crate) fn count_op(&mut self, stack_depth: usize) {
+        self.label_ops += 1;
+        self.max_stack_depth = self.max_stack_depth.max(stack_depth as u32);
+    }
+
+    /// The sequence of routers visited, starting at the ingress.
+    pub fn route(&self) -> &[NodeId] {
+        &self.route
+    }
+
+    /// The links traversed, in order.
+    pub fn links(&self) -> &[EdgeId] {
+        &self.links
+    }
+
+    /// Number of hops taken.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of label operations performed (swap/pop/push batches) —
+    /// a proxy for per-packet router overhead.
+    pub fn label_ops(&self) -> u32 {
+        self.label_ops
+    }
+
+    /// The deepest the label stack got in flight.
+    pub fn max_stack_depth(&self) -> u32 {
+        self.max_stack_depth
+    }
+
+    /// The router the packet ended at.
+    pub fn last(&self) -> NodeId {
+        *self.route.last().expect("traces start nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates() {
+        let mut t = ForwardTrace::new(NodeId::new(0));
+        assert_eq!(t.hop_count(), 0);
+        assert_eq!(t.last(), NodeId::new(0));
+        t.count_op(2);
+        t.hop(EdgeId::new(5), NodeId::new(1));
+        t.count_op(1);
+        assert_eq!(t.route(), &[NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(t.links(), &[EdgeId::new(5)]);
+        assert_eq!(t.hop_count(), 1);
+        assert_eq!(t.label_ops(), 2);
+        assert_eq!(t.max_stack_depth(), 2);
+        assert_eq!(t.last(), NodeId::new(1));
+    }
+}

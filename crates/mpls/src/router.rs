@@ -1,0 +1,184 @@
+//! A label-switching router: ILM and FEC tables plus a label allocator.
+
+use crate::Label;
+use rbpc_graph::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// The operation an ILM entry applies to a matching packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IlmOp {
+    /// Swap the top label and forward out a link — the normal mid-LSP hop.
+    SwapAndForward {
+        /// Outgoing link.
+        out: EdgeId,
+        /// Label expected by the downstream neighbor.
+        next_label: Label,
+    },
+    /// Pop the top label and forward out a link — penultimate-hop popping.
+    PopAndForward {
+        /// Outgoing link (to the LSP egress).
+        out: EdgeId,
+    },
+    /// Pop the top label and keep processing locally — the LSP egress.
+    /// If labels remain the packet continues on the next LSP of a
+    /// concatenation; if the stack empties at the destination the packet
+    /// is delivered.
+    PopAndContinue,
+    /// Pop the top label, push replacement labels (bottom-first), and keep
+    /// processing locally. This is the **local RBPC splice**: the router
+    /// adjacent to a failure rewrites the broken LSP's entry so packets
+    /// continue over a concatenation of surviving LSPs that start here.
+    ReplaceAndContinue {
+        /// Replacement labels, bottom-first (last = new top).
+        labels: Vec<Label>,
+    },
+}
+
+/// One ILM (incoming label map) entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlmEntry {
+    /// The operation to apply.
+    pub op: IlmOp,
+}
+
+/// One FEC (forwarding equivalence class) entry: the label stack the
+/// ingress pushes on packets bound for a destination. Bottom-first; the
+/// last label is the top of the stack and names an LSP starting at the
+/// ingress itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FecEntry {
+    /// Labels to push, bottom-first.
+    pub labels: Vec<Label>,
+}
+
+/// A label-switching router (LSR).
+///
+/// Owns a per-platform label space, a hardware-style [ILM](IlmEntry) table
+/// keyed by incoming label, and a [FEC](FecEntry) table keyed by
+/// destination for traffic originating here.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: NodeId,
+    ilm: HashMap<Label, IlmEntry>,
+    fec: HashMap<NodeId, FecEntry>,
+    next_label: u32,
+}
+
+impl Router {
+    /// Creates an empty router with the given node id.
+    pub fn new(id: NodeId) -> Self {
+        Router {
+            id,
+            ilm: HashMap::new(),
+            fec: HashMap::new(),
+            // Real MPLS reserves labels 0–15; we start above them.
+            next_label: 16,
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Allocates a fresh label from this router's label space.
+    pub fn allocate_label(&mut self) -> Label {
+        let l = Label::new(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Installs (or overwrites) an ILM entry. Returns the previous entry.
+    pub fn install_ilm(&mut self, label: Label, entry: IlmEntry) -> Option<IlmEntry> {
+        self.ilm.insert(label, entry)
+    }
+
+    /// Removes an ILM entry. Returns it if present.
+    pub fn remove_ilm(&mut self, label: Label) -> Option<IlmEntry> {
+        self.ilm.remove(&label)
+    }
+
+    /// Looks up an ILM entry.
+    pub fn ilm(&self, label: Label) -> Option<&IlmEntry> {
+        self.ilm.get(&label)
+    }
+
+    /// Number of ILM entries — the paper's hardware-table size metric.
+    pub fn ilm_size(&self) -> usize {
+        self.ilm.len()
+    }
+
+    /// Installs (or overwrites) a FEC entry for a destination. Returns the
+    /// previous entry.
+    pub fn install_fec(&mut self, dest: NodeId, entry: FecEntry) -> Option<FecEntry> {
+        self.fec.insert(dest, entry)
+    }
+
+    /// Removes the FEC entry for a destination.
+    pub fn remove_fec(&mut self, dest: NodeId) -> Option<FecEntry> {
+        self.fec.remove(&dest)
+    }
+
+    /// Looks up the FEC entry for a destination.
+    pub fn fec(&self, dest: NodeId) -> Option<&FecEntry> {
+        self.fec.get(&dest)
+    }
+
+    /// Number of FEC entries.
+    pub fn fec_size(&self) -> usize {
+        self.fec.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_fresh_and_above_reserved() {
+        let mut r = Router::new(NodeId::new(0));
+        let a = r.allocate_label();
+        let b = r.allocate_label();
+        assert_ne!(a, b);
+        assert!(a.value() >= 16);
+    }
+
+    #[test]
+    fn ilm_install_lookup_remove() {
+        let mut r = Router::new(NodeId::new(1));
+        let l = r.allocate_label();
+        let e = IlmEntry {
+            op: IlmOp::PopAndContinue,
+        };
+        assert_eq!(r.install_ilm(l, e.clone()), None);
+        assert_eq!(r.ilm(l), Some(&e));
+        assert_eq!(r.ilm_size(), 1);
+        let e2 = IlmEntry {
+            op: IlmOp::ReplaceAndContinue { labels: vec![] },
+        };
+        assert_eq!(r.install_ilm(l, e2.clone()), Some(e));
+        assert_eq!(r.remove_ilm(l), Some(e2));
+        assert_eq!(r.ilm_size(), 0);
+        assert_eq!(r.remove_ilm(l), None);
+    }
+
+    #[test]
+    fn fec_table_round_trip() {
+        let mut r = Router::new(NodeId::new(2));
+        let dest = NodeId::new(9);
+        let entry = FecEntry {
+            labels: vec![Label::new(100)],
+        };
+        assert_eq!(r.install_fec(dest, entry.clone()), None);
+        assert_eq!(r.fec(dest), Some(&entry));
+        assert_eq!(r.fec_size(), 1);
+        assert_eq!(r.remove_fec(dest), Some(entry));
+        assert_eq!(r.fec(dest), None);
+    }
+
+    #[test]
+    fn id_is_stable() {
+        let r = Router::new(NodeId::new(7));
+        assert_eq!(r.id(), NodeId::new(7));
+    }
+}

@@ -1,0 +1,90 @@
+//! Control-plane cost accounting.
+//!
+//! The paper's headline motivation is that tearing down and re-establishing
+//! LSPs after a failure is expensive — label-distribution signaling along
+//! both old and new paths plus ILM writes at every hop — while RBPC needs
+//! only a FEC rewrite at the source (or one ILM splice at the adjacent
+//! router). These counters make that comparison measurable.
+
+/// Running totals of control-plane work performed on an
+/// [`MplsNetwork`](crate::MplsNetwork).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SignalingStats {
+    /// Label-distribution messages (label request + mapping per hop on
+    /// establishment, release per hop on teardown).
+    pub messages: u64,
+    /// ILM table writes (installs, rewrites, and removals).
+    pub ilm_writes: u64,
+    /// FEC table writes.
+    pub fec_writes: u64,
+    /// LSPs established.
+    pub lsps_established: u64,
+    /// LSPs torn down.
+    pub lsps_torn_down: u64,
+}
+
+impl SignalingStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        SignalingStats::default()
+    }
+
+    /// Difference `self − earlier`, for measuring a window of activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier
+    /// (counters are monotone).
+    pub fn since(&self, earlier: &SignalingStats) -> SignalingStats {
+        debug_assert!(self.messages >= earlier.messages);
+        SignalingStats {
+            messages: self.messages - earlier.messages,
+            ilm_writes: self.ilm_writes - earlier.ilm_writes,
+            fec_writes: self.fec_writes - earlier.fec_writes,
+            lsps_established: self.lsps_established - earlier.lsps_established,
+            lsps_torn_down: self.lsps_torn_down - earlier.lsps_torn_down,
+        }
+    }
+
+    /// Total table writes of either kind.
+    pub fn table_writes(&self) -> u64 {
+        self.ilm_writes + self.fec_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let s = SignalingStats::new();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.table_writes(), 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = SignalingStats {
+            messages: 10,
+            ilm_writes: 4,
+            fec_writes: 1,
+            lsps_established: 2,
+            lsps_torn_down: 0,
+        };
+        let b = SignalingStats {
+            messages: 25,
+            ilm_writes: 9,
+            fec_writes: 3,
+            lsps_established: 3,
+            lsps_torn_down: 1,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.messages, 15);
+        assert_eq!(d.ilm_writes, 5);
+        assert_eq!(d.fec_writes, 2);
+        assert_eq!(d.lsps_established, 1);
+        assert_eq!(d.lsps_torn_down, 1);
+        assert_eq!(d.table_writes(), 7);
+    }
+}

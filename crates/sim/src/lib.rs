@@ -1,0 +1,31 @@
+//! Restoration-latency simulation for RBPC.
+//!
+//! The paper's systems argument is about *time*: a broken LSP stays black
+//! until some scheme rewrites forwarding state, and the schemes differ in
+//! what has to happen first:
+//!
+//! * **local RBPC** — the adjacent router detects loss of signal and
+//!   rewrites one ILM entry: restoration within the detection delay;
+//! * **source RBPC** — the link-state flood must reach the LSP source,
+//!   which then rewrites one FEC entry;
+//! * **re-establishment** — the flood must reach the source *and* a new
+//!   LSP must be signaled hop by hop (label request + mapping) before the
+//!   FEC can switch over.
+//!
+//! This crate turns those narratives into numbers: a [`LatencyModel`] with
+//! the relevant delays, a link-state [`flood_timeline`] (failure
+//! notifications propagate along surviving links, which is a hop-count
+//! Dijkstra), and per-scheme [`outage`] windows with packet-loss
+//! estimates. See `examples/restoration_latency.rs` for the headline
+//! comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod model;
+mod outage;
+
+pub use flow::{simulate_flow, FlowConfig, FlowReport};
+pub use model::{flood_timeline, FloodTimeline, LatencyModel};
+pub use outage::{outage, outage_summary, OutageReport, OutageSummary, Scheme};

@@ -1,0 +1,155 @@
+//! Delay model and link-state flood propagation.
+
+use rbpc_graph::{bfs_distances, FailureSet, Graph, NodeId};
+
+/// Control-plane delays, in microseconds.
+///
+/// Defaults are era-appropriate round numbers: millisecond-scale loss-of-
+/// signal detection, a couple of milliseconds per flooding hop, and
+/// milliseconds per signaling hop (LDP processing dominated); table writes
+/// are fast. Absolute values only scale the results — the *ordering* of
+/// the schemes is what the simulation establishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Loss-of-signal detection at the routers adjacent to a failure.
+    pub detection_us: u64,
+    /// Per-hop propagation + processing of a link-state advertisement.
+    pub flood_hop_us: u64,
+    /// One hardware ILM entry write.
+    pub ilm_write_us: u64,
+    /// One FEC table write.
+    pub fec_write_us: u64,
+    /// Per-hop label-distribution processing when signaling an LSP.
+    pub signal_hop_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            detection_us: 10_000,
+            flood_hop_us: 2_000,
+            ilm_write_us: 500,
+            fec_write_us: 500,
+            signal_hop_us: 5_000,
+        }
+    }
+}
+
+/// When each router learns about a failure, relative to the failure
+/// instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodTimeline {
+    /// Per router: microseconds after the failure at which its link-state
+    /// database reflects it; `None` if unreachable from every detection
+    /// point over surviving links.
+    pub aware_at: Vec<Option<u64>>,
+}
+
+impl FloodTimeline {
+    /// When router `r` learns of the failure.
+    pub fn at(&self, r: NodeId) -> Option<u64> {
+        self.aware_at.get(r.index()).copied().flatten()
+    }
+}
+
+/// Simulates the link-state flood for `failures`: the endpoints of each
+/// failed link (and the neighbors of each failed router) detect after the
+/// detection delay and flood over surviving links, one
+/// [`LatencyModel::flood_hop_us`] per hop. Flooding is a shortest-delay
+/// propagation, i.e. hop-count BFS from all detection points.
+pub fn flood_timeline(graph: &Graph, failures: &FailureSet, model: &LatencyModel) -> FloodTimeline {
+    let n = graph.node_count();
+    let view = failures.view(graph);
+    // Detection points: live endpoints of failed edges; live neighbors of
+    // failed routers.
+    let mut detectors = Vec::new();
+    for e in failures.failed_edges() {
+        let (u, v) = graph.endpoints(e);
+        for x in [u, v] {
+            if !failures.node_failed(x) {
+                detectors.push(x);
+            }
+        }
+    }
+    for dead in failures.failed_nodes() {
+        for h in graph.neighbors(dead) {
+            if !failures.node_failed(h.to) {
+                detectors.push(h.to);
+            }
+        }
+    }
+    let mut aware_at: Vec<Option<u64>> = vec![None; n];
+    for d in detectors {
+        let hops = bfs_distances(&view, d);
+        for (r, h) in hops.iter().enumerate() {
+            if let Some(h) = h {
+                let t = model.detection_us + u64::from(*h) * model.flood_hop_us;
+                if aware_at[r].is_none_or(|cur| t < cur) {
+                    aware_at[r] = Some(t);
+                }
+            }
+        }
+    }
+    FloodTimeline { aware_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::EdgeId;
+    use rbpc_topo::{cycle, path};
+
+    #[test]
+    fn flood_radiates_from_failure() {
+        let g = path(5); // 0-1-2-3-4, fail edge 2-3 (e2)
+        let failures = FailureSet::of_edge(EdgeId::new(2));
+        let m = LatencyModel::default();
+        let t = flood_timeline(&g, &failures, &m);
+        // Endpoints 2 and 3 detect immediately.
+        assert_eq!(t.at(2.into()), Some(m.detection_us));
+        assert_eq!(t.at(3.into()), Some(m.detection_us));
+        // Router 0 is two surviving hops from detector 2.
+        assert_eq!(t.at(0.into()), Some(m.detection_us + 2 * m.flood_hop_us));
+        assert_eq!(t.at(4.into()), Some(m.detection_us + m.flood_hop_us));
+    }
+
+    #[test]
+    fn flood_takes_the_surviving_detour() {
+        let g = cycle(6);
+        let e = g.find_edge(0.into(), 1.into()).unwrap();
+        let failures = FailureSet::of_edge(e);
+        let m = LatencyModel::default();
+        let t = flood_timeline(&g, &failures, &m);
+        // Router 3 is 3 hops from 0 and 2 hops from 1 (the long way counts
+        // as surviving links only).
+        assert_eq!(t.at(3.into()), Some(m.detection_us + 2 * m.flood_hop_us));
+        // Every router learns eventually on a surviving cycle.
+        for r in g.nodes() {
+            assert!(t.at(r).is_some());
+        }
+    }
+
+    #[test]
+    fn node_failure_detected_by_neighbors() {
+        let g = cycle(4);
+        let failures = FailureSet::of_nodes([0usize]);
+        let m = LatencyModel::default();
+        let t = flood_timeline(&g, &failures, &m);
+        assert_eq!(t.at(1.into()), Some(m.detection_us));
+        assert_eq!(t.at(3.into()), Some(m.detection_us));
+        assert_eq!(t.at(2.into()), Some(m.detection_us + m.flood_hop_us));
+        // The dead router never learns anything.
+        assert_eq!(t.at(0.into()), None);
+    }
+
+    #[test]
+    fn partitioned_routers_never_learn() {
+        let g = path(3);
+        // Failing the middle router partitions 0 from 2.
+        let failures = FailureSet::of_nodes([1usize]);
+        let t = flood_timeline(&g, &failures, &LatencyModel::default());
+        assert!(t.at(0.into()).is_some());
+        assert!(t.at(2.into()).is_some());
+        assert_eq!(t.at(1.into()), None);
+    }
+}

@@ -1,0 +1,333 @@
+//! Per-scheme outage windows.
+
+use crate::{flood_timeline, LatencyModel};
+use rbpc_core::{edge_bypass, end_route, BasePathOracle, RestoreError, Restorer};
+use rbpc_graph::{EdgeId, FailureSet, NodeId};
+
+/// A restoration scheme whose outage window is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Local RBPC, edge-bypass splice at the adjacent router.
+    LocalEdgeBypass,
+    /// Local RBPC, end-route splice at the adjacent router.
+    LocalEndRoute,
+    /// Source-router RBPC (waits for the link-state flood).
+    SourceRbpc,
+    /// Hybrid: local splice first, source rewrite later — outage equals
+    /// the local window, final route equals the source one.
+    Hybrid,
+    /// Teardown + re-establishment of the LSP along the new route.
+    Reestablish,
+}
+
+impl Scheme {
+    /// All simulated schemes, fastest-first by design.
+    pub fn all() -> [Scheme; 5] {
+        [
+            Scheme::LocalEdgeBypass,
+            Scheme::LocalEndRoute,
+            Scheme::Hybrid,
+            Scheme::SourceRbpc,
+            Scheme::Reestablish,
+        ]
+    }
+}
+
+/// The outage a scheme leaves for one disrupted LSP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageReport {
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// Microseconds from the failure until packets flow again.
+    pub restored_at_us: u64,
+    /// Hop count of the route packets take right after restoration.
+    pub interim_hops: u32,
+}
+
+impl OutageReport {
+    /// Packets lost for a constant-rate flow of `pps` packets per second.
+    pub fn packets_lost(&self, pps: u64) -> u64 {
+        self.restored_at_us * pps / 1_000_000
+    }
+}
+
+/// Simulates the outage window of `scheme` for the LSP `s → t` whose link
+/// `failed` just died (single-failure scenario).
+///
+/// ```
+/// use rbpc_core::{BasePathOracle, DenseBasePaths};
+/// use rbpc_graph::{CostModel, Metric};
+/// use rbpc_sim::{outage, LatencyModel, Scheme};
+///
+/// # fn main() -> Result<(), rbpc_core::RestoreError> {
+/// let g = rbpc_topo::cycle(8);
+/// let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Unweighted, 1));
+/// let model = LatencyModel::default();
+/// let lsp = oracle.base_path(0.into(), 3.into()).expect("connected");
+/// let local = outage(&oracle, &model, 0.into(), 3.into(), lsp.edges()[1], Scheme::LocalEndRoute)?;
+/// let re = outage(&oracle, &model, 0.into(), 3.into(), lsp.edges()[1], Scheme::Reestablish)?;
+/// assert!(local.restored_at_us < re.restored_at_us);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`RestoreError`] when the scheme cannot restore the route at
+/// all (e.g. the failure disconnects the pair, or edge-bypass cannot patch
+/// a bridge).
+pub fn outage<O: BasePathOracle>(
+    oracle: &O,
+    model: &LatencyModel,
+    s: NodeId,
+    t: NodeId,
+    failed: EdgeId,
+    scheme: Scheme,
+) -> Result<OutageReport, RestoreError> {
+    let failures = FailureSet::of_edge(failed);
+    let restorer = Restorer::new(oracle);
+    let lsp_path = oracle.base_path(s, t).ok_or(RestoreError::Disconnected {
+        source: s,
+        target: t,
+    })?;
+    let flood = flood_timeline(oracle.graph(), &failures, model);
+    let source_aware = flood.at(s);
+
+    let (restored_at_us, interim_hops) = match scheme {
+        Scheme::LocalEdgeBypass => {
+            let lr = edge_bypass(oracle, &lsp_path, failed, &failures)?;
+            (
+                model.detection_us + model.ilm_write_us,
+                lr.end_to_end.hop_count() as u32,
+            )
+        }
+        Scheme::LocalEndRoute => {
+            let lr = end_route(oracle, &lsp_path, failed, &failures)?;
+            (
+                model.detection_us + model.ilm_write_us,
+                lr.end_to_end.hop_count() as u32,
+            )
+        }
+        Scheme::Hybrid => {
+            // Outage ends at the first successful local splice; fall back
+            // to end-route when edge-bypass cannot patch.
+            let lr = edge_bypass(oracle, &lsp_path, failed, &failures)
+                .or_else(|_| end_route(oracle, &lsp_path, failed, &failures))?;
+            (
+                model.detection_us + model.ilm_write_us,
+                lr.end_to_end.hop_count() as u32,
+            )
+        }
+        Scheme::SourceRbpc => {
+            let r = restorer.restore(s, t, &failures)?;
+            let aware = source_aware.ok_or(RestoreError::Disconnected {
+                source: s,
+                target: t,
+            })?;
+            (
+                aware + model.fec_write_us,
+                r.backup_cost.hops,
+            )
+        }
+        Scheme::Reestablish => {
+            let r = restorer.restore(s, t, &failures)?;
+            let aware = source_aware.ok_or(RestoreError::Disconnected {
+                source: s,
+                target: t,
+            })?;
+            // Label request travels to the egress and mappings come back:
+            // two passes over the new path, one signaling delay per hop,
+            // then ILM installs (pipelined with the mapping pass, charge
+            // one write) and the FEC switch.
+            let hops = u64::from(r.backup_cost.hops);
+            (
+                aware + 2 * hops * model.signal_hop_us + model.ilm_write_us + model.fec_write_us,
+                r.backup_cost.hops,
+            )
+        }
+    };
+    Ok(OutageReport {
+        scheme,
+        restored_at_us,
+        interim_hops,
+    })
+}
+
+/// Aggregate outage statistics for a scheme over many failure events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageSummary {
+    /// The scheme summarized.
+    pub scheme: Scheme,
+    /// Events measured.
+    pub events: usize,
+    /// Events the scheme could not restore.
+    pub unrestorable: usize,
+    /// Mean outage (microseconds) over restorable events.
+    pub mean_us: f64,
+    /// Maximum outage observed.
+    pub max_us: u64,
+}
+
+/// Runs [`outage`] for every link of every sampled pair's base path and
+/// summarizes per scheme.
+pub fn outage_summary<O: BasePathOracle>(
+    oracle: &O,
+    model: &LatencyModel,
+    pairs: &[(NodeId, NodeId)],
+    scheme: Scheme,
+) -> OutageSummary {
+    let mut events = 0usize;
+    let mut unrestorable = 0usize;
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for &(s, t) in pairs {
+        let Some(base) = oracle.base_path(s, t) else {
+            continue;
+        };
+        for &e in base.edges() {
+            events += 1;
+            match outage(oracle, model, s, t, e, scheme) {
+                Ok(r) => {
+                    total += r.restored_at_us;
+                    max = max.max(r.restored_at_us);
+                }
+                Err(_) => unrestorable += 1,
+            }
+        }
+    }
+    let restorable = events - unrestorable;
+    OutageSummary {
+        scheme,
+        events,
+        unrestorable,
+        mean_us: if restorable == 0 {
+            0.0
+        } else {
+            total as f64 / restorable as f64
+        },
+        max_us: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_core::DenseBasePaths;
+    use rbpc_graph::{CostModel, Metric};
+    use rbpc_topo::{cycle, gnm_connected};
+
+    fn oracle(seed: u64) -> DenseBasePaths {
+        let g = gnm_connected(20, 45, 7, seed);
+        DenseBasePaths::build(g, CostModel::new(Metric::Weighted, seed))
+    }
+
+    #[test]
+    fn scheme_ordering_holds() {
+        let o = oracle(4);
+        let m = LatencyModel::default();
+        let (s, t) = (NodeId::new(0), NodeId::new(19));
+        let base = o.base_path(s, t).unwrap();
+        for &e in base.edges() {
+            let Ok(local) = outage(&o, &m, s, t, e, Scheme::LocalEndRoute) else {
+                continue;
+            };
+            let source = outage(&o, &m, s, t, e, Scheme::SourceRbpc).unwrap();
+            let re = outage(&o, &m, s, t, e, Scheme::Reestablish).unwrap();
+            assert!(local.restored_at_us <= source.restored_at_us);
+            assert!(source.restored_at_us < re.restored_at_us);
+        }
+    }
+
+    #[test]
+    fn hybrid_is_as_fast_as_local() {
+        let o = oracle(5);
+        let m = LatencyModel::default();
+        let (s, t) = (NodeId::new(1), NodeId::new(18));
+        let base = o.base_path(s, t).unwrap();
+        let e = base.edges()[0];
+        let h = outage(&o, &m, s, t, e, Scheme::Hybrid).unwrap();
+        assert_eq!(h.restored_at_us, m.detection_us + m.ilm_write_us);
+    }
+
+    #[test]
+    fn failure_adjacent_to_source_restores_fast_via_source_too() {
+        // When the failed link is the LSP's first hop, the source IS the
+        // detector: source RBPC restores within detection + fec write.
+        let o = oracle(6);
+        let m = LatencyModel::default();
+        let (s, t) = (NodeId::new(0), NodeId::new(19));
+        let base = o.base_path(s, t).unwrap();
+        let first = base.edges()[0];
+        let r = outage(&o, &m, s, t, first, Scheme::SourceRbpc).unwrap();
+        assert_eq!(r.restored_at_us, m.detection_us + m.fec_write_us);
+    }
+
+    #[test]
+    fn source_outage_grows_with_flood_distance() {
+        // On a long cycle, failing the far end of the LSP means the flood
+        // must travel back to the source.
+        let g = cycle(10);
+        let o = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 1));
+        let m = LatencyModel::default();
+        let (s, t) = (NodeId::new(0), NodeId::new(4));
+        let base = o.base_path(s, t).unwrap();
+        assert_eq!(base.hop_count(), 4);
+        let near = outage(&o, &m, s, t, base.edges()[0], Scheme::SourceRbpc).unwrap();
+        let far = outage(&o, &m, s, t, base.edges()[3], Scheme::SourceRbpc).unwrap();
+        assert!(far.restored_at_us > near.restored_at_us);
+        // The flood from the far failure crosses 3 hops back to the source.
+        assert_eq!(
+            far.restored_at_us,
+            m.detection_us + 3 * m.flood_hop_us + m.fec_write_us
+        );
+    }
+
+    #[test]
+    fn packets_lost_scales_with_rate() {
+        let r = OutageReport {
+            scheme: Scheme::SourceRbpc,
+            restored_at_us: 50_000,
+            interim_hops: 4,
+        };
+        assert_eq!(r.packets_lost(1_000), 50); // 50 ms at 1k pps
+        assert_eq!(r.packets_lost(0), 0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let o = oracle(7);
+        let m = LatencyModel::default();
+        let pairs: Vec<_> = (1..6).map(|t| (NodeId::new(0), NodeId::new(t))).collect();
+        for scheme in Scheme::all() {
+            let sum = outage_summary(&o, &m, &pairs, scheme);
+            assert_eq!(sum.scheme, scheme);
+            assert!(sum.events > 0);
+            if sum.events > sum.unrestorable {
+                assert!(sum.mean_us > 0.0);
+                assert!(sum.max_us as f64 >= sum.mean_us);
+            }
+        }
+        // Local schemes' mean beats re-establishment's.
+        let local = outage_summary(&o, &m, &pairs, Scheme::LocalEndRoute);
+        let re = outage_summary(&o, &m, &pairs, Scheme::Reestablish);
+        assert!(local.mean_us < re.mean_us);
+    }
+
+    #[test]
+    fn bridge_failures_error_for_local_bypass() {
+        let mut g = rbpc_graph::Graph::new(3);
+        let bridge = g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        let o = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 1));
+        let m = LatencyModel::default();
+        assert!(outage(
+            &o,
+            &m,
+            NodeId::new(0),
+            NodeId::new(2),
+            bridge,
+            Scheme::LocalEdgeBypass
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the latency simulation: the scheme ordering and the
+//! flood/flow invariants must hold on arbitrary random topologies.
+
+use proptest::prelude::*;
+use rbpc_core::{BasePathOracle, DenseBasePaths};
+use rbpc_graph::{CostModel, FailureSet, Metric, NodeId};
+use rbpc_sim::{flood_timeline, outage, simulate_flow, FlowConfig, LatencyModel, Scheme};
+use rbpc_topo::{gnm_connected, waxman, WaxmanParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For any restorable single-link failure: local ≤ source < re-establish.
+    #[test]
+    fn scheme_ordering(n in 8usize..24, seed in 0u64..2000, which in 0usize..100) {
+        let g = gnm_connected(n, 2 * n, 8, seed);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, seed));
+        let m = LatencyModel::default();
+        let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+        let base = oracle.base_path(s, t).unwrap();
+        if base.is_trivial() {
+            return Ok(());
+        }
+        let e = base.edges()[which % base.hop_count()];
+        let Ok(local) = outage(&oracle, &m, s, t, e, Scheme::LocalEndRoute) else {
+            return Ok(());
+        };
+        let source = outage(&oracle, &m, s, t, e, Scheme::SourceRbpc).unwrap();
+        let re = outage(&oracle, &m, s, t, e, Scheme::Reestablish).unwrap();
+        prop_assert!(local.restored_at_us <= source.restored_at_us);
+        prop_assert!(source.restored_at_us < re.restored_at_us);
+        // Everyone's outage is at least the detection delay.
+        prop_assert!(local.restored_at_us >= m.detection_us);
+    }
+
+    /// Flood awareness is detection-plus-hops and every connected router
+    /// eventually learns.
+    #[test]
+    fn flood_reaches_connected_routers(n in 6usize..20, seed in 0u64..2000, which in 0usize..100) {
+        let g = gnm_connected(n, 2 * n, 5, seed);
+        let e = rbpc_graph::EdgeId::new(which % g.edge_count());
+        let m = LatencyModel::default();
+        let failures = FailureSet::of_edge(e);
+        let tl = flood_timeline(&g, &failures, &m);
+        let view = failures.view(&g);
+        let (u, _) = g.endpoints(e);
+        let reach = rbpc_graph::bfs_distances(&view, u);
+        for r in g.nodes() {
+            if reach[r.index()].is_some() {
+                let at = tl.at(r);
+                prop_assert!(at.is_some());
+                prop_assert!(at.unwrap() >= m.detection_us);
+            }
+        }
+        // Detectors are the earliest-informed routers.
+        let min = g
+            .nodes()
+            .filter_map(|r| tl.at(r))
+            .min()
+            .unwrap();
+        prop_assert_eq!(min, m.detection_us);
+    }
+
+    /// Flow conservation: sent = delivered + dropped; faster schemes never
+    /// drop more; reordering only happens for the hybrid.
+    #[test]
+    fn flow_conservation(seed in 0u64..500, which in 0usize..100) {
+        let g = waxman(
+            WaxmanParams {
+                nodes: 30,
+                ..WaxmanParams::default()
+            },
+            seed,
+        );
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, seed));
+        let m = LatencyModel::default();
+        let cfg = FlowConfig::default();
+        let (s, t) = (NodeId::new(0), NodeId::new(29));
+        let base = oracle.base_path(s, t).unwrap();
+        if base.is_trivial() {
+            return Ok(());
+        }
+        let e = base.edges()[which % base.hop_count()];
+        let mut drops = Vec::new();
+        for scheme in [Scheme::Hybrid, Scheme::SourceRbpc, Scheme::Reestablish] {
+            let Ok(r) = simulate_flow(&oracle, &m, &cfg, s, t, e, scheme) else {
+                return Ok(());
+            };
+            prop_assert_eq!(r.sent, r.delivered + r.dropped);
+            if scheme != Scheme::Hybrid {
+                prop_assert_eq!(r.reordered, 0);
+            }
+            drops.push(r.dropped);
+        }
+        prop_assert!(drops[0] <= drops[1]);
+        prop_assert!(drops[1] <= drops[2]);
+    }
+}

@@ -1,0 +1,532 @@
+//! The paper's adversarial constructions and standard graph shapes.
+
+use rbpc_graph::{ArcId, DiGraph, EdgeId, Graph, NodeId};
+
+/// The "comb" of Figure 2 — the topology showing Theorem 1 is tight.
+///
+/// A bottom spine `b_0 … b_k` (unit edges), with a tooth node `c_i` above
+/// each spine edge, connected to both its endpoints. The tooth tops can
+/// never be interior nodes of a shortest path, so after the `k` spine edges
+/// fail, the unique surviving `s → t` path (over the teeth) decomposes into
+/// no fewer than `k + 1` original shortest paths.
+#[derive(Debug, Clone)]
+pub struct CombTopology {
+    /// The graph: `2k + 1` nodes, `3k` unit edges.
+    pub graph: Graph,
+    /// Source `s = b_0`.
+    pub s: NodeId,
+    /// Destination `t = b_k`.
+    pub t: NodeId,
+    /// The `k` spine edges whose failure forces the over-the-teeth path.
+    pub spine_edges: Vec<EdgeId>,
+    /// Tooth-top nodes `c_1 … c_k`.
+    pub teeth: Vec<NodeId>,
+}
+
+/// Builds the comb with `k ≥ 1` teeth; see [`CombTopology`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn comb(k: usize) -> CombTopology {
+    assert!(k >= 1, "comb needs at least one tooth");
+    // Nodes: b_0..b_k are 0..=k, teeth c_1..c_k are k+1..=2k.
+    let mut g = Graph::new(2 * k + 1);
+    let mut spine = Vec::with_capacity(k);
+    let mut teeth = Vec::with_capacity(k);
+    for i in 0..k {
+        spine.push(g.add_unit_edge(i, i + 1).expect("valid spine edge"));
+        let c = k + 1 + i;
+        g.add_unit_edge(i, c).expect("valid tooth edge");
+        g.add_unit_edge(c, i + 1).expect("valid tooth edge");
+        teeth.push(NodeId::new(c));
+    }
+    CombTopology {
+        graph: g,
+        s: NodeId::new(0),
+        t: NodeId::new(k),
+        spine_edges: spine,
+        teeth,
+    }
+}
+
+/// The weighted chain of Figure 3 — the topology showing Theorem 2 is
+/// tight: after `k` failures the new shortest path interleaves `k + 1`
+/// original shortest paths with `k` raw edges that are *not* base paths.
+///
+/// Junction pairs are connected by a cheap edge of weight `SCALE`
+/// (these fail) in parallel with an expensive edge of weight `SCALE + 1`
+/// (the "`1 + ε`" edges: never on any original shortest path, because the
+/// cheap parallel edge always improves a containing path). Between
+/// junction pairs run two-hop segments of total weight `SCALE`.
+#[derive(Debug, Clone)]
+pub struct WeightedTightTopology {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Source (left end of the chain).
+    pub s: NodeId,
+    /// Destination (right end of the chain).
+    pub t: NodeId,
+    /// The `k` cheap parallel edges whose failure triggers the bound.
+    pub cheap_edges: Vec<EdgeId>,
+    /// The `k` expensive (`1 + ε`) edges that must appear as raw edges.
+    pub expensive_edges: Vec<EdgeId>,
+}
+
+/// The weight unit playing the role of "1" in Figure 3 (`ε = 1/SCALE`).
+pub const WEIGHTED_TIGHT_SCALE: u32 = 1000;
+
+/// Builds the Figure 3 chain with `k ≥ 1` failing links; see
+/// [`WeightedTightTopology`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn weighted_tight(k: usize) -> WeightedTightTopology {
+    assert!(k >= 1, "weighted_tight needs at least one failure");
+    let scale = WEIGHTED_TIGHT_SCALE;
+    // Layout per block i in 0..k: a_i --(s/2)-- m_i --(s/2)-- a_i'
+    // then the junction pair a_i' = j_i  and  j_i --cheap/expensive-- a_{i+1}.
+    // Segments have 2 hops so they are nontrivial shortest paths.
+    // Node numbering: segment i start = 3i, middle = 3i+1, end = 3i+2;
+    // segment i+1 start = 3(i+1). Total k+1 segments -> 3(k+1) nodes.
+    let n = 3 * (k + 1);
+    let mut g = Graph::new(n);
+    let mut cheap = Vec::with_capacity(k);
+    let mut expensive = Vec::with_capacity(k);
+    for i in 0..=k {
+        let a = 3 * i;
+        g.add_edge(a, a + 1, scale / 2).expect("segment edge");
+        g.add_edge(a + 1, a + 2, scale / 2).expect("segment edge");
+        if i < k {
+            let end = a + 2;
+            let next = 3 * (i + 1);
+            cheap.push(g.add_edge(end, next, scale).expect("cheap junction"));
+            expensive.push(g.add_edge(end, next, scale + 1).expect("expensive junction"));
+        }
+    }
+    WeightedTightTopology {
+        graph: g,
+        s: NodeId::new(0),
+        t: NodeId::new(n - 1),
+        cheap_edges: cheap,
+        expensive_edges: expensive,
+    }
+}
+
+/// The two-hop star of Figure 4 — a router failure can force `Ω(n)`
+/// concatenations.
+///
+/// A hub adjacent to every node of a line `p_0 … p_{n-2}`. Every shortest
+/// path in the graph has at most two hops, so once the hub fails, the
+/// unique `p_0 → p_{n-2}` path (the line, `n − 2` edges) needs at least
+/// `(n − 2) / 2` base paths.
+#[derive(Debug, Clone)]
+pub struct StarTopology {
+    /// The graph: a line plus a hub adjacent to every line node.
+    pub graph: Graph,
+    /// The hub router whose failure is pathological.
+    pub hub: NodeId,
+    /// Source `p_0`.
+    pub s: NodeId,
+    /// Destination `p_{n-2}` (other end of the line).
+    pub t: NodeId,
+}
+
+/// Builds the Figure 4 star over `n ≥ 4` total nodes; see [`StarTopology`].
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn two_hop_star(n: usize) -> StarTopology {
+    assert!(n >= 4, "two_hop_star needs at least 4 nodes");
+    let mut g = Graph::new(n);
+    let hub = n - 1;
+    for i in 0..n - 1 {
+        g.add_unit_edge(i, hub).expect("spoke");
+        if i + 1 < n - 1 {
+            g.add_unit_edge(i, i + 1).expect("line edge");
+        }
+    }
+    StarTopology {
+        graph: g,
+        hub: NodeId::new(hub),
+        s: NodeId::new(0),
+        t: NodeId::new(n - 2),
+    }
+}
+
+/// The parallel-edge chain discussed after Theorem 3: `2k + 2` nodes in a
+/// line with **two** parallel unit edges between each consecutive pair.
+///
+/// With a padded (unique-shortest-path) base set, failing the "chosen" edge
+/// in `k` alternating positions forces restoration paths of `2k + 1`
+/// components, while a cleverer base set achieves 2 — the paper's example
+/// that base-set choice matters.
+#[derive(Debug, Clone)]
+pub struct ParallelChainTopology {
+    /// The chain graph.
+    pub graph: Graph,
+    /// `first[i]` is the first parallel edge of position `i`.
+    pub first_edges: Vec<EdgeId>,
+    /// `second[i]` is the second parallel edge of position `i`.
+    pub second_edges: Vec<EdgeId>,
+}
+
+/// Builds the parallel chain for parameter `k ≥ 1`; see
+/// [`ParallelChainTopology`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn parallel_chain(k: usize) -> ParallelChainTopology {
+    assert!(k >= 1, "parallel_chain needs k >= 1");
+    let n = 2 * k + 2;
+    let mut g = Graph::new(n);
+    let mut first = Vec::with_capacity(n - 1);
+    let mut second = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        first.push(g.add_unit_edge(i, i + 1).expect("first parallel edge"));
+        second.push(g.add_unit_edge(i, i + 1).expect("second parallel edge"));
+    }
+    ParallelChainTopology {
+        graph: g,
+        first_edges: first,
+        second_edges: second,
+    }
+}
+
+/// The directed counterexample of Figure 5: Theorem 1 fails in directed
+/// graphs — a **single** arc failure forces a new shortest path that is a
+/// concatenation of `Ω(n)` original shortest paths.
+///
+/// Construction: a directed line `w_0 → w_1 → … → w_m` (unit arcs), a pair
+/// `a → b` (unit), an arc `w_i → a` from every line node, and an arc
+/// `b → w_i` to every line node. In the intact graph every pair `w_i → w_j`
+/// with `j − i > 3` prefers the 3-hop shortcut `w_i → a → b → w_j`, so
+/// line segments of more than 3 arcs are never shortest paths. When `a → b`
+/// fails, the line is the unique route from `w_0` to `w_m`, and any cover
+/// by original shortest paths needs at least `m / 3 ≈ (n − 3) / 3` pieces.
+#[derive(Debug, Clone)]
+pub struct DirectedCounterexample {
+    /// The directed graph: `m + 3` nodes.
+    pub graph: DiGraph,
+    /// Source `w_0`.
+    pub s: NodeId,
+    /// Destination `w_m`.
+    pub t: NodeId,
+    /// The single arc `a → b` whose failure is catastrophic.
+    pub critical_arc: ArcId,
+    /// Length of the line (`m` arcs).
+    pub line_len: usize,
+}
+
+/// Builds the Figure 5 digraph with a line of `m ≥ 4` arcs; see
+/// [`DirectedCounterexample`].
+///
+/// # Panics
+///
+/// Panics if `m < 4`.
+pub fn directed_counterexample(m: usize) -> DirectedCounterexample {
+    assert!(m >= 4, "need a line of at least 4 arcs");
+    // Nodes: w_0..w_m are 0..=m; a = m + 1; b = m + 2.
+    let mut g = DiGraph::new(m + 3);
+    let a = m + 1;
+    let b = m + 2;
+    for i in 0..m {
+        g.add_arc(i, i + 1, 1).expect("line arc");
+    }
+    let critical = g.add_arc(a, b, 1).expect("critical arc");
+    for i in 0..=m {
+        g.add_arc(i, a, 1).expect("shortcut in-arc");
+        g.add_arc(b, i, 1).expect("shortcut out-arc");
+    }
+    DirectedCounterexample {
+        graph: g,
+        s: NodeId::new(0),
+        t: NodeId::new(m),
+        critical_arc: critical,
+        line_len: m,
+    }
+}
+
+/// A simple path graph `0 — 1 — … — (n−1)` with unit weights.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path needs at least one node");
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_unit_edge(i, i + 1).expect("path edge");
+    }
+    g
+}
+
+/// A cycle graph on `n ≥ 3` nodes with unit weights. `cycle(4)` is the
+/// paper's example that undirected unweighted base sets cannot always avoid
+/// the extra edge for `k = 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_unit_edge(i, (i + 1) % n).expect("cycle edge");
+    }
+    g
+}
+
+/// A complete graph on `n ≥ 1` nodes with unit weights.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_unit_edge(i, j).expect("complete edge");
+        }
+    }
+    g
+}
+
+/// An `r × c` grid with unit weights; node `(i, j)` has index `i * c + j`.
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `c == 0`.
+pub fn grid(r: usize, c: usize) -> Graph {
+    assert!(r >= 1 && c >= 1, "grid needs positive dimensions");
+    let mut g = Graph::new(r * c);
+    for i in 0..r {
+        for j in 0..c {
+            let v = i * c + j;
+            if j + 1 < c {
+                g.add_unit_edge(v, v + 1).expect("grid edge");
+            }
+            if i + 1 < r {
+                g.add_unit_edge(v, v + c).expect("grid edge");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::{
+        distance, is_connected, shortest_path, CostModel, FailureSet, Metric,
+    };
+
+    fn um() -> CostModel {
+        CostModel::new(Metric::Unweighted, 3)
+    }
+
+    fn wm() -> CostModel {
+        CostModel::new(Metric::Weighted, 3)
+    }
+
+    #[test]
+    fn comb_shape() {
+        let c = comb(4);
+        assert_eq!(c.graph.node_count(), 9);
+        assert_eq!(c.graph.edge_count(), 12);
+        assert_eq!(c.spine_edges.len(), 4);
+        assert_eq!(c.teeth.len(), 4);
+        assert!(is_connected(&c.graph));
+        // Direct spine distance is k.
+        assert_eq!(distance(&c.graph, &um(), c.s, c.t).unwrap().base, 4);
+    }
+
+    #[test]
+    fn comb_survivor_is_unique_over_teeth() {
+        let c = comb(3);
+        let f = FailureSet::of_edges(c.spine_edges.iter().copied());
+        let view = f.view(&c.graph);
+        let p = shortest_path(&view, &um(), c.s, c.t).unwrap();
+        assert_eq!(p.hop_count(), 2 * 3);
+        for tooth in &c.teeth {
+            assert!(p.contains_node(*tooth));
+        }
+    }
+
+    #[test]
+    fn comb_teeth_never_interior() {
+        // Shortest paths between spine nodes never cross a tooth top.
+        let c = comb(3);
+        for a in 0..=3usize {
+            for b in a + 1..=3 {
+                let p = shortest_path(&c.graph, &um(), a.into(), b.into()).unwrap();
+                for tooth in &c.teeth {
+                    assert!(!p.contains_node(*tooth), "{a}->{b} crosses {tooth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tight_shape() {
+        let w = weighted_tight(3);
+        assert_eq!(w.cheap_edges.len(), 3);
+        assert_eq!(w.expensive_edges.len(), 3);
+        assert_eq!(w.graph.node_count(), 12);
+        assert!(is_connected(&w.graph));
+        // Cheap edge is strictly cheaper than its parallel expensive twin.
+        for (c, x) in w.cheap_edges.iter().zip(&w.expensive_edges) {
+            assert!(w.graph.weight(*c) < w.graph.weight(*x));
+            assert_eq!(w.graph.endpoints(*c), w.graph.endpoints(*x));
+        }
+    }
+
+    #[test]
+    fn weighted_tight_expensive_edges_not_on_shortest_paths() {
+        let w = weighted_tight(2);
+        // No shortest path between any pair uses an expensive edge.
+        for a in w.graph.nodes() {
+            for b in w.graph.nodes() {
+                if a >= b {
+                    continue;
+                }
+                let p = shortest_path(&w.graph, &wm(), a, b).unwrap();
+                for x in &w.expensive_edges {
+                    assert!(!p.contains_edge(*x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tight_survivor_uses_expensive_edges() {
+        let w = weighted_tight(2);
+        let f = FailureSet::of_edges(w.cheap_edges.iter().copied());
+        let view = f.view(&w.graph);
+        let p = shortest_path(&view, &wm(), w.s, w.t).unwrap();
+        for x in &w.expensive_edges {
+            assert!(p.contains_edge(*x));
+        }
+    }
+
+    #[test]
+    fn star_all_pairs_within_two_hops() {
+        let s = two_hop_star(8);
+        for a in s.graph.nodes() {
+            for b in s.graph.nodes() {
+                let d = distance(&s.graph, &um(), a, b).unwrap().base;
+                assert!(d <= 2, "{a}->{b} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_hub_failure_leaves_long_line() {
+        let s = two_hop_star(8);
+        let f = FailureSet::of_nodes([s.hub.index()]);
+        let view = f.view(&s.graph);
+        let p = shortest_path(&view, &um(), s.s, s.t).unwrap();
+        assert_eq!(p.hop_count(), 6); // the full line
+    }
+
+    #[test]
+    fn parallel_chain_shape() {
+        let p = parallel_chain(2);
+        assert_eq!(p.graph.node_count(), 6);
+        assert_eq!(p.graph.edge_count(), 10);
+        for i in 0..5 {
+            assert_eq!(
+                p.graph
+                    .edges_between(NodeId::new(i), NodeId::new(i + 1))
+                    .len(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn standard_shapes() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(cycle(4).edge_count(), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(complete(1).edge_count(), 0);
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(is_connected(&g));
+        assert!(is_connected(&cycle(3)));
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = grid(4, 4);
+        let d = distance(&g, &um(), 0.into(), 15.into()).unwrap().base;
+        assert_eq!(d, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tooth")]
+    fn comb_rejects_zero() {
+        let _ = comb(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn grid_rejects_zero() {
+        let _ = grid(0, 3);
+    }
+}
+
+#[cfg(test)]
+mod directed_tests {
+    use super::*;
+
+    #[test]
+    fn figure5_shape() {
+        let d = directed_counterexample(6);
+        assert_eq!(d.graph.node_count(), 9);
+        // line 6 + critical 1 + 7 in + 7 out.
+        assert_eq!(d.graph.arc_count(), 6 + 1 + 7 + 7);
+        assert_eq!(d.line_len, 6);
+    }
+
+    #[test]
+    fn figure5_shortcut_dominates_long_segments() {
+        let d = directed_counterexample(8);
+        let dist = d.graph.distance_matrix();
+        // Any line pair further than 3 apart costs exactly 3 (via a, b).
+        for i in 0..=8usize {
+            for j in i + 1..=8 {
+                let expect = (j - i).min(3) as u64;
+                assert_eq!(dist[i][j], Some(expect), "{i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_single_failure_forces_linear_cover() {
+        for m in [9, 12, 18, 30] {
+            let d = directed_counterexample(m);
+            let p = d
+                .graph
+                .shortest_path(d.s, d.t, Some(d.critical_arc))
+                .expect("line survives");
+            // The unique survivor is the line itself.
+            assert_eq!(p.len(), m + 1);
+            let pieces = d.graph.min_shortest_cover(&p);
+            assert!(
+                pieces >= m.div_ceil(3),
+                "m {m}: only {pieces} pieces, expected >= {}",
+                m.div_ceil(3)
+            );
+            // ... far beyond Theorem 1's k + 1 = 2 bound for k = 1.
+            assert!(pieces > 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 arcs")]
+    fn figure5_rejects_tiny() {
+        let _ = directed_counterexample(3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic ISP backbone generator.
+//!
+//! The paper's first (and, per the authors, most interesting) topology is a
+//! proprietary snapshot of a large ISP: about 200 routers, about 400 links,
+//! average degree 3.56, with OSPF weights. Real intra-AS backbones from
+//! that era are two-level hierarchies: a meshed national **core** and
+//! dual-homed points of presence (**PoPs**) containing aggregation and
+//! access routers, with link weights set inversely to capacity. This
+//! generator reproduces that structure and those aggregate statistics,
+//! which are the only properties the paper's experiments depend on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbpc_graph::{Graph, NodeId};
+
+/// Parameters of the ISP backbone generator.
+///
+/// The defaults produce a network matching the paper's Table 1 row:
+/// ~200 nodes, ~400 links, average degree ≈ 3.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IspParams {
+    /// Number of core (backbone) routers, connected in a ring plus chords.
+    pub core_routers: usize,
+    /// Number of PoPs; each has two aggregation routers dual-homed to the
+    /// core.
+    pub pops: usize,
+    /// Minimum access routers per PoP.
+    pub min_access_per_pop: usize,
+    /// Maximum access routers per PoP.
+    pub max_access_per_pop: usize,
+    /// Fraction (percent, 0–100) of access routers that are dual-homed to
+    /// both of their PoP's aggregation routers; the rest attach to one.
+    pub dual_homed_access_pct: u32,
+    /// Extra chords added across the core ring, per core router (halved).
+    pub core_chords: usize,
+    /// OSPF weight of core↔core links (highest capacity).
+    pub core_weight: u32,
+    /// OSPF weight of aggregation↔core uplinks.
+    pub uplink_weight: u32,
+    /// OSPF weight of the intra-PoP aggregation↔aggregation link (short,
+    /// high-capacity, hence cheap — this is what makes two-hop bypasses
+    /// prevalent, as in the paper's ISP).
+    pub intra_pop_weight: u32,
+    /// OSPF weight of access↔aggregation links.
+    pub access_weight: u32,
+}
+
+impl Default for IspParams {
+    fn default() -> Self {
+        IspParams {
+            core_routers: 12,
+            pops: 30,
+            min_access_per_pop: 3,
+            max_access_per_pop: 5,
+            dual_homed_access_pct: 100,
+            core_chords: 12,
+            core_weight: 1,
+            uplink_weight: 4,
+            intra_pop_weight: 2,
+            access_weight: 8,
+        }
+    }
+}
+
+/// The generated ISP backbone with its structural annotations.
+#[derive(Debug, Clone)]
+pub struct IspTopology {
+    /// The graph with OSPF-style weights.
+    pub graph: Graph,
+    /// Core router ids.
+    pub core: Vec<NodeId>,
+    /// Aggregation router ids, two per PoP (`agg[2p]`, `agg[2p+1]`).
+    pub aggregation: Vec<NodeId>,
+    /// Access router ids.
+    pub access: Vec<NodeId>,
+}
+
+/// Generates a two-level hierarchical ISP backbone; deterministic per seed.
+///
+/// See [`IspParams`] for tuning. The result is always connected: the core
+/// is a ring, every aggregation router is dual-homed to the core, and every
+/// access router attaches to at least one aggregation router.
+///
+/// # Panics
+///
+/// Panics if `core_routers < 3`, `pops == 0`, or the access range is empty.
+///
+/// ```
+/// use rbpc_topo::{isp_topology, IspParams};
+/// use rbpc_graph::is_connected;
+/// let isp = isp_topology(IspParams::default(), 1);
+/// let n = isp.graph.node_count() as f64;
+/// let stats = isp.graph.degree_stats().unwrap();
+/// assert!(n >= 150.0 && n <= 260.0);
+/// assert!(stats.avg > 3.0 && stats.avg < 4.2);
+/// assert!(is_connected(&isp.graph));
+/// ```
+pub fn isp_topology(params: IspParams, seed: u64) -> IspTopology {
+    assert!(params.core_routers >= 3, "core ring needs >= 3 routers");
+    assert!(params.pops >= 1, "need at least one PoP");
+    assert!(
+        params.min_access_per_pop <= params.max_access_per_pop,
+        "empty access range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut g = Graph::new(0);
+    let core: Vec<NodeId> = (0..params.core_routers).map(|_| g.add_node()).collect();
+
+    // Core ring.
+    for i in 0..core.len() {
+        g.add_edge(core[i], core[(i + 1) % core.len()], params.core_weight)
+            .expect("core ring edge");
+    }
+    // Core chords (skip already-adjacent pairs; duplicates allowed to fail
+    // silently into re-picks).
+    let mut chords = 0;
+    let want_chords = params.core_chords.min(core.len() * (core.len() - 3) / 2);
+    let mut attempts = 0;
+    while chords < want_chords && attempts < 100 * (want_chords + 1) {
+        attempts += 1;
+        let a = rng.gen_range(0..core.len());
+        let b = rng.gen_range(0..core.len());
+        if a == b || g.find_edge(core[a], core[b]).is_some() {
+            continue;
+        }
+        g.add_edge(core[a], core[b], params.core_weight)
+            .expect("core chord");
+        chords += 1;
+    }
+
+    // PoPs: two aggregation routers each, dual-homed to distinct core
+    // routers, linked to each other.
+    let mut aggregation = Vec::with_capacity(2 * params.pops);
+    let mut access = Vec::new();
+    for _ in 0..params.pops {
+        let agg_a = g.add_node();
+        let agg_b = g.add_node();
+        aggregation.push(agg_a);
+        aggregation.push(agg_b);
+        let home = rng.gen_range(0..core.len());
+        let alt = (home + 1 + rng.gen_range(0..core.len() - 1)) % core.len();
+        g.add_edge(agg_a, core[home], params.uplink_weight)
+            .expect("uplink");
+        g.add_edge(agg_b, core[alt], params.uplink_weight)
+            .expect("uplink");
+        g.add_edge(agg_a, agg_b, params.intra_pop_weight)
+            .expect("intra-pop link");
+
+        let n_access =
+            rng.gen_range(params.min_access_per_pop..=params.max_access_per_pop);
+        for _ in 0..n_access {
+            let acc = g.add_node();
+            access.push(acc);
+            g.add_edge(acc, agg_a, params.access_weight)
+                .expect("access link");
+            if rng.gen_range(0..100) < params.dual_homed_access_pct {
+                g.add_edge(acc, agg_b, params.access_weight)
+                    .expect("access backup link");
+            }
+        }
+    }
+
+    IspTopology {
+        graph: g,
+        core,
+        aggregation,
+        access,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::{is_connected, CostModel, Metric};
+
+    #[test]
+    fn matches_paper_scale() {
+        let isp = isp_topology(IspParams::default(), 7);
+        let n = isp.graph.node_count();
+        let m = isp.graph.edge_count();
+        let avg = isp.graph.degree_stats().unwrap().avg;
+        assert!((150..=260).contains(&n), "nodes = {n}");
+        assert!((280..=520).contains(&m), "links = {m}");
+        assert!((3.0..4.2).contains(&avg), "avg degree = {avg}");
+    }
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..10 {
+            let isp = isp_topology(IspParams::default(), seed);
+            assert!(is_connected(&isp.graph), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = isp_topology(IspParams::default(), 3);
+        let b = isp_topology(IspParams::default(), 3);
+        assert_eq!(a.graph, b.graph);
+        let c = isp_topology(IspParams::default(), 4);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn weights_follow_hierarchy() {
+        let p = IspParams::default();
+        let isp = isp_topology(p, 5);
+        // Core-core links carry the core weight.
+        let core_set: std::collections::HashSet<_> = isp.core.iter().copied().collect();
+        for (_, rec) in isp.graph.edges() {
+            if core_set.contains(&rec.u) && core_set.contains(&rec.v) {
+                assert_eq!(rec.weight, p.core_weight);
+            }
+        }
+    }
+
+    #[test]
+    fn role_partition_covers_all_nodes() {
+        let isp = isp_topology(IspParams::default(), 9);
+        let total = isp.core.len() + isp.aggregation.len() + isp.access.len();
+        assert_eq!(total, isp.graph.node_count());
+    }
+
+    #[test]
+    fn small_params_work() {
+        let p = IspParams {
+            core_routers: 3,
+            pops: 1,
+            min_access_per_pop: 0,
+            max_access_per_pop: 0,
+            core_chords: 0,
+            ..IspParams::default()
+        };
+        let isp = isp_topology(p, 0);
+        assert!(is_connected(&isp.graph));
+        assert_eq!(isp.graph.node_count(), 5);
+    }
+
+    #[test]
+    fn core_paths_prefer_core() {
+        // Weighted shortest paths between core routers should stay in the
+        // core (uplink detours are more expensive).
+        let isp = isp_topology(IspParams::default(), 11);
+        let m = CostModel::new(Metric::Weighted, 1);
+        let core_set: std::collections::HashSet<_> = isp.core.iter().copied().collect();
+        let p = rbpc_graph::shortest_path(&isp.graph, &m, isp.core[0], isp.core[5]).unwrap();
+        for n in p.nodes() {
+            assert!(core_set.contains(n), "core path detoured through {n}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Topology generators and parsers for the RBPC reproduction.
+//!
+//! The paper evaluates RBPC on three networks whose details are proprietary
+//! or were gathered from measurement infrastructure that no longer exists:
+//! a large ISP backbone, the NLANR AS graph, and an Internet router-level
+//! map. This crate provides faithful synthetic stand-ins plus every
+//! adversarial construction from the paper's figures:
+//!
+//! * [`isp`] — a two-level hierarchical ISP backbone (core ring + chords,
+//!   dual-homed PoPs) with OSPF-style inverse-capacity weights, tuned to the
+//!   paper's ~200 nodes / ~400 links / avg degree ≈ 3.5;
+//! * [`powerlaw`] — Barabási–Albert preferential attachment at the AS-graph
+//!   and Internet-map scales (the property the paper's citations establish
+//!   for those graphs is exactly their power-law degree mix);
+//! * [`classic`] — the comb of Figure 2, the weighted tight chain of
+//!   Figure 3, the two-hop star of Figure 4, the 4-cycle and the
+//!   parallel-edge chain discussed around Theorem 3, plus standard shapes;
+//! * [`random`] — seeded connected `G(n, m)` graphs for tests;
+//! * [`io`] — a plain-text edge-list format so real topologies can be
+//!   loaded.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod io;
+pub mod isp;
+pub mod powerlaw;
+pub mod random;
+pub mod waxman;
+
+pub use classic::{directed_counterexample, weighted_tight, DirectedCounterexample};
+pub use classic::{
+    comb, complete, cycle, grid, parallel_chain, path, two_hop_star, CombTopology,
+    ParallelChainTopology, StarTopology, WeightedTightTopology,
+};
+pub use io::{parse_edge_list, write_edge_list, TopologyParseError};
+pub use isp::{isp_topology, IspParams};
+pub use powerlaw::{as_graph_like, ba_graph, ba_graph_clustered, internet_like, internet_like_scaled, INTERNET_TRIAD_PCT};
+pub use random::gnm_connected;
+pub use waxman::{waxman, WaxmanParams};

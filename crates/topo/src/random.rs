@@ -1,0 +1,92 @@
+//! Seeded connected random graphs for tests and fuzzing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbpc_graph::Graph;
+
+/// A connected random multigraph with `n` nodes and exactly `m ≥ n − 1`
+/// edges: a uniformly random spanning tree skeleton (random attachment)
+/// plus uniformly random extra edges. Weights are uniform in
+/// `1..=max_weight`.
+///
+/// Deterministic for a given seed.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m < n − 1`, or `max_weight == 0`.
+///
+/// ```
+/// use rbpc_topo::gnm_connected;
+/// use rbpc_graph::is_connected;
+/// let g = gnm_connected(20, 35, 10, 7);
+/// assert_eq!(g.node_count(), 20);
+/// assert_eq!(g.edge_count(), 35);
+/// assert!(is_connected(&g));
+/// ```
+pub fn gnm_connected(n: usize, m: usize, max_weight: u32, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one node");
+    assert!(m + 1 >= n, "need at least n - 1 edges for connectivity");
+    assert!(max_weight >= 1, "weights are strictly positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, m);
+    // Random attachment spanning tree.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        let w = rng.gen_range(1..=max_weight);
+        g.add_edge(u, v, w).expect("tree edge");
+    }
+    while g.edge_count() < m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let w = rng.gen_range(1..=max_weight);
+            g.add_edge(a, b, w).expect("extra edge");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::is_connected;
+
+    #[test]
+    fn counts_and_connectivity() {
+        for seed in 0..5 {
+            let g = gnm_connected(30, 60, 8, seed);
+            assert_eq!(g.node_count(), 30);
+            assert_eq!(g.edge_count(), 60);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gnm_connected(15, 30, 5, 42);
+        let b = gnm_connected(15, 30, 5, 42);
+        let c = gnm_connected(15, 30, 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tree_edge_case() {
+        let g = gnm_connected(10, 9, 3, 1);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn single_node() {
+        let g = gnm_connected(1, 0, 1, 0);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n - 1 edges")]
+    fn too_few_edges_panics() {
+        let _ = gnm_connected(10, 5, 3, 0);
+    }
+}

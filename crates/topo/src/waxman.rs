@@ -1,0 +1,206 @@
+//! Waxman random geometric graphs.
+//!
+//! The Waxman model (1988) was the standard synthetic internetwork of the
+//! paper's era: routers scattered in the unit square, linked with
+//! probability `β·exp(−d / (α·L))` where `d` is Euclidean distance and `L`
+//! the diagonal. It complements the suite's hierarchical ISP and power-law
+//! generators with a flat, distance-driven family — useful for checking
+//! that RBPC's behaviour is not an artifact of one topology style.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbpc_graph::{Graph, UnionFind};
+
+/// Parameters of the Waxman generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanParams {
+    /// Number of routers.
+    pub nodes: usize,
+    /// `α` — larger values stretch the reach of long links (typical 0.1–0.3).
+    pub alpha: f64,
+    /// `β` — overall link density (typical 0.1–0.4).
+    pub beta: f64,
+    /// Whether link weights are the quantized Euclidean distance (`true`)
+    /// or all 1 (`false`).
+    pub distance_weights: bool,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        WaxmanParams {
+            nodes: 100,
+            alpha: 0.15,
+            beta: 0.25,
+            distance_weights: true,
+        }
+    }
+}
+
+/// Generates a connected Waxman graph; deterministic per seed.
+///
+/// Connectivity is guaranteed by joining any leftover components with
+/// their geometrically closest inter-component pair (a standard fix-up).
+///
+/// # Panics
+///
+/// Panics if `nodes == 0` or the parameters are not finite/positive.
+///
+/// ```
+/// use rbpc_topo::{waxman, WaxmanParams};
+/// use rbpc_graph::is_connected;
+/// let g = waxman(WaxmanParams::default(), 7);
+/// assert_eq!(g.node_count(), 100);
+/// assert!(is_connected(&g));
+/// ```
+pub fn waxman(params: WaxmanParams, seed: u64) -> Graph {
+    assert!(params.nodes >= 1, "need at least one node");
+    assert!(
+        params.alpha > 0.0 && params.alpha.is_finite(),
+        "alpha must be positive"
+    );
+    assert!(
+        params.beta > 0.0 && params.beta <= 1.0,
+        "beta must be in (0, 1]"
+    );
+    let n = params.nodes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let diag = 2f64.sqrt();
+    let dist = |a: usize, b: usize| -> f64 {
+        let dx = pos[a].0 - pos[b].0;
+        let dy = pos[a].1 - pos[b].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let weight_of = |d: f64| -> u32 {
+        if params.distance_weights {
+            // Quantize distances into 1..=100 (OSPF-style integral costs).
+            (d / diag * 99.0).round() as u32 + 1
+        } else {
+            1
+        }
+    };
+
+    let mut g = Graph::new(n);
+    let mut uf = UnionFind::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            let d = dist(a, b);
+            let p = params.beta * (-d / (params.alpha * diag)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge(a, b, weight_of(d)).expect("valid edge");
+                uf.union(a, b);
+            }
+        }
+    }
+    // Connectivity fix-up: attach each remaining component via the closest
+    // inter-component pair.
+    while uf.set_count() > 1 {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..n {
+            for b in a + 1..n {
+                if uf.same(a, b) {
+                    continue;
+                }
+                let d = dist(a, b);
+                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        let (a, b, d) = best.expect("more than one component implies a crossing pair");
+        g.add_edge(a, b, weight_of(d)).expect("valid fix-up edge");
+        uf.union(a, b);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbpc_graph::is_connected;
+
+    #[test]
+    fn connected_and_sized() {
+        for seed in 0..5 {
+            let g = waxman(WaxmanParams::default(), seed);
+            assert_eq!(g.node_count(), 100);
+            assert!(is_connected(&g), "seed {seed}");
+            assert!(g.edge_count() >= 99);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = waxman(WaxmanParams::default(), 3);
+        let b = waxman(WaxmanParams::default(), 3);
+        assert_eq!(a, b);
+        assert_ne!(a, waxman(WaxmanParams::default(), 4));
+    }
+
+    #[test]
+    fn density_grows_with_beta() {
+        let sparse = waxman(
+            WaxmanParams {
+                beta: 0.05,
+                ..WaxmanParams::default()
+            },
+            1,
+        );
+        let dense = waxman(
+            WaxmanParams {
+                beta: 0.6,
+                ..WaxmanParams::default()
+            },
+            1,
+        );
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn distance_weights_span_range() {
+        let g = waxman(WaxmanParams::default(), 9);
+        let weights: Vec<u32> = g.edges().map(|(_, r)| r.weight).collect();
+        assert!(weights.iter().all(|&w| (1..=100).contains(&w)));
+        // Short links dominate under Waxman.
+        let short = weights.iter().filter(|&&w| w <= 30).count();
+        assert!(short * 2 > weights.len());
+    }
+
+    #[test]
+    fn unit_weights_mode() {
+        let g = waxman(
+            WaxmanParams {
+                distance_weights: false,
+                nodes: 40,
+                ..WaxmanParams::default()
+            },
+            2,
+        );
+        assert!(g.edges().all(|(_, r)| r.weight == 1));
+    }
+
+    #[test]
+    fn single_node() {
+        let g = waxman(
+            WaxmanParams {
+                nodes: 1,
+                ..WaxmanParams::default()
+            },
+            0,
+        );
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn rejects_bad_beta() {
+        let _ = waxman(
+            WaxmanParams {
+                beta: 0.0,
+                ..WaxmanParams::default()
+            },
+            0,
+        );
+    }
+}

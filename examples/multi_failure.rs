@@ -1,0 +1,102 @@
+//! Multiple failures and the paper's tightness constructions.
+//!
+//! Demonstrates Theorem 1 on the comb (Figure 2), Theorem 2 on the
+//! weighted chain (Figure 3), the router-failure pathology (Figure 4),
+//! and measured PC lengths for k = 1..4 simultaneous link failures on the
+//! synthetic ISP.
+//!
+//! Run with: `cargo run --release --example multi_failure`
+
+use mpls_rbpc::core::theory::min_shortest_path_cover;
+use mpls_rbpc::core::{greedy_decompose, BasePathOracle, DenseBasePaths, Restorer};
+use mpls_rbpc::graph::{shortest_path, CostModel, FailureSet, Metric};
+use mpls_rbpc::topo::{comb, isp_topology, two_hop_star, weighted_tight, IspParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- Figure 2: the comb (Theorem 1 is tight) ---
+    println!("Figure 2 comb — Theorem 1 tightness (unweighted):");
+    for k in 1..=5 {
+        let c = comb(k);
+        let oracle = DenseBasePaths::build(c.graph.clone(), CostModel::new(Metric::Unweighted, 0));
+        let failures = FailureSet::of_edges(c.spine_edges.iter().copied());
+        let view = failures.view(&c.graph);
+        let backup = shortest_path(&view, oracle.cost_model(), c.s, c.t).expect("teeth survive");
+        let conc = greedy_decompose(&oracle, &backup);
+        println!("  k = {k}: restoration uses {} base paths (bound: {})", conc.len(), k + 1);
+    }
+
+    // --- Figure 3: weighted chain (Theorem 2 is tight) ---
+    println!("\nFigure 3 chain — Theorem 2 tightness (weighted):");
+    for k in 1..=4 {
+        let w = weighted_tight(k);
+        let oracle = DenseBasePaths::build(w.graph.clone(), CostModel::new(Metric::Weighted, 0));
+        let failures = FailureSet::of_edges(w.cheap_edges.iter().copied());
+        let view = failures.view(&w.graph);
+        let backup = shortest_path(&view, oracle.cost_model(), w.s, w.t).expect("chain survives");
+        let cover = min_shortest_path_cover(&oracle, &backup);
+        println!(
+            "  k = {k}: {} shortest paths + {} raw edges (bounds: {} + {})",
+            cover.path_segments,
+            cover.edge_segments,
+            k + 1,
+            k
+        );
+    }
+
+    // --- Figure 4: router failure can cost Ω(n) pieces ---
+    println!("\nFigure 4 star — router-failure pathology:");
+    for n in [8, 16, 32] {
+        let star = two_hop_star(n);
+        let oracle =
+            DenseBasePaths::build(star.graph.clone(), CostModel::new(Metric::Unweighted, 0));
+        let failures = FailureSet::of_nodes([star.hub.index()]);
+        let view = failures.view(&star.graph);
+        let backup = shortest_path(&view, oracle.cost_model(), star.s, star.t).expect("line survives");
+        let conc = greedy_decompose(&oracle, &backup);
+        println!(
+            "  n = {n}: one router failure forces {} pieces (lower bound (n-2)/2 = {})",
+            conc.len(),
+            (n - 2) / 2
+        );
+    }
+
+    // --- Random multi-failures on the ISP ---
+    println!("\nSynthetic ISP — PC length under k simultaneous link failures:");
+    let isp = isp_topology(IspParams::default(), 1).graph;
+    let oracle = DenseBasePaths::build(isp.clone(), CostModel::new(Metric::Weighted, 1));
+    let restorer = Restorer::new(&oracle);
+    let mut rng = StdRng::seed_from_u64(9);
+    for k in 1..=4usize {
+        let mut lens = Vec::new();
+        let mut disconnected = 0;
+        for _ in 0..300 {
+            let s = mpls_rbpc::graph::NodeId::new(rng.gen_range(0..isp.node_count()));
+            let t = mpls_rbpc::graph::NodeId::new(rng.gen_range(0..isp.node_count()));
+            if s == t {
+                continue;
+            }
+            let Some(base) = oracle.base_path(s, t) else { continue };
+            if base.hop_count() < k {
+                continue;
+            }
+            // Fail k distinct links of the base path.
+            let mut edges: Vec<_> = base.edges().to_vec();
+            for i in (1..edges.len()).rev() {
+                edges.swap(i, rng.gen_range(0..=i));
+            }
+            let failures = FailureSet::of_edges(edges.into_iter().take(k));
+            match restorer.restore(s, t, &failures) {
+                Ok(r) => lens.push(r.pc_length()),
+                Err(_) => disconnected += 1,
+            }
+        }
+        let avg: f64 = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
+        let max = lens.iter().max().copied().unwrap_or(0);
+        println!(
+            "  k = {k}: avg PC length {avg:.2}, max {max} (Theorem 3 bound: {} paths + {k} edges), {disconnected} disconnections",
+            k + 1
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Route families over subnet restrictions — the paper's §1 motivation.
+//!
+//! QoS/traffic-engineering deployments keep several shortest-path families
+//! at once: the plain IGP routes, the "premium" routes restricted to
+//! high-capacity links, and the core-only routes used for signaling. Each
+//! family runs RBPC over its own subnet; a failure triggers restoration in
+//! every family it touches, and restoration never leaves the subnet.
+//!
+//! Run with: `cargo run --release --example qos_families`
+
+use mpls_rbpc::core::{FamilySet, RouteFamily};
+use mpls_rbpc::graph::{CostModel, FailureSet, Metric, NodeId};
+use mpls_rbpc::topo::{isp_topology, IspParams};
+
+fn main() {
+    let isp = isp_topology(IspParams::default(), 6);
+    let g = &isp.graph;
+    let model = CostModel::new(Metric::Weighted, 6);
+
+    // Three families over the same backbone, by link class (weight is the
+    // ISP generator's inverse-capacity class: 1 = core, 2 = intra-PoP,
+    // 4 = uplink, 8 = access).
+    let families = FamilySet::new()
+        .with(RouteFamily::new("best-effort (all links)", g, model, |_, _| true))
+        .with(RouteFamily::new(
+            "premium (≥ OC12: core+uplink+PoP)",
+            g,
+            model,
+            |_, rec| rec.weight <= 4,
+        ))
+        .with(RouteFamily::new(
+            "signaling (core only)",
+            g,
+            model,
+            |_, rec| rec.weight == 1,
+        ));
+
+    for f in families.families() {
+        println!(
+            "family {:<36} {} links",
+            f.name(),
+            f.subgraph().graph.edge_count()
+        );
+    }
+
+    // Pick a pair connected in all three families (two core routers).
+    let (s, t) = (isp.core[0], isp.core[isp.core.len() / 2]);
+    println!("\nroute {s} -> {t}:");
+    for f in families.families() {
+        let p = f.base_path(s, t).expect("core routers connect everywhere");
+        println!("  {:<36} {}", f.name(), p);
+    }
+
+    // Fail the first link of the premium family's route; restore per family.
+    let premium = &families.families()[1];
+    let failed = premium.base_path(s, t).unwrap().edges()[0];
+    let failures = FailureSet::of_edge(failed);
+    println!("\nfailing {failed}…");
+    for (name, result) in families.restore_all(s, t, &failures) {
+        match result {
+            Ok(r) if r.affected => println!(
+                "  {:<36} restored over {} piece(s): {}",
+                name,
+                r.concatenation.len(),
+                r.backup
+            ),
+            Ok(_) => println!("  {:<36} unaffected", name),
+            Err(e) => println!("  {:<36} UNRESTORABLE within subnet: {e}", name),
+        }
+    }
+
+    // Show the subnet guarantee: the premium restoration only uses
+    // premium-class links.
+    let r = premium.restore(s, t, &failures).unwrap();
+    assert!(r
+        .backup
+        .edges()
+        .iter()
+        .all(|&e| g.weight(e) <= 4));
+    println!("\npremium restoration verified to stay on ≥ OC12 links");
+    let _ = NodeId::new(0);
+}

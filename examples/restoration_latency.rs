@@ -1,0 +1,81 @@
+//! How long does a failure black-hole traffic under each scheme?
+//!
+//! Simulates, on the synthetic ISP backbone: loss-of-signal detection,
+//! the link-state flood, table writes, and LSP signaling — then reports
+//! the outage window (and packets lost for a 10k pps flow) per scheme,
+//! over every (sampled pair, on-path link) failure event.
+//!
+//! Run with: `cargo run --release --example restoration_latency`
+
+use mpls_rbpc::core::DenseBasePaths;
+use mpls_rbpc::eval::sample_pairs;
+use mpls_rbpc::graph::{CostModel, Metric};
+use mpls_rbpc::sim::{outage_summary, simulate_flow, FlowConfig, LatencyModel, Scheme};
+use mpls_rbpc::topo::{isp_topology, IspParams};
+
+fn main() {
+    let isp = isp_topology(IspParams::default(), 4);
+    let oracle = DenseBasePaths::build(isp.graph.clone(), CostModel::new(Metric::Weighted, 4));
+    let model = LatencyModel::default();
+    let pairs = sample_pairs(&isp.graph, 150, 7);
+
+    println!(
+        "latency model: detection {} ms, flood {} ms/hop, signaling {} ms/hop, table writes {} us\n",
+        model.detection_us / 1000,
+        model.flood_hop_us / 1000,
+        model.signal_hop_us / 1000,
+        model.ilm_write_us,
+    );
+    println!(
+        "{:<18} {:>10} {:>14} {:>12} {:>16}",
+        "scheme", "events", "mean outage", "max outage", "lost @10k pps"
+    );
+    for scheme in Scheme::all() {
+        let s = outage_summary(&oracle, &model, &pairs, scheme);
+        let restorable = s.events - s.unrestorable;
+        println!(
+            "{:<18} {:>10} {:>11.1} ms {:>9.1} ms {:>13.0} pkts",
+            format!("{:?}", s.scheme),
+            format!("{}/{}", restorable, s.events),
+            s.mean_us / 1000.0,
+            s.max_us as f64 / 1000.0,
+            s.mean_us * 10_000.0 / 1_000_000.0,
+        );
+    }
+    println!(
+        "\nLocal RBPC restores within detection time; source RBPC pays the flood;\nre-establishment additionally signals every hop of the new LSP — the paper's\n\"fast recovery\" ordering, quantified."
+    );
+
+    // Packet-level view of one failure: a 10k pps flow through a mid-path
+    // failure, per scheme.
+    let (s, t, base) = pairs
+        .iter()
+        .filter_map(|&(s, t)| {
+            mpls_rbpc::core::BasePathOracle::base_path(&oracle, s, t).map(|p| (s, t, p))
+        })
+        .max_by_key(|(_, _, p)| p.hop_count())
+        .expect("pairs exist");
+    let failed = base.edges()[base.hop_count() / 2];
+    let cfg = FlowConfig::default();
+    println!(
+        "\npacket-level flow {s} -> {t} (10k pps, 200 ms, link {failed} fails at 50 ms):"
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>10} {:>14} {:>12}",
+        "scheme", "dropped", "reorder", "mean lat.", "max lat.", "delivered"
+    );
+    for scheme in Scheme::all() {
+        match simulate_flow(&oracle, &model, &cfg, s, t, failed, scheme) {
+            Ok(r) => println!(
+                "{:<18} {:>8} {:>8} {:>7.1} ms {:>11.1} ms {:>12}",
+                format!("{scheme:?}"),
+                r.dropped,
+                r.reordered,
+                r.mean_latency_us as f64 / 1000.0,
+                r.max_latency_us as f64 / 1000.0,
+                r.delivered,
+            ),
+            Err(e) => println!("{:<18} cannot restore: {e}", format!("{scheme:?}")),
+        }
+    }
+}

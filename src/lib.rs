@@ -1,0 +1,28 @@
+//! # mpls-rbpc — Restoration by Path Concatenation
+//!
+//! Facade crate for the reproduction of *"Restoration by Path Concatenation:
+//! Fast Recovery of MPLS Paths"* (Afek, Bremler-Barr, Cohen, Kaplan, Merritt,
+//! PODC 2001).
+//!
+//! Re-exports the crate family under stable module names:
+//!
+//! * [`graph`] — the network multigraph, failure views, Dijkstra machinery;
+//! * [`mpls`] — the MPLS data/control-plane simulator (ILM/FEC tables,
+//!   label stacks, LSP signaling, packet forwarding);
+//! * [`core`] — the paper's contribution: base-path oracles, path
+//!   decomposition, source-router and local RBPC;
+//! * [`topo`] — topology generators, including the paper's adversarial
+//!   constructions;
+//! * [`eval`] — the experiment harness regenerating the paper's tables and
+//!   figures;
+//! * [`sim`] — restoration-latency simulation (failure detection,
+//!   link-state flooding, per-scheme outage windows).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use rbpc_core as core;
+pub use rbpc_eval as eval;
+pub use rbpc_graph as graph;
+pub use rbpc_mpls as mpls;
+pub use rbpc_sim as sim;
+pub use rbpc_topo as topo;

@@ -1,0 +1,150 @@
+//! Shape checks for the paper's evaluation at quick scale: the directions
+//! and regimes the paper reports must reproduce on the synthetic suite.
+//! (EXPERIMENTS.md records the full-scale paper-vs-measured numbers.)
+
+use mpls_rbpc::eval::{
+    figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale,
+    FailureClass,
+};
+
+#[test]
+fn table1_matches_paper_shape() {
+    let suite = standard_suite(EvalScale::Quick, 1);
+    let rows = table1(&suite);
+    assert_eq!(rows.len(), 3);
+    // ISP: ~200 nodes, avg degree around 3.5.
+    assert!((150..=260).contains(&rows[0].nodes));
+    assert!((3.0..4.2).contains(&rows[0].avg_degree));
+    // Internet stand-in keeps the paper's edges/nodes ratio (~2.52).
+    let ratio = rows[1].links as f64 / rows[1].nodes as f64;
+    assert!((2.3..2.8).contains(&ratio), "internet ratio {ratio}");
+    // AS-graph stand-in: avg degree near the paper's 4.16.
+    assert!((3.6..4.8).contains(&rows[2].avg_degree));
+}
+
+#[test]
+fn table2_one_link_matches_paper_shape() {
+    let suite = standard_suite(EvalScale::Quick, 1);
+    let isp = &suite[0];
+    let oracle = isp.oracle(1);
+    let pairs = sample_pairs(&isp.graph, 120, 1);
+    let row = table2_block(&isp.name, &oracle, FailureClass::OneLink, &pairs, 4);
+    // Paper, ISP weighted after one link failure: avg PC length 2.05,
+    // length s.f. 1.15, ILM stretch well below 100%.
+    assert!(
+        (1.8..=2.3).contains(&row.avg_pc_length),
+        "avg PC length {}",
+        row.avg_pc_length
+    );
+    assert!((1.0..=1.6).contains(&row.length_sf), "length sf {}", row.length_sf);
+    assert!(row.avg_ilm_sf < 0.6, "avg ILM sf {}", row.avg_ilm_sf);
+    assert!(row.min_ilm_sf < row.avg_ilm_sf);
+    assert!(row.skipped == 0, "ISP is 2-edge-connected");
+    assert!(row.max_multiplicity.unwrap() >= 1);
+}
+
+#[test]
+fn table2_two_links_cost_more_state_than_one() {
+    let suite = standard_suite(EvalScale::Quick, 1);
+    let isp = &suite[0];
+    let oracle = isp.oracle(1);
+    let pairs = sample_pairs(&isp.graph, 120, 1);
+    let one = table2_block(&isp.name, &oracle, FailureClass::OneLink, &pairs, 4);
+    let two = table2_block(&isp.name, &oracle, FailureClass::TwoLinks, &pairs, 4);
+    // The paper's pattern: for two failures, pre-provisioning explodes
+    // (ILM stretch factor drops) and PC length grows a little.
+    assert!(two.avg_ilm_sf < one.avg_ilm_sf, "{} !< {}", two.avg_ilm_sf, one.avg_ilm_sf);
+    assert!(two.avg_pc_length >= one.avg_pc_length);
+    assert!(two.avg_pc_length < 3.5, "PC length stays small: {}", two.avg_pc_length);
+}
+
+#[test]
+fn table2_router_failures_stay_near_two() {
+    // Paper: despite the Figure 4 pathology, real-ish topologies restore
+    // router failures with ~2 pieces on average.
+    let suite = standard_suite(EvalScale::Quick, 1);
+    let isp = &suite[1]; // unweighted ISP
+    let oracle = isp.oracle(1);
+    let pairs = sample_pairs(&isp.graph, 100, 2);
+    let row = table2_block(&isp.name, &oracle, FailureClass::OneRouter, &pairs, 4);
+    assert!(row.events > 0);
+    assert!(
+        (1.5..=2.8).contains(&row.avg_pc_length),
+        "router-failure avg PC length {}",
+        row.avg_pc_length
+    );
+}
+
+#[test]
+fn table2_runs_on_powerlaw_topologies_with_lazy_oracle() {
+    let suite = standard_suite(EvalScale::Quick, 1);
+    for case in &suite[2..] {
+        let oracle = case.oracle(1);
+        let pairs = sample_pairs(&case.graph, case.samples, 1);
+        let row = table2_block(&case.name, &oracle, FailureClass::OneLink, &pairs, 4);
+        assert!(row.events > 0, "{}", case.name);
+        // Paper: power-law graphs restore with almost exactly 2 pieces.
+        assert!(
+            (1.7..=2.4).contains(&row.avg_pc_length),
+            "{}: avg PC length {}",
+            case.name,
+            row.avg_pc_length
+        );
+        assert!(row.length_sf < 1.7, "{}: length sf {}", case.name, row.length_sf);
+    }
+}
+
+#[test]
+fn table3_short_bypasses_dominate() {
+    let suite = standard_suite(EvalScale::Quick, 1);
+    // ISP: the paper sees ~90% of bypasses with 2–3 hops.
+    let isp = table3(&suite[0].name, &suite[0].graph, suite[0].metric, 1, 4);
+    assert!(
+        isp.fraction_at_most(3) > 0.6,
+        "ISP short-bypass fraction {}",
+        isp.fraction_at_most(3)
+    );
+    // Power-law graphs: >85% within 2–3 hops in the paper.
+    let asg = table3(&suite[3].name, &suite[3].graph, suite[3].metric, 1, 4);
+    assert!(
+        asg.fraction_at_most(3) > 0.6,
+        "AS-graph short-bypass fraction {}",
+        asg.fraction_at_most(3)
+    );
+}
+
+#[test]
+fn figure10_local_rbpc_is_near_optimal() {
+    let suite = standard_suite(EvalScale::Quick, 1);
+    let isp = &suite[0];
+    let oracle = isp.oracle(1);
+    let pairs = sample_pairs(&isp.graph, 80, 3);
+    let fig = figure10(&oracle, &pairs, 4);
+    assert!(fig.events > 100);
+    // Cost stretch can never be below 1.
+    assert_eq!(fig.cost_edge_bypass.below_one, 0);
+    assert_eq!(fig.cost_end_route.below_one, 0);
+    // The bulk of restorations are within 25% of optimal cost.
+    for h in [&fig.cost_edge_bypass, &fig.cost_end_route] {
+        let near = h.optimal_fraction() + h.bins()[2].1;
+        assert!(near > 0.6, "near-optimal fraction {near}");
+    }
+    // End-route is by construction at least as good as edge-bypass in
+    // aggregate cost terms (it may take the same or a better route).
+    assert!(
+        fig.cost_end_route.optimal_fraction() >= fig.cost_edge_bypass.optimal_fraction() - 0.05
+    );
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let suite = standard_suite(EvalScale::Quick, 2);
+    let isp = &suite[0];
+    let oracle = isp.oracle(2);
+    let pairs = sample_pairs(&isp.graph, 40, 2);
+    let a = table2_block(&isp.name, &oracle, FailureClass::OneLink, &pairs, 1);
+    let b = table2_block(&isp.name, &oracle, FailureClass::OneLink, &pairs, 3);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.avg_pc_length, b.avg_pc_length);
+    assert_eq!(a.redundancy, b.redundancy);
+}

@@ -1,0 +1,170 @@
+//! Cross-crate property tests: random topologies, random failures, and the
+//! invariants RBPC must maintain end-to-end (including through the MPLS
+//! data plane).
+
+use mpls_rbpc::core::{
+    greedy_decompose, BasePathOracle, DenseBasePaths, ProvisionedDomain, Restorer, SegmentKind,
+};
+use mpls_rbpc::graph::{CostModel, FailureSet, Metric, NodeId};
+use mpls_rbpc::topo::gnm_connected;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    m: usize,
+    max_w: u32,
+    seed: u64,
+    metric: Metric,
+    kill: Vec<usize>,
+    s: usize,
+    t: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        6usize..24,
+        0u64..5000,
+        prop::bool::ANY,
+        proptest::collection::vec(0usize..1000, 0..4),
+        0usize..1000,
+        0usize..1000,
+    )
+        .prop_map(|(n, seed, unweighted, kill, s, t)| Scenario {
+            n,
+            m: 2 * n,
+            max_w: if unweighted { 1 } else { 12 },
+            seed,
+            metric: if unweighted {
+                Metric::Unweighted
+            } else {
+                Metric::Weighted
+            },
+            kill,
+            s,
+            t,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Restoration invariants: the backup is a simple surviving shortest
+    /// path, the concatenation reassembles it, every base-path segment is
+    /// a canonical base path, and the bound of Theorem 3 holds.
+    #[test]
+    fn restoration_invariants(sc in arb_scenario()) {
+        let g = gnm_connected(sc.n, sc.m, sc.max_w, sc.seed);
+        let model = CostModel::new(sc.metric, sc.seed);
+        let oracle = DenseBasePaths::build(g.clone(), model);
+        let restorer = Restorer::new(&oracle);
+        let s = NodeId::new(sc.s % sc.n);
+        let t = NodeId::new(sc.t % sc.n);
+        if s == t {
+            return Ok(());
+        }
+        let failures: FailureSet = sc
+            .kill
+            .iter()
+            .map(|&i| mpls_rbpc::graph::EdgeId::new(i % g.edge_count()))
+            .collect();
+        let k = failures.failed_edge_count();
+        match restorer.restore(s, t, &failures) {
+            Ok(r) => {
+                prop_assert!(r.backup.is_simple());
+                prop_assert_eq!(r.backup.source(), s);
+                prop_assert_eq!(r.backup.target(), t);
+                for &e in r.backup.edges() {
+                    prop_assert!(!failures.edge_failed(e));
+                }
+                // The backup is truly shortest in the failed network.
+                let view = failures.view(&g);
+                let best = mpls_rbpc::graph::distance(&view, &model, s, t).unwrap();
+                prop_assert_eq!(best.base, r.backup_cost.base);
+                // Concatenation reassembles the backup exactly.
+                if !r.backup.is_trivial() {
+                    prop_assert_eq!(r.concatenation.full_path().unwrap(), r.backup.clone());
+                }
+                // Segments really are base paths / raw edges.
+                for seg in r.concatenation.segments() {
+                    match seg.kind {
+                        SegmentKind::BasePath => prop_assert!(oracle.is_base_path(&seg.path)),
+                        SegmentKind::RawEdge => {
+                            prop_assert_eq!(seg.path.hop_count(), 1);
+                            prop_assert!(!oracle.is_base_path(&seg.path));
+                        }
+                    }
+                }
+                // Theorem 3 bound: ≤ (k+1) paths + k edges components.
+                prop_assert!(r.concatenation.len() <= 2 * k + 1);
+                prop_assert!(r.concatenation.raw_edge_count() <= k);
+                // Cost monotonicity.
+                prop_assert!(r.backup_cost.base >= r.original_cost.base);
+            }
+            Err(_) => {
+                // Must actually be disconnected (or an endpoint died — not
+                // possible here since we only fail edges).
+                let view = failures.view(&g);
+                prop_assert!(
+                    mpls_rbpc::graph::shortest_path(&view, &model, s, t).is_none()
+                );
+            }
+        }
+    }
+
+    /// Decomposing any base path yields one segment; decomposing any
+    /// canonical shortest path in the intact network likewise.
+    #[test]
+    fn intact_paths_decompose_trivially(
+        n in 6usize..20,
+        seed in 0u64..3000,
+        s in 0usize..1000,
+        t in 0usize..1000,
+    ) {
+        let g = gnm_connected(n, 2 * n, 9, seed);
+        let model = CostModel::new(Metric::Weighted, seed);
+        let oracle = DenseBasePaths::build(g, model);
+        let s = NodeId::new(s % n);
+        let t = NodeId::new(t % n);
+        if s == t {
+            return Ok(());
+        }
+        let p = oracle.base_path(s, t).unwrap();
+        if !p.is_trivial() {
+            let c = greedy_decompose(&oracle, &p);
+            prop_assert_eq!(c.len(), 1);
+        }
+    }
+
+    /// MPLS end-to-end: after applying a restoration, the packet delivers
+    /// along exactly the computed backup, and the label stack depth equals
+    /// the concatenation length at its deepest.
+    #[test]
+    fn mpls_delivery_matches_restoration(
+        n in 8usize..16,
+        seed in 0u64..1000,
+        which in 0usize..1000,
+    ) {
+        let g = gnm_connected(n, 2 * n, 7, seed);
+        let model = CostModel::new(Metric::Weighted, seed);
+        let oracle = DenseBasePaths::build(g.clone(), model);
+        let restorer = Restorer::new(&oracle);
+        let s = NodeId::new(0);
+        let t = NodeId::new(n - 1);
+        let base = oracle.base_path(s, t).unwrap();
+        if base.is_trivial() {
+            return Ok(());
+        }
+        let failed = base.edges()[which % base.hop_count()];
+        let failures = FailureSet::of_edge(failed);
+        let Ok(r) = restorer.restore(s, t, &failures) else {
+            return Ok(());
+        };
+        let mut dom = ProvisionedDomain::new(&oracle);
+        dom.provision_all_pairs(&oracle).unwrap();
+        dom.apply_source_restoration(&r).unwrap();
+        let trace = dom.forward(s, t, &failures).unwrap();
+        prop_assert_eq!(trace.route(), r.backup.nodes());
+        prop_assert_eq!(trace.max_stack_depth() as usize, r.pc_length().max(0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration: route families (§1's QoS subnets) across topology styles
+//! — hierarchical ISP and flat Waxman — restored from one failure feed.
+
+use mpls_rbpc::core::{FamilySet, RouteFamily};
+use mpls_rbpc::graph::{is_connected, CostModel, FailureSet, Metric, NodeId};
+use mpls_rbpc::topo::{isp_topology, waxman, IspParams, WaxmanParams};
+
+#[test]
+fn families_on_isp_share_one_failure_feed() {
+    let isp = isp_topology(
+        IspParams {
+            pops: 10,
+            core_routers: 8,
+            ..IspParams::default()
+        },
+        13,
+    );
+    let g = &isp.graph;
+    let model = CostModel::new(Metric::Weighted, 13);
+    let set = FamilySet::new()
+        .with(RouteFamily::new("all", g, model, |_, _| true))
+        .with(RouteFamily::new("backbone", g, model, |_, rec| rec.weight <= 4));
+
+    let (s, t) = (isp.core[0], isp.core[4]);
+    // Fail every backbone link on the backbone family's path; both
+    // families must restore, each within its own subnet.
+    let base = set.families()[1].base_path(s, t).unwrap();
+    for &failed in base.edges() {
+        let failures = FailureSet::of_edge(failed);
+        let results = set.restore_all(s, t, &failures);
+        for (name, r) in results {
+            let r = r.unwrap_or_else(|e| panic!("family {name}: {e}"));
+            assert!(!r.backup.contains_edge(failed), "family {name}");
+            if name == "backbone" {
+                for &e in r.backup.edges() {
+                    assert!(g.weight(e) <= 4, "backbone family left its subnet");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn families_on_waxman_distance_classes() {
+    // On a geometric graph, "short links only" is a natural family
+    // (weight = quantized distance).
+    let g = waxman(
+        WaxmanParams {
+            nodes: 60,
+            beta: 0.4,
+            ..WaxmanParams::default()
+        },
+        21,
+    );
+    assert!(is_connected(&g));
+    let model = CostModel::new(Metric::Weighted, 21);
+    let short = RouteFamily::new("short-links", &g, model, |_, rec| rec.weight <= 40);
+    let all = RouteFamily::new("all", &g, model, |_, _| true);
+
+    let mut compared = 0;
+    for t in 1..60usize {
+        let (s, t) = (NodeId::new(0), NodeId::new(t));
+        let Some(restricted) = short.base_path(s, t) else {
+            continue; // the short-link family may be disconnected
+        };
+        let full = all.base_path(s, t).unwrap();
+        // The restricted route can never be cheaper.
+        assert!(
+            restricted.cost(&g, &model).base >= full.cost(&g, &model).base,
+            "{s}->{t}"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 10, "only {compared} pairs connected in the family");
+}
+
+#[test]
+fn family_restorations_obey_theorem_bounds_everywhere() {
+    let g = waxman(
+        WaxmanParams {
+            nodes: 50,
+            beta: 0.5,
+            ..WaxmanParams::default()
+        },
+        5,
+    );
+    let model = CostModel::new(Metric::Weighted, 5);
+    let family = RouteFamily::new("all", &g, model, |_, _| true);
+    let mut events = 0;
+    for t in (5..50usize).step_by(7) {
+        let (s, t) = (NodeId::new(0), NodeId::new(t));
+        let Some(base) = family.base_path(s, t) else { continue };
+        for &e in base.edges() {
+            let failures = FailureSet::of_edge(e);
+            let Ok(r) = family.restore(s, t, &failures) else {
+                continue;
+            };
+            events += 1;
+            // k = 1: at most 3 components, at most 1 raw edge.
+            assert!(r.concatenation.len() <= 3);
+            assert!(r.concatenation.raw_edge_count() <= 1);
+        }
+    }
+    assert!(events >= 10);
+}

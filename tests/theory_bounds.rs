@@ -1,0 +1,249 @@
+//! Integration tests for the paper's theoretical results, across the
+//! topology and core crates.
+
+use mpls_rbpc::core::theory::{all_edges_are_shortest, min_shortest_path_cover};
+use mpls_rbpc::core::{greedy_decompose, optimal_decompose, BasePathOracle, DenseBasePaths, Restorer};
+use mpls_rbpc::graph::{shortest_path, CostModel, FailureSet, Metric, NodeId};
+use mpls_rbpc::topo::{
+    comb, cycle, gnm_connected, parallel_chain, two_hop_star, weighted_tight,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 1 over many random unweighted graphs and failure sizes: the new
+/// shortest path is a concatenation of at most k+1 original shortest paths.
+#[test]
+fn theorem1_randomized_sweep() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for trial in 0..40 {
+        let n = rng.gen_range(10..40);
+        let m = rng.gen_range(n + 4..3 * n);
+        let g = gnm_connected(n, m, 1, trial);
+        let model = CostModel::new(Metric::Unweighted, trial);
+        let oracle = DenseBasePaths::build(g.clone(), model);
+        let s = NodeId::new(0);
+        let t = NodeId::new(n - 1);
+        let base = oracle.base_path(s, t).expect("connected");
+        for k in 1..=base.hop_count().min(4) {
+            let failures = FailureSet::of_edges(base.edges()[..k].iter().copied());
+            let view = failures.view(&g);
+            let Some(backup) = shortest_path(&view, &model, s, t) else {
+                continue;
+            };
+            let cover = min_shortest_path_cover(&oracle, &backup);
+            assert!(
+                cover.within_theorem1(k),
+                "trial {trial} n {n} k {k}: {cover:?}"
+            );
+        }
+    }
+}
+
+/// Theorem 2 over random weighted graphs: k+1 shortest paths plus k edges.
+#[test]
+fn theorem2_randomized_sweep() {
+    let mut rng = StdRng::seed_from_u64(200);
+    for trial in 0..40 {
+        let n = rng.gen_range(10..40);
+        let m = rng.gen_range(n + 4..3 * n);
+        let g = gnm_connected(n, m, 30, 1000 + trial);
+        let model = CostModel::new(Metric::Weighted, trial);
+        let oracle = DenseBasePaths::build(g.clone(), model);
+        let s = NodeId::new(1 % n);
+        let t = NodeId::new(n - 1);
+        let base = oracle.base_path(s, t).expect("connected");
+        for k in 1..=base.hop_count().min(4) {
+            let failures = FailureSet::of_edges(base.edges()[..k].iter().copied());
+            let view = failures.view(&g);
+            let Some(backup) = shortest_path(&view, &model, s, t) else {
+                continue;
+            };
+            let cover = min_shortest_path_cover(&oracle, &backup);
+            assert!(
+                cover.within_theorem2(k),
+                "trial {trial} n {n} k {k}: {cover:?}"
+            );
+        }
+    }
+}
+
+/// Theorem 3 (operational form): with the padded single-path base set, the
+/// greedy decomposition restores with at most k+1 base paths and k raw
+/// edges — on random graphs with parallel edges mixed in.
+#[test]
+fn theorem3_base_set_bound_with_parallel_edges() {
+    for seed in 0..25u64 {
+        let mut g = gnm_connected(20, 40, 8, seed);
+        // Sprinkle parallel twins to stress raw-edge handling.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..6 {
+            let e = rbpc_graph::EdgeId::new(rng.gen_range(0..40));
+            let (u, v) = g.endpoints(e);
+            let w = g.weight(e);
+            g.add_edge(u, v, w).unwrap();
+        }
+        let model = CostModel::new(Metric::Weighted, seed);
+        let oracle = DenseBasePaths::build(g.clone(), model);
+        let restorer = Restorer::new(&oracle);
+        let (s, t) = (NodeId::new(3), NodeId::new(17));
+        let base = oracle.base_path(s, t).expect("connected");
+        for k in 1..=base.hop_count().min(3) {
+            let failures = FailureSet::of_edges(base.edges()[..k].iter().copied());
+            match restorer.restore(s, t, &failures) {
+                Ok(r) => {
+                    assert!(
+                        r.concatenation.len() <= 2 * k + 1,
+                        "seed {seed} k {k}: {:?}",
+                        r.concatenation
+                    );
+                    assert!(
+                        r.concatenation.raw_edge_count() <= k,
+                        "seed {seed} k {k}: {:?}",
+                        r.concatenation
+                    );
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+/// The comb makes Theorem 1 exactly tight for every k.
+#[test]
+fn comb_tightness_full_range() {
+    for k in 1..=10 {
+        let c = comb(k);
+        let model = CostModel::new(Metric::Unweighted, 3);
+        let oracle = DenseBasePaths::build(c.graph.clone(), model);
+        let failures = FailureSet::of_edges(c.spine_edges.iter().copied());
+        let view = failures.view(&c.graph);
+        let backup = shortest_path(&view, &model, c.s, c.t).unwrap();
+        assert_eq!(min_shortest_path_cover(&oracle, &backup).path_segments, k + 1);
+        assert_eq!(greedy_decompose(&oracle, &backup).len(), k + 1);
+    }
+}
+
+/// The weighted chain makes Theorem 2 exactly tight for every k.
+#[test]
+fn weighted_tight_full_range() {
+    for k in 1..=8 {
+        let w = weighted_tight(k);
+        let model = CostModel::new(Metric::Weighted, 5);
+        let oracle = DenseBasePaths::build(w.graph.clone(), model);
+        let failures = FailureSet::of_edges(w.cheap_edges.iter().copied());
+        let view = failures.view(&w.graph);
+        let backup = shortest_path(&view, &model, w.s, w.t).unwrap();
+        let cover = min_shortest_path_cover(&oracle, &backup);
+        assert_eq!((cover.path_segments, cover.edge_segments), (k + 1, k));
+    }
+}
+
+/// Figure 4: a single router failure on the two-hop star needs Ω(n) pieces.
+#[test]
+fn star_router_failure_scales_linearly() {
+    for n in [6, 10, 20, 40] {
+        let star = two_hop_star(n);
+        let model = CostModel::new(Metric::Unweighted, 0);
+        let oracle = DenseBasePaths::build(star.graph.clone(), model);
+        let failures = FailureSet::of_nodes([star.hub.index()]);
+        let view = failures.view(&star.graph);
+        let backup = shortest_path(&view, &model, star.s, star.t).unwrap();
+        let cover = min_shortest_path_cover(&oracle, &backup);
+        assert!(
+            cover.total() >= (n - 2) / 2,
+            "n {n}: {cover:?} below the paper's lower bound"
+        );
+    }
+}
+
+/// The 4-cycle: with any single-path base set, some single failure forces a
+/// third component (the paper's negative answer for undirected unweighted
+/// base sets). We verify it for our padded base set.
+#[test]
+fn cycle4_needs_three_components_for_some_failure() {
+    let g = cycle(4);
+    let model = CostModel::new(Metric::Unweighted, 11);
+    let oracle = DenseBasePaths::build(g.clone(), model);
+    let restorer = Restorer::new(&oracle);
+    let mut worst = 0;
+    for e in g.edge_ids() {
+        let failures = FailureSet::of_edge(e);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                if let Ok(r) = restorer.restore(s, t, &failures) {
+                    worst = worst.max(r.pc_length());
+                }
+            }
+        }
+    }
+    assert_eq!(worst, 3, "some failure must force 3 components on C4");
+}
+
+/// The parallel chain: padding-chosen base sets pay the extra edges; the
+/// restoration still stays within the Theorem 3 bound.
+#[test]
+fn parallel_chain_within_theorem3() {
+    for k in 1..=4 {
+        let p = parallel_chain(k);
+        let model = CostModel::new(Metric::Unweighted, 7);
+        let oracle = DenseBasePaths::build(p.graph.clone(), model);
+        let restorer = Restorer::new(&oracle);
+        let s = NodeId::new(0);
+        let t = NodeId::new(2 * k + 1);
+        // Fail the canonical edge at alternating positions.
+        let mut failures = FailureSet::new();
+        let base = oracle.base_path(s, t).unwrap();
+        for (i, &e) in base.edges().iter().enumerate() {
+            if i % 2 == 1 && failures.failed_edge_count() < k {
+                failures.fail_edge(e);
+            }
+        }
+        let kk = failures.failed_edge_count();
+        let r = restorer.restore(s, t, &failures).unwrap();
+        assert!(r.concatenation.len() <= 2 * kk + 1);
+        assert!(r.concatenation.raw_edge_count() <= kk);
+    }
+}
+
+/// Greedy and optimal decomposition agree on segment counts across many
+/// random single-failure scenarios (greedy optimality).
+#[test]
+fn greedy_matches_optimal_broadly() {
+    for seed in 0..15u64 {
+        let g = gnm_connected(16, 34, 9, 77 + seed);
+        let model = CostModel::new(Metric::Weighted, seed);
+        let oracle = DenseBasePaths::build(g.clone(), model);
+        for t in [8usize, 15] {
+            let Some(base) = oracle.base_path(NodeId::new(0), NodeId::new(t)) else {
+                continue;
+            };
+            for &e in base.edges() {
+                let failures = FailureSet::of_edge(e);
+                let view = failures.view(&g);
+                let Some(backup) = shortest_path(&view, &model, NodeId::new(0), NodeId::new(t))
+                else {
+                    continue;
+                };
+                let greedy = greedy_decompose(&oracle, &backup);
+                let optimal =
+                    optimal_decompose(&oracle, NodeId::new(0), NodeId::new(t), &failures)
+                        .expect("reachable");
+                assert_eq!(greedy.len(), optimal.len(), "seed {seed} t {t} e {e}");
+            }
+        }
+    }
+}
+
+/// In unweighted graphs every edge is a shortest path, so Theorem 1 needs
+/// no raw edges — sanity across generators.
+#[test]
+fn unweighted_edges_always_shortest() {
+    for seed in 0..5 {
+        let g = gnm_connected(30, 80, 1, seed);
+        let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Unweighted, seed));
+        assert!(all_edges_are_shortest(&oracle));
+    }
+}
