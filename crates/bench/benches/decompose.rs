@@ -3,7 +3,7 @@
 //! search (the paper's Dijkstra-over-base-paths fallback), and the
 //! restoration pipeline end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_core::{greedy_decompose, optimal_decompose, BasePathOracle, Restorer};
 use rbpc_graph::{shortest_path, FailureSet, NodeId};
 use std::hint::black_box;

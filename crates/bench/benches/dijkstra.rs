@@ -1,10 +1,8 @@
 //! Micro-bench: the shortest-path substrate (Dijkstra trees, point
 //! queries, failure views) across the evaluated topology families.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rbpc_graph::{
-    shortest_path, shortest_path_tree, CostModel, FailureSet, Metric, NodeId,
-};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
+use rbpc_graph::{shortest_path, shortest_path_tree, CostModel, FailureSet, Metric, NodeId};
 use rbpc_topo::{gnm_connected, internet_like_scaled};
 use std::hint::black_box;
 
@@ -15,7 +13,11 @@ fn bench_dijkstra(c: &mut Criterion) {
     let model = CostModel::new(Metric::Weighted, rbpc_bench::SEED);
 
     let mut g = c.benchmark_group("dijkstra");
-    for (name, graph) in [("isp_200", &isp), ("powerlaw_5000", &power), ("gnm_1000", &random)] {
+    for (name, graph) in [
+        ("isp_200", &isp),
+        ("powerlaw_5000", &power),
+        ("gnm_1000", &random),
+    ] {
         let t = NodeId::new(graph.node_count() - 1);
         g.bench_function(format!("{name}/full_tree"), |b| {
             b.iter(|| shortest_path_tree(black_box(graph), &model, NodeId::new(0)))

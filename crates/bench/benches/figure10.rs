@@ -1,7 +1,7 @@
 //! Bench: regenerate Figure 10 (local-RBPC stretch histograms on the
 //! weighted ISP).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_eval::figure10;
 use std::hint::black_box;
 

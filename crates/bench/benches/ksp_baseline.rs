@@ -1,7 +1,7 @@
 //! Ablation: RBPC vs the k-shortest-paths pre-provisioning baseline —
 //! restoration quality (cost stretch, coverage) and pre-provisioned state.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_core::baseline::KspBackupSet;
 use rbpc_core::{BasePathOracle, Restorer};
 use rbpc_graph::FailureSet;
@@ -34,8 +34,8 @@ fn bench_ksp(c: &mut Criterion) {
                 events += 1;
                 match set.restore(&failures) {
                     Some(p) => {
-                        stretch_sum += p.cost(&graph, &model).base as f64
-                            / opt.backup_cost.base.max(1) as f64;
+                        stretch_sum +=
+                            p.cost(&graph, &model).base as f64 / opt.backup_cost.base.max(1) as f64;
                     }
                     None => uncovered += 1,
                 }

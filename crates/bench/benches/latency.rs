@@ -1,7 +1,7 @@
 //! Bench + artifact: restoration-latency simulation per scheme on the
 //! synthetic ISP (the paper's "fast recovery" ordering, quantified).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_sim::{outage_summary, LatencyModel, Scheme};
 use std::hint::black_box;
 
@@ -26,7 +26,11 @@ fn bench_latency(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("latency");
     g.sample_size(10);
-    for scheme in [Scheme::LocalEdgeBypass, Scheme::SourceRbpc, Scheme::Reestablish] {
+    for scheme in [
+        Scheme::LocalEdgeBypass,
+        Scheme::SourceRbpc,
+        Scheme::Reestablish,
+    ] {
         g.bench_function(format!("{scheme:?}"), |b| {
             b.iter(|| outage_summary(black_box(&oracle), &model, black_box(&pairs), scheme))
         });

@@ -2,7 +2,7 @@
 //! provisioning strategies — per-pair LSPs, per-pair with penultimate-hop
 //! popping, and merged per-destination sink trees (§2's LSP merging).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_core::{BasePathOracle, DenseBasePaths, ProvisionedDomain};
 use rbpc_graph::{CostModel, Metric, NodeId};
 use rbpc_topo::{isp_topology, IspParams};

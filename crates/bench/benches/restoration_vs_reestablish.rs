@@ -4,7 +4,7 @@
 //! as wall-clock over the simulated MPLS control plane and as signaling
 //! message counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_core::baseline::{rbpc_local_cost, rbpc_source_cost, reestablish_cost};
 use rbpc_core::{BasePathOracle, ProvisionedDomain, Restorer};
 use rbpc_graph::NodeId;
@@ -95,7 +95,7 @@ fn bench_restoration(c: &mut Criterion) {
                         .unwrap();
                 }
             },
-            criterion::BatchSize::LargeInput,
+            rbpc_bench::BatchSize::LargeInput,
         )
     });
 

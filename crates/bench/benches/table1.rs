@@ -2,7 +2,7 @@
 //!
 //! Prints the table once so `cargo bench` output doubles as a result log.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_eval::{standard_suite, table1, EvalScale};
 use std::hint::black_box;
 
@@ -16,9 +16,7 @@ fn bench_table1(c: &mut Criterion) {
     g.bench_function("generate_suite_quick", |b| {
         b.iter(|| standard_suite(EvalScale::Quick, black_box(rbpc_bench::SEED)))
     });
-    g.bench_function("degree_stats", |b| {
-        b.iter(|| table1(black_box(&suite)))
-    });
+    g.bench_function("degree_stats", |b| b.iter(|| table1(black_box(&suite))));
     g.finish();
 }
 

@@ -2,7 +2,7 @@
 //! benchmark per failure class on the weighted ISP, plus the power-law
 //! one-link block.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_eval::{standard_suite, table2_block, EvalScale, FailureClass};
 use std::hint::black_box;
 
@@ -23,15 +23,7 @@ fn bench_table2(c: &mut Criterion) {
     g.sample_size(10);
     for class in FailureClass::all() {
         g.bench_function(format!("isp_weighted/{class:?}"), |b| {
-            b.iter(|| {
-                table2_block(
-                    &isp.name,
-                    &oracle,
-                    black_box(class),
-                    black_box(&pairs),
-                    4,
-                )
-            })
+            b.iter(|| table2_block(&isp.name, &oracle, black_box(class), black_box(&pairs), 4))
         });
     }
     // Large-graph block through the lazy oracle.

@@ -1,6 +1,6 @@
 //! Bench: regenerate Table 3 (bypass hop-count distribution per topology).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
 use rbpc_eval::{standard_suite, table3, EvalScale};
 use std::hint::black_box;
 

@@ -1,10 +1,15 @@
 //! Shared fixtures for the RBPC benchmark suite.
 //!
-//! Each Criterion bench target regenerates one of the paper's artifacts
-//! (`table1`, `table2`, `table3`, `figure10`) or measures a core mechanism
-//! (`dijkstra`, `decompose`, `restoration_vs_reestablish`). Fixtures are
-//! built once per target at quick scale so `cargo bench` completes in
-//! minutes; run `rbpc-eval --scale paper` for the full-size numbers.
+//! Each bench target regenerates one of the paper's artifacts (`table1`,
+//! `table2`, `table3`, `figure10`) or measures a core mechanism
+//! (`dijkstra`, `decompose`, `restoration_vs_reestablish`) using the
+//! std-only Criterion-shaped harness in [`crit`]. Fixtures are built once
+//! per target at quick scale so `cargo bench` completes in minutes; run
+//! `rbpc-eval --scale paper` for the full-size numbers.
+
+pub mod crit;
+
+pub use crit::{BatchSize, Bencher, BenchmarkGroup, Criterion};
 
 use rbpc_core::DenseBasePaths;
 use rbpc_graph::{CostModel, Graph, Metric, NodeId};

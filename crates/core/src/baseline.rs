@@ -261,8 +261,7 @@ mod ksp_tests {
             let base = set.paths()[0].clone();
             for &e in base.edges() {
                 let failures = FailureSet::of_edge(e);
-                let Ok(r) = restorer.restore(NodeId::new(0), NodeId::new(t), &failures)
-                else {
+                let Ok(r) = restorer.restore(NodeId::new(0), NodeId::new(t), &failures) else {
                     continue;
                 };
                 events += 1;

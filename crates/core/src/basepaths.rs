@@ -18,11 +18,11 @@
 //! Both return bit-identical answers because the trees are canonical for a
 //! given `(metric, seed)`.
 
-use parking_lot::Mutex;
 use rbpc_graph::{shortest_path_tree, CostModel, Graph, NodeId, Path, PathCost, ShortestPathTree};
+use rbpc_obs::obs_count;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The provisioned base set: one canonical shortest path per ordered pair.
 ///
@@ -177,18 +177,20 @@ impl LazyBasePaths {
 
     /// Number of trees currently cached (for tests and monitoring).
     pub fn cached_trees(&self) -> usize {
-        self.cache.lock().map.len()
+        self.cache.lock().unwrap().map.len()
     }
 
     fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
         let key = source.index() as u32;
-        if let Some(t) = self.cache.lock().map.get(&key) {
+        if let Some(t) = self.cache.lock().unwrap().map.get(&key) {
+            obs_count!("core.basepaths.cache_hit");
             return Arc::clone(t);
         }
+        obs_count!("core.basepaths.cache_miss");
         // Compute outside the lock; a racing thread may duplicate the work
         // but the result is identical either way.
         let computed = Arc::new(shortest_path_tree(&self.graph, &self.model, source));
-        let mut cache = self.cache.lock();
+        let mut cache = self.cache.lock().unwrap();
         if let Some(t) = cache.map.get(&key) {
             return Arc::clone(t);
         }
@@ -328,6 +330,8 @@ mod tests {
     }
 
     #[test]
+    // The double borrow deliberately exercises the `&O` blanket impl.
+    #[allow(clippy::needless_borrows_for_generic_args)]
     fn oracle_by_reference_works() {
         fn takes_oracle<O: BasePathOracle>(o: O) -> usize {
             o.graph().node_count()

@@ -99,10 +99,7 @@ impl<'a, O: BasePathOracle> ChurnDriver<'a, O> {
             let Some(base) = self.oracle.base_path(s, t) else {
                 continue;
             };
-            let disrupted = base
-                .edges()
-                .iter()
-                .any(|&e| self.failures.edge_failed(e));
+            let disrupted = base.edges().iter().any(|&e| self.failures.edge_failed(e));
             if disrupted {
                 match restorer.restore(s, t, &self.failures) {
                     Ok(r) => {
@@ -172,9 +169,7 @@ impl<'a, O: BasePathOracle> ChurnDriver<'a, O> {
 mod tests {
     use super::*;
     use crate::DenseBasePaths;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    use rbpc_graph::{CostModel, Metric};
+    use rbpc_graph::{CostModel, DetRng, Metric};
     use rbpc_topo::gnm_connected;
 
     fn driver(seed: u64) -> (DenseBasePaths, Vec<(NodeId, NodeId)>) {
@@ -229,7 +224,7 @@ mod tests {
             let (oracle, pairs) = driver(10 + seed);
             let mut churn = ChurnDriver::new(&oracle, pairs).unwrap();
             let m = oracle.graph().edge_count();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             let mut down: Vec<EdgeId> = Vec::new();
             for _ in 0..30 {
                 if !down.is_empty() && rng.gen_bool(0.4) {

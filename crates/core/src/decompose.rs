@@ -10,9 +10,8 @@
 //! validate the greedy result and for the ablation benchmarks.
 
 use crate::BasePathOracle;
-use rbpc_graph::{
-    shortest_path_tree, FailureSet, NodeId, Path, PathCost, Topology,
-};
+use rbpc_graph::{shortest_path_tree, FailureSet, NodeId, Path, PathCost, Topology};
+use rbpc_obs::{obs_count, obs_event, obs_record};
 use std::collections::VecDeque;
 
 /// What a segment of a concatenation is.
@@ -63,9 +62,7 @@ impl Concatenation {
     }
 
     pub(crate) fn from_segments(segments: Vec<Segment>) -> Self {
-        debug_assert!(segments
-            .windows(2)
-            .all(|w| w[0].target() == w[1].source()));
+        debug_assert!(segments.windows(2).all(|w| w[0].target() == w[1].source()));
         Concatenation { segments }
     }
 
@@ -148,6 +145,8 @@ pub fn greedy_decompose<O: BasePathOracle>(oracle: &O, path: &Path) -> Concatena
         if j == i {
             // Not even one hop agrees with the tree: this edge is not a
             // base path (e.g. a surviving parallel twin). Emit it raw.
+            obs_count!("core.decompose.raw_edge_fallback");
+            obs_event!("decompose_fallback", position = i, path_hops = last,);
             segments.push(Segment {
                 kind: SegmentKind::RawEdge,
                 path: path.subpath(i, i + 1),
@@ -161,6 +160,8 @@ pub fn greedy_decompose<O: BasePathOracle>(oracle: &O, path: &Path) -> Concatena
             i = j;
         }
     }
+    obs_count!("core.decompose.calls");
+    obs_record!("core.decompose.segments", segments.len());
     Concatenation::from_segments(segments)
 }
 
@@ -222,7 +223,14 @@ pub fn optimal_decompose<O: BasePathOracle>(
             } else {
                 SegmentKind::RawEdge
             };
-            mark(&mut prev, &mut seen, &mut queue, u, v, Segment { kind, path });
+            mark(
+                &mut prev,
+                &mut seen,
+                &mut queue,
+                u,
+                v,
+                Segment { kind, path },
+            );
             if v == t {
                 break 'bfs;
             }
@@ -425,8 +433,8 @@ mod tests {
                     continue;
                 };
                 let greedy = greedy_decompose(&oracle, &backup);
-                let optimal = optimal_decompose(&oracle, 0.into(), 17.into(), &failures)
-                    .expect("reachable");
+                let optimal =
+                    optimal_decompose(&oracle, 0.into(), 17.into(), &failures).expect("reachable");
                 assert_eq!(greedy.len(), optimal.len(), "seed {seed} edge {e}");
             }
         }

@@ -171,14 +171,11 @@ mod tests {
             let g = gnm_connected(20, 45, 9, seed);
             let model = CostModel::new(Metric::Weighted, seed);
             let oracle = DenseBasePaths::build(g.clone(), model);
-            let base = oracle
-                .base_path(NodeId::new(0), NodeId::new(19))
-                .unwrap();
+            let base = oracle.base_path(NodeId::new(0), NodeId::new(19)).unwrap();
             for &e in base.edges() {
                 let failures = FailureSet::of_edge(e);
                 let view = failures.view(&g);
-                let Some(backup) =
-                    shortest_path(&view, &model, NodeId::new(0), NodeId::new(19))
+                let Some(backup) = shortest_path(&view, &model, NodeId::new(0), NodeId::new(19))
                 else {
                     continue;
                 };
@@ -228,6 +225,9 @@ mod tests {
             .iter()
             .filter(|s| s.kind != ExpandedKind::BasePath)
             .count();
-        assert_eq!(extended, 2, "each failed junction contributes one extension");
+        assert_eq!(
+            extended, 2,
+            "each failed junction contributes one extension"
+        );
     }
 }

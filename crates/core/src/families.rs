@@ -289,8 +289,12 @@ mod tests {
         let (g, model) = fixture();
         let set = FamilySet::new()
             .with(RouteFamily::new("all", &g, model, |_, _| true))
-            .with(RouteFamily::new("oc48", &g, model, |_, rec| rec.weight <= 4))
-            .with(RouteFamily::new("core", &g, model, |_, rec| rec.weight == 1));
+            .with(RouteFamily::new("oc48", &g, model, |_, rec| {
+                rec.weight <= 4
+            }))
+            .with(RouteFamily::new("core", &g, model, |_, rec| {
+                rec.weight == 1
+            }));
         assert_eq!(set.families().len(), 3);
         let (s, t) = (NodeId::new(0), NodeId::new(5));
         let results = set.restore_all(s, t, &FailureSet::new());

@@ -12,7 +12,9 @@
 //! reacts) and the flood distance (how many hops the failure notification
 //! must travel — a proxy for how long the interim lasts).
 
-use crate::{edge_bypass, end_route, BasePathOracle, LocalRestoration, Restoration, RestoreError, Restorer};
+use crate::{
+    edge_bypass, end_route, BasePathOracle, LocalRestoration, Restoration, RestoreError, Restorer,
+};
 use rbpc_graph::{EdgeId, FailureSet, PathCost};
 
 /// Which local variant phase 1 ended up using.
@@ -110,9 +112,7 @@ pub fn hybrid_restore<O: BasePathOracle>(
     let source = restorer.restore(s, t, failures)?;
     let interim_cost = local.end_to_end.cost(oracle.graph(), oracle.cost_model());
     // The notification travels back along the (surviving) LSP prefix.
-    let flood_hops = lsp_path
-        .position_of(local.r1)
-        .expect("r1 lies on the LSP") as u32;
+    let flood_hops = lsp_path.position_of(local.r1).expect("r1 lies on the LSP") as u32;
     Ok(HybridRestoration {
         local,
         variant,
@@ -143,8 +143,7 @@ mod tests {
             let base = oracle.base_path(s, t).unwrap();
             for &failed in base.edges() {
                 let failures = FailureSet::of_edge(failed);
-                let Ok(h) = hybrid_restore(&oracle, &restorer, failed, &failures, s, t)
-                else {
+                let Ok(h) = hybrid_restore(&oracle, &restorer, failed, &failures, s, t) else {
                     continue;
                 };
                 // Interim route is never better than the optimum.

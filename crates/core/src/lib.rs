@@ -80,7 +80,10 @@ pub use basepaths::{BasePathOracle, DenseBasePaths, LazyBasePaths};
 pub use churn::ChurnDriver;
 pub use decompose::{greedy_decompose, optimal_decompose, Concatenation, Segment, SegmentKind};
 pub use error::RestoreError;
-pub use expanded::{expanded_base_set_size, expanded_decompose, ExpandedConcatenation, ExpandedKind, ExpandedSegment};
+pub use expanded::{
+    expanded_base_set_size, expanded_decompose, ExpandedConcatenation, ExpandedKind,
+    ExpandedSegment,
+};
 pub use families::{FamilyRestoration, FamilySet, RouteFamily};
 pub use hybrid::{hybrid_restore, HybridRestoration, LocalVariant};
 pub use local::{edge_bypass, end_route, LocalRestoration};

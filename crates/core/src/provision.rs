@@ -8,6 +8,7 @@
 use crate::{Concatenation, LocalRestoration, Restoration, SegmentKind};
 use rbpc_graph::{EdgeId, FailureSet, NodeId};
 use rbpc_mpls::{ForwardError, ForwardTrace, Label, LspId, MplsError, MplsNetwork, SinkTreeId};
+use rbpc_obs::{obs_count, obs_span};
 use std::collections::HashMap;
 
 use crate::BasePathOracle;
@@ -85,6 +86,7 @@ impl ProvisionedDomain {
             return Ok(None);
         };
         let id = self.net.establish_lsp(&path)?;
+        obs_count!("core.provision.pair_lsps");
         self.by_pair.insert((s, t), id);
         self.net.set_fec_via_lsps(s, t, &[id])?;
         Ok(Some(id))
@@ -96,10 +98,8 @@ impl ProvisionedDomain {
     /// # Errors
     ///
     /// Propagates [`MplsError`] from LSP establishment.
-    pub fn provision_all_pairs<O: BasePathOracle>(
-        &mut self,
-        oracle: &O,
-    ) -> Result<(), MplsError> {
+    pub fn provision_all_pairs<O: BasePathOracle>(&mut self, oracle: &O) -> Result<(), MplsError> {
+        let _span = obs_span!("core.provision.all_pairs.ns");
         let n = oracle.graph().node_count();
         for s in 0..n {
             for t in 0..n {
@@ -119,6 +119,7 @@ impl ProvisionedDomain {
     ///
     /// Propagates [`MplsError`] from tree establishment.
     pub fn provision_merged<O: BasePathOracle>(&mut self, oracle: &O) -> Result<(), MplsError> {
+        let _span = obs_span!("core.provision.merged.ns");
         let n = oracle.graph().node_count();
         for t in 0..n {
             let dest = NodeId::new(t);
@@ -130,11 +131,10 @@ impl ProvisionedDomain {
             // s -> dest is the reverse of dest -> s, so each router's next
             // hop toward dest is its tree parent edge.
             let next_hop: Vec<Option<EdgeId>> = oracle.with_spt(dest, |spt| {
-                (0..n)
-                    .map(|r| spt.parent_edge(NodeId::new(r)))
-                    .collect()
+                (0..n).map(|r| spt.parent_edge(NodeId::new(r))).collect()
             });
             let id = self.net.establish_sink_tree(dest, next_hop)?;
+            obs_count!("core.provision.sink_trees");
             self.sink_by_dest.insert(dest, id);
             let tree = self.net.sink_tree(id)?.clone();
             for s in 0..n {
@@ -165,20 +165,17 @@ impl ProvisionedDomain {
     /// Propagates [`MplsError`]; fails with
     /// [`MplsError::NoSuchIlmEntry`]-style errors if the merged set was
     /// not provisioned.
-    pub fn apply_source_restoration_merged(
-        &mut self,
-        r: &Restoration,
-    ) -> Result<(), MplsError> {
+    pub fn apply_source_restoration_merged(&mut self, r: &Restoration) -> Result<(), MplsError> {
+        let _span = obs_span!("core.apply.source_merged.ns");
+        obs_count!("core.apply.source_merged");
         let mut labels = Vec::with_capacity(r.concatenation.len());
         for seg in r.concatenation.segments() {
             let label = match seg.kind {
-                SegmentKind::BasePath => {
-                    self.merged_label(seg.source(), seg.target()).ok_or(
-                        MplsError::UnknownRouter {
-                            router: seg.target(),
-                        },
-                    )?
-                }
+                SegmentKind::BasePath => self.merged_label(seg.source(), seg.target()).ok_or(
+                    MplsError::UnknownRouter {
+                        router: seg.target(),
+                    },
+                )?,
                 SegmentKind::RawEdge => {
                     let key = (seg.path.edges()[0], seg.source());
                     let id = match self.by_edge.get(&key) {
@@ -218,6 +215,7 @@ impl ProvisionedDomain {
                         Some(&id) => id,
                         None => {
                             let id = self.net.establish_lsp(&seg.path)?;
+                            obs_count!("core.provision.on_demand_lsps");
                             self.by_pair.insert(key, id);
                             id
                         }
@@ -229,6 +227,7 @@ impl ProvisionedDomain {
                         Some(&id) => id,
                         None => {
                             let id = self.net.establish_lsp(&seg.path)?;
+                            obs_count!("core.provision.on_demand_lsps");
                             self.by_edge.insert(key, id);
                             id
                         }
@@ -247,6 +246,8 @@ impl ProvisionedDomain {
     ///
     /// Propagates [`MplsError`] from the FEC update.
     pub fn apply_source_restoration(&mut self, r: &Restoration) -> Result<(), MplsError> {
+        let _span = obs_span!("core.apply.source.ns");
+        obs_count!("core.apply.source");
         let chain = self.lsps_for_concatenation(&r.concatenation)?;
         self.net.set_fec_via_lsps(r.source, r.target, &chain)
     }
@@ -268,13 +269,13 @@ impl ProvisionedDomain {
         lsp: LspId,
         lr: &LocalRestoration,
     ) -> Result<rbpc_mpls::IlmEntry, MplsError> {
+        let _span = obs_span!("core.apply.local.ns");
+        obs_count!("core.apply.local");
         let record = self.net.lsp(lsp)?;
-        let broken_label = record
-            .label_at(lr.r1)
-            .ok_or(MplsError::NoSuchIlmEntry {
-                router: lr.r1,
-                label: rbpc_mpls::Label::new(0),
-            })?;
+        let broken_label = record.label_at(lr.r1).ok_or(MplsError::NoSuchIlmEntry {
+            router: lr.r1,
+            label: rbpc_mpls::Label::new(0),
+        })?;
         let splice_target = lr
             .concatenation
             .segments()

@@ -4,6 +4,7 @@
 use crate::decompose::path_survives;
 use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
 use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path, PathCost};
+use rbpc_obs::{obs_count, obs_event, obs_record, obs_span};
 
 /// The result of restoring one source–destination route.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +95,50 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
     /// * [`RestoreError::Disconnected`] when no surviving path exists
     ///   (including pairs that were never connected).
     pub fn restore(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        failures: &FailureSet,
+    ) -> Result<Restoration, RestoreError> {
+        let _span = obs_span!("core.restore.ns");
+        obs_count!("core.restore.calls");
+        obs_event!(
+            "restore_start",
+            src = s.index(),
+            dst = t.index(),
+            failed_edges = failures.failed_edge_count(),
+        );
+        let result = self.restore_inner(s, t, failures);
+        match &result {
+            Ok(r) => {
+                obs_count!("core.restore.ok");
+                if r.affected {
+                    obs_count!("core.restore.affected");
+                }
+                obs_record!("core.restore.segments", r.concatenation.len());
+                obs_event!(
+                    "restore_done",
+                    src = s.index(),
+                    dst = t.index(),
+                    affected = r.affected,
+                    segments = r.concatenation.len(),
+                    raw_edges = r.concatenation.raw_edge_count(),
+                );
+            }
+            Err(e) => {
+                obs_count!("core.restore.err");
+                obs_event!(
+                    "restore_done",
+                    src = s.index(),
+                    dst = t.index(),
+                    error = e.to_string(),
+                );
+            }
+        }
+        result
+    }
+
+    fn restore_inner(
         &self,
         s: NodeId,
         t: NodeId,
@@ -248,7 +293,9 @@ mod tests {
         let base = o.base_path(0.into(), 19.into()).unwrap();
         // Fail an edge NOT on the base path.
         let off_path = g.edge_ids().find(|e| !base.contains_edge(*e)).unwrap();
-        let res = r.restore(0.into(), 19.into(), &FailureSet::of_edge(off_path)).unwrap();
+        let res = r
+            .restore(0.into(), 19.into(), &FailureSet::of_edge(off_path))
+            .unwrap();
         assert!(!res.affected);
         assert_eq!(res.backup, res.original);
         assert_eq!(res.pc_length(), 1);
@@ -317,7 +364,8 @@ mod tests {
         let o = oracle(&g);
         let r = Restorer::new(&o);
         assert_eq!(
-            r.restore(0.into(), 9.into(), &FailureSet::new()).unwrap_err(),
+            r.restore(0.into(), 9.into(), &FailureSet::new())
+                .unwrap_err(),
             RestoreError::UnknownNode { node: 9.into() }
         );
     }
@@ -377,7 +425,10 @@ mod tests {
         let r = Restorer::new(&o);
         let plan = r.failover_plan(
             bridge,
-            [(NodeId::new(0), NodeId::new(2)), (NodeId::new(2), NodeId::new(0))],
+            [
+                (NodeId::new(0), NodeId::new(2)),
+                (NodeId::new(2), NodeId::new(0)),
+            ],
         );
         assert_eq!(plan.updates.len(), 0);
         assert_eq!(plan.unrestorable.len(), 2);

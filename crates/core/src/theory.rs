@@ -104,9 +104,9 @@ pub fn all_edges_are_shortest<O: BasePathOracle>(oracle: &O) -> bool {
     if model.metric() == Metric::Unweighted {
         return true;
     }
-    graph.edges().all(|(e, rec)| {
-        oracle.base_dist(rec.u, rec.v) == Some(model.base_weight(graph, e))
-    })
+    graph
+        .edges()
+        .all(|(e, rec)| oracle.base_dist(rec.u, rec.v) == Some(model.base_weight(graph, e)))
 }
 
 #[cfg(test)]

@@ -1,0 +1,28 @@
+//! With the `obs` feature disabled every instrumentation point compiles
+//! to a no-op, so a full restore leaves the global registry untouched.
+//! Run with `cargo test -p rbpc-core --no-default-features`.
+
+#![cfg(not(feature = "obs"))]
+
+use rbpc_core::{BasePathOracle, DenseBasePaths, Restorer};
+use rbpc_graph::{CostModel, FailureSet, Metric, NodeId};
+use rbpc_obs::Registry;
+use rbpc_topo::gnm_connected;
+
+#[test]
+fn disabled_instrumentation_records_nothing() {
+    let g = gnm_connected(12, 26, 5, 3);
+    let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 7));
+    let restorer = Restorer::new(&oracle);
+    let (s, t) = (NodeId::new(0), NodeId::new(11));
+    let base = oracle.base_path(s, t).expect("connected");
+    let failures = FailureSet::of_edge(base.edges()[0]);
+    let r = restorer.restore(s, t, &failures).expect("restorable");
+    assert!(r.affected);
+
+    let snap = Registry::global_snapshot();
+    assert_eq!(snap.counter("core.restore.calls"), None);
+    assert_eq!(snap.counter("core.restore.ok"), None);
+    assert!(snap.histogram("core.restore.segments").is_none());
+    assert!(snap.histogram("core.restore.ns").is_none());
+}

@@ -1,0 +1,118 @@
+//! End-to-end checks that the restoration hot paths feed the global
+//! metric registry: one restore call under a single failed link must show
+//! up as exactly one restore, at most Theorem 3's `2k + 1 = 3` segments,
+//! and the lazy oracle's cache counters must match its observable cache
+//! behavior.
+
+// The global registry only records when instrumentation is compiled in.
+#![cfg(feature = "obs")]
+
+use rbpc_core::{BasePathOracle, DenseBasePaths, LazyBasePaths, Restorer};
+use rbpc_graph::{CostModel, FailureSet, Metric, NodeId};
+use rbpc_obs::Registry;
+use rbpc_topo::gnm_connected;
+use std::sync::Mutex;
+
+/// The registry is process-global; tests in this binary must not
+/// interleave their delta measurements.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn counter(name: &str) -> u64 {
+    Registry::global_snapshot().counter(name).unwrap_or(0)
+}
+
+fn histogram(name: &str) -> (u64, u64) {
+    Registry::global_snapshot()
+        .histogram(name)
+        .map(|s| (s.count, s.sum))
+        .unwrap_or((0, 0))
+}
+
+#[test]
+fn restore_under_one_failed_link_emits_expected_counters() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let g = gnm_connected(12, 26, 5, 3);
+    let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 7));
+    let restorer = Restorer::new(&oracle);
+    let (s, t) = (NodeId::new(0), NodeId::new(11));
+    let base = oracle.base_path(s, t).expect("connected");
+    let failures = FailureSet::of_edge(base.edges()[0]);
+
+    let calls = counter("core.restore.calls");
+    let ok = counter("core.restore.ok");
+    let err = counter("core.restore.err");
+    let affected = counter("core.restore.affected");
+    let decompose = counter("core.decompose.calls");
+    let (seg_count, seg_sum) = histogram("core.restore.segments");
+    let (lat_count, _) = histogram("core.restore.ns");
+
+    let r = restorer.restore(s, t, &failures).expect("restorable");
+
+    assert_eq!(counter("core.restore.calls"), calls + 1);
+    assert_eq!(counter("core.restore.ok"), ok + 1);
+    assert_eq!(counter("core.restore.err"), err);
+    // The failed link is on the base path, so the LSP is affected.
+    assert!(r.affected);
+    assert_eq!(counter("core.restore.affected"), affected + 1);
+    // An affected restore decomposes the backup path at least once.
+    assert!(counter("core.decompose.calls") > decompose);
+    // Exactly one segment-count sample, equal to the returned
+    // concatenation and within Theorem 3's bound for k = 1.
+    let (seg_count2, seg_sum2) = histogram("core.restore.segments");
+    assert_eq!(seg_count2, seg_count + 1);
+    assert_eq!(seg_sum2 - seg_sum, r.concatenation.len() as u64);
+    assert!(
+        r.concatenation.len() <= 3,
+        "k = 1 allows at most 3 segments"
+    );
+    // The span recorded one latency sample.
+    let (lat_count2, _) = histogram("core.restore.ns");
+    assert_eq!(lat_count2, lat_count + 1);
+}
+
+#[test]
+fn unaffected_restore_counts_ok_but_not_affected() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let g = gnm_connected(12, 26, 5, 3);
+    let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 7));
+    let restorer = Restorer::new(&oracle);
+    let (s, t) = (NodeId::new(0), NodeId::new(11));
+    let base = oracle.base_path(s, t).expect("connected");
+    // Fail a link *off* the base path.
+    let off_path = oracle
+        .graph()
+        .edge_ids()
+        .find(|e| !base.edges().contains(e))
+        .expect("graph has spare links");
+    let failures = FailureSet::of_edge(off_path);
+
+    let ok = counter("core.restore.ok");
+    let affected = counter("core.restore.affected");
+    let r = restorer.restore(s, t, &failures).expect("restorable");
+    assert!(!r.affected);
+    assert_eq!(counter("core.restore.ok"), ok + 1);
+    assert_eq!(counter("core.restore.affected"), affected);
+}
+
+#[test]
+fn lazy_oracle_cache_counters_match_observed_behavior() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let g = gnm_connected(15, 34, 6, 9);
+    let lazy = LazyBasePaths::new(g, CostModel::new(Metric::Weighted, 2));
+
+    let hits = counter("core.basepaths.cache_hit");
+    let misses = counter("core.basepaths.cache_miss");
+    // 5 sources x 15 targets = 75 tree lookups over 5 distinct trees.
+    for s in 0..5usize {
+        for t in 0..15usize {
+            let _ = lazy.base_dist(s.into(), t.into());
+        }
+    }
+    let hit_delta = counter("core.basepaths.cache_hit") - hits;
+    let miss_delta = counter("core.basepaths.cache_miss") - misses;
+    // Under the default capacity nothing evicts, so misses are exactly
+    // the distinct sources — which is what the cache itself reports.
+    assert_eq!(miss_delta, lazy.cached_trees() as u64);
+    assert_eq!(miss_delta, 5);
+    assert_eq!(hit_delta + miss_delta, 75);
+}

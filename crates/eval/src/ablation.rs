@@ -50,7 +50,9 @@ pub fn provisioning_footprint<O: BasePathOracle>(oracle: &O) -> ProvisioningFoot
         }
     }
     let mut merged = ProvisionedDomain::new(oracle);
-    merged.provision_merged(oracle).expect("merged provisioning");
+    merged
+        .provision_merged(oracle)
+        .expect("merged provisioning");
     ProvisioningFootprint {
         per_pair: pairs.net().total_ilm_entries(),
         per_pair_php: php.net().total_ilm_entries(),
@@ -212,9 +214,18 @@ pub fn render(
         footprint.merged,
         footprint.per_pair / footprint.merged.max(1),
     );
-    let _ = writeln!(out, "k-shortest-paths baseline vs RBPC (single link failures):");
+    let _ = writeln!(
+        out,
+        "k-shortest-paths baseline vs RBPC (single link failures):"
+    );
     out.push_str(&format_table(
-        &["j", "events", "uncovered", "mean cost stretch", "ILM entries"],
+        &[
+            "j",
+            "events",
+            "uncovered",
+            "mean cost stretch",
+            "ILM entries",
+        ],
         &ksp.iter()
             .map(|r| {
                 vec![

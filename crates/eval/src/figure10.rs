@@ -6,9 +6,9 @@
 //! by cost and by hop count. The paper's four histograms show that the
 //! vast majority of local restorations are (nearly) as good as optimal.
 
-use crossbeam::thread;
 use rbpc_core::{edge_bypass, end_route, BasePathOracle, Restorer};
 use rbpc_graph::{FailureSet, NodeId};
+use std::thread;
 
 /// A histogram over stretch ratios with the paper's binning.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -126,7 +126,7 @@ pub fn figure10<O: BasePathOracle + Sync>(
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for slice in pairs.chunks(chunk) {
-            handles.push(scope.spawn(move |_| run_pairs(oracle, slice)));
+            handles.push(scope.spawn(move || run_pairs(oracle, slice)));
         }
         let mut total = Figure10::default();
         for h in handles {
@@ -134,7 +134,6 @@ pub fn figure10<O: BasePathOracle + Sync>(
         }
         total
     })
-    .expect("scope panicked")
 }
 
 fn run_pairs<O: BasePathOracle>(oracle: &O, pairs: &[(NodeId, NodeId)]) -> Figure10 {

@@ -13,7 +13,7 @@
 //! the paper's full scale ([`EvalScale::Paper`]) or a quick scale for CI
 //! and benches ([`EvalScale::Quick`]). Sampling follows the paper's
 //! protocol (200 pairs on the ISP, 40 on the large graphs), parallelized
-//! with crossbeam scoped threads; everything is deterministic per seed.
+//! with std scoped threads; everything is deterministic per seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

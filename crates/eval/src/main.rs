@@ -4,12 +4,19 @@
 //! rbpc-eval <table1|table2|table3|figure10|latency|ablation|all>
 //!           [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]
 //!           [--topology FILE --metric weighted|unweighted]
+//!           [--metrics-out FILE] [--events-out FILE]
 //! ```
 //!
 //! With `--csv DIR`, each artifact is additionally written as a CSV file
 //! into `DIR` (created if missing). With `--topology FILE` the standard
 //! suite is replaced by a single custom network loaded from an edge-list
 //! file (see `rbpc_topo::parse_edge_list` for the format).
+//!
+//! Observability: `--events-out FILE` streams structured events (one JSON
+//! object per line) from the instrumented hot paths while the suite runs;
+//! `--metrics-out FILE` writes the final counter/histogram snapshot as one
+//! JSON object. A human-readable metrics summary is printed to stderr at
+//! the end whenever any instrumentation fired.
 
 use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
@@ -26,6 +33,8 @@ struct Args {
     csv_dir: Option<PathBuf>,
     topology: Option<PathBuf>,
     metric: rbpc_graph::Metric,
+    metrics_out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut topology = None;
     let mut metric = rbpc_graph::Metric::Weighted;
+    let mut metrics_out = None;
+    let mut events_out = None;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -53,11 +64,11 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--seed" => seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
-            "--threads" => {
-                threads = value()?.parse().map_err(|e| format!("bad threads: {e}"))?
-            }
+            "--threads" => threads = value()?.parse().map_err(|e| format!("bad threads: {e}"))?,
             "--csv" => csv_dir = Some(PathBuf::from(value()?)),
             "--topology" => topology = Some(PathBuf::from(value()?)),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value()?)),
+            "--events-out" => events_out = Some(PathBuf::from(value()?)),
             "--metric" => {
                 metric = match value()?.as_str() {
                     "weighted" => rbpc_graph::Metric::Weighted,
@@ -76,10 +87,15 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         topology,
         metric,
+        metrics_out,
+        events_out,
     })
 }
 
-fn load_custom_suite(path: &PathBuf, metric: rbpc_graph::Metric) -> Result<Vec<rbpc_eval::NetworkCase>, String> {
+fn load_custom_suite(
+    path: &PathBuf,
+    metric: rbpc_graph::Metric,
+) -> Result<Vec<rbpc_eval::NetworkCase>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let graph = rbpc_topo::parse_edge_list(&text)
@@ -118,7 +134,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|all> \
                  [--scale quick|paper] [--seed N] [--threads N] [--csv DIR] \
-                 [--topology FILE --metric weighted|unweighted]"
+                 [--topology FILE --metric weighted|unweighted] \
+                 [--metrics-out FILE] [--events-out FILE]"
             );
             return ExitCode::FAILURE;
         }
@@ -131,6 +148,17 @@ fn main() -> ExitCode {
         "# rbpc-eval {} --scale {scale_name} --seed {} --threads {}",
         args.command, args.seed, args.threads
     );
+    if let Some(path) = &args.events_out {
+        match rbpc_obs::JsonlSink::create(path) {
+            Ok(sink) => {
+                let _ = rbpc_obs::set_event_sink(Some(sink));
+            }
+            Err(e) => {
+                eprintln!("error: cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let suite = match &args.topology {
         Some(path) => {
             eprintln!("# loading topology {}…", path.display());
@@ -152,7 +180,11 @@ fn main() -> ExitCode {
         println!("== Table 1: networks ==");
         let rows = table1(&suite);
         println!("{}", rbpc_eval::table1::render(&rows));
-        write_csv(&args.csv_dir, "table1.csv", &rbpc_eval::table1::to_csv(&rows));
+        write_csv(
+            &args.csv_dir,
+            "table1.csv",
+            &rbpc_eval::table1::to_csv(&rows),
+        );
     };
     let run_t2 = || {
         println!("== Table 2: source-router RBPC ==");
@@ -172,7 +204,11 @@ fn main() -> ExitCode {
             }
         }
         println!("{}", rbpc_eval::table2::render(&rows));
-        write_csv(&args.csv_dir, "table2.csv", &rbpc_eval::table2::to_csv(&rows));
+        write_csv(
+            &args.csv_dir,
+            "table2.csv",
+            &rbpc_eval::table2::to_csv(&rows),
+        );
     };
     let run_t3 = || {
         println!("== Table 3: edge bypass hop counts ==");
@@ -188,7 +224,11 @@ fn main() -> ExitCode {
             ));
         }
         println!("{}", rbpc_eval::table3::render(&hists));
-        write_csv(&args.csv_dir, "table3.csv", &rbpc_eval::table3::to_csv(&hists));
+        write_csv(
+            &args.csv_dir,
+            "table3.csv",
+            &rbpc_eval::table3::to_csv(&hists),
+        );
     };
     let run_f10 = || {
         println!("== Figure 10: local RBPC stretch (weighted ISP) ==");
@@ -281,5 +321,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    finish_observability(&args);
     ExitCode::SUCCESS
+}
+
+/// Drains the event sink and dumps the metric registry: JSON to
+/// `--metrics-out` if given, and a human-readable summary to stderr.
+fn finish_observability(args: &Args) {
+    // Dropping the previous sink flushes the JSONL file.
+    drop(rbpc_obs::set_event_sink(None));
+    if let Some(path) = &args.events_out {
+        eprintln!("# wrote {}", path.display());
+    }
+    let snap = rbpc_obs::Registry::global_snapshot();
+    if let Some(path) = &args.metrics_out {
+        let mut json = snap.to_json();
+        json.push('\n');
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("# wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+    if !snap.is_empty() {
+        eprintln!();
+        eprintln!("== metrics summary ==");
+        eprint!("{}", snap.render_table());
+    }
 }

@@ -39,7 +39,10 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
         + "|\n";
     out.push_str(&rule);
     for row in rows {
-        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push_str(&render_row(
+            row.iter().map(String::as_str).collect(),
+            &widths,
+        ));
     }
     out
 }
@@ -103,10 +106,7 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let t = format_table(
-            &["a", "long-header"],
-            &[vec!["xxxxxx".into(), "1".into()]],
-        );
+        let t = format_table(&["a", "long-header"], &[vec!["xxxxxx".into(), "1".into()]]);
         let lines: Vec<_> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].len(), lines[2].len());

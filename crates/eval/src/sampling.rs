@@ -1,8 +1,6 @@
 //! Deterministic sampling of source–destination pairs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rbpc_graph::{bfs_distances, Graph, NodeId};
+use rbpc_graph::{bfs_distances, DetRng, Graph, NodeId};
 
 /// Samples `count` distinct connected ordered pairs, deterministically per
 /// seed — the paper's sampling protocol (200 pairs on the ISP, 40 on the
@@ -16,7 +14,7 @@ pub fn sample_pairs(graph: &Graph, count: usize, seed: u64) -> Vec<(NodeId, Node
     if n < 2 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);
     let mut seen = std::collections::HashSet::with_capacity(count);
     let mut reach_cache: std::collections::HashMap<u32, Vec<Option<u32>>> =

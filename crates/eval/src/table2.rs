@@ -19,12 +19,10 @@
 //!   block) the maximum shortest-path multiplicity over sampled sources.
 
 use crate::format_table;
-use crossbeam::thread;
 use rbpc_core::{BasePathOracle, Restorer, SegmentKind};
-use rbpc_graph::{
-    count_shortest_paths, splitmix64, FailureSet, NodeId,
-};
+use rbpc_graph::{count_shortest_paths, splitmix64, FailureSet, NodeId};
 use std::collections::HashMap;
+use std::thread;
 
 /// The four failure classes of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,7 +143,11 @@ fn event_hash(failures: &FailureSet) -> u64 {
     let mut parts: Vec<u64> = failures
         .failed_edges()
         .map(|e| e.index() as u64)
-        .chain(failures.failed_nodes().map(|v| (1 << 40) | v.index() as u64))
+        .chain(
+            failures
+                .failed_nodes()
+                .map(|v| (1 << 40) | v.index() as u64),
+        )
         .collect();
     parts.sort_unstable();
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -212,15 +214,14 @@ pub fn table2_block<O: BasePathOracle + Sync>(
     let acc = thread::scope(|scope| {
         let mut handles = Vec::new();
         for slice in pairs.chunks(chunk) {
-            handles.push(scope.spawn(move |_| run_pairs(oracle, class, slice)));
+            handles.push(scope.spawn(move || run_pairs(oracle, class, slice)));
         }
         let mut total = Acc::default();
         for h in handles {
             total.merge(h.join().expect("worker panicked"));
         }
         total
-    })
-    .expect("scope panicked");
+    });
 
     // Per-router loads.
     let n = oracle.graph().node_count();
@@ -344,12 +345,11 @@ fn run_pairs<O: BasePathOracle>(
                         }
                     }
                     // Explicit scheme: one backup LSP per failure event.
-                    let bkey = LspKey::Backup(
-                        s.index() as u32,
-                        t.index() as u32,
-                        event_hash(&failures),
-                    );
-                    acc.full.entry(bkey).or_insert_with(|| routers_of(&r.backup));
+                    let bkey =
+                        LspKey::Backup(s.index() as u32, t.index() as u32, event_hash(&failures));
+                    acc.full
+                        .entry(bkey)
+                        .or_insert_with(|| routers_of(&r.backup));
                 }
                 Err(_) => acc.skipped += 1,
             }
@@ -427,7 +427,9 @@ pub fn to_csv(rows: &[Table2Row]) -> String {
             format!("{:.4}", r.avg_pc_length),
             format!("{:.4}", r.length_sf),
             format!("{:.4}", r.redundancy),
-            r.max_multiplicity.map(|m| m.to_string()).unwrap_or_default(),
+            r.max_multiplicity
+                .map(|m| m.to_string())
+                .unwrap_or_default(),
             r.events.to_string(),
             r.skipped.to_string(),
         ]);

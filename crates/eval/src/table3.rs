@@ -6,9 +6,9 @@
 //! edge-bypass local RBPC cheap.
 
 use crate::format_table;
-use crossbeam::thread;
 use rbpc_graph::{shortest_path, CostModel, FailureSet, Graph, Metric};
 use std::collections::BTreeMap;
+use std::thread;
 
 /// The bypass hop-count distribution of one network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +66,7 @@ pub fn table3(
         let mut handles = Vec::new();
         for slice in edge_ids.chunks(chunk) {
             let model = &model;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
                 let mut bridges = 0usize;
                 for &e in slice {
@@ -85,8 +85,7 @@ pub fn table3(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    });
 
     let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
     let mut bridges = 0;
@@ -198,10 +197,7 @@ mod tests {
             "short-bypass fraction = {}",
             h.fraction_at_most(3)
         );
-        assert_eq!(
-            h.counts.values().sum::<usize>() + h.bridges,
-            h.total
-        );
+        assert_eq!(h.counts.values().sum::<usize>() + h.bridges, h.total);
     }
 
     #[test]

@@ -20,11 +20,7 @@ use std::collections::BinaryHeap;
 /// # Panics
 ///
 /// Panics if `source` is out of range.
-pub fn count_shortest_paths<T: Topology>(
-    topo: &T,
-    metric: Metric,
-    source: NodeId,
-) -> Vec<u64> {
+pub fn count_shortest_paths<T: Topology>(topo: &T, metric: Metric, source: NodeId) -> Vec<u64> {
     let graph = topo.graph();
     let n = graph.node_count();
     assert!(source.index() < n, "source {source} out of range");
@@ -180,8 +176,7 @@ mod tests {
         }
         let m = max_shortest_path_multiplicity(&g, Metric::Weighted, g.nodes());
         assert_eq!(m, 2);
-        let m_single =
-            max_shortest_path_multiplicity(&g, Metric::Weighted, [NodeId::new(1)]);
+        let m_single = max_shortest_path_multiplicity(&g, Metric::Weighted, [NodeId::new(1)]);
         assert_eq!(m_single, 2); // 1 -> 3 has two 2-hop routes
     }
 }

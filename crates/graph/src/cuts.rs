@@ -65,9 +65,7 @@ pub fn cut_elements<T: Topology>(topo: &T) -> CutElements {
         while let Some(frame) = stack.last_mut() {
             let u = frame.node;
             // Find the next live neighbor to process.
-            let neighbor = topo
-                .live_neighbors(u)
-                .nth(frame.next_neighbor);
+            let neighbor = topo.live_neighbors(u).nth(frame.next_neighbor);
             frame.next_neighbor += 1;
             match neighbor {
                 Some(h) => {
@@ -115,10 +113,7 @@ pub fn cut_elements<T: Topology>(topo: &T) -> CutElements {
     }
     CutElements {
         bridges,
-        articulation_points: (0..n)
-            .filter(|&i| is_ap[i])
-            .map(NodeId::new)
-            .collect(),
+        articulation_points: (0..n).filter(|&i| is_ap[i]).map(NodeId::new).collect(),
     }
 }
 

@@ -314,10 +314,14 @@ mod tests {
     #[test]
     fn arc_failure_changes_route() {
         let g = diamond();
-        let p = g.shortest_path(NodeId::new(0), NodeId::new(3), None).unwrap();
+        let p = g
+            .shortest_path(NodeId::new(0), NodeId::new(3), None)
+            .unwrap();
         assert_eq!(p, vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
         let cheap = ArcId::new(2); // 0 -> 2
-        let p2 = g.shortest_path(NodeId::new(0), NodeId::new(3), Some(cheap)).unwrap();
+        let p2 = g
+            .shortest_path(NodeId::new(0), NodeId::new(3), Some(cheap))
+            .unwrap();
         assert_eq!(p2, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
     }
 
@@ -332,7 +336,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let mut g = DiGraph::new(2);
-        assert!(matches!(g.add_arc(0, 0, 1), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            g.add_arc(0, 0, 1),
+            Err(GraphError::SelfLoop { .. })
+        ));
         assert!(matches!(
             g.add_arc(0, 5, 1),
             Err(GraphError::NodeOutOfRange { .. })
@@ -353,7 +360,9 @@ mod tests {
     #[test]
     fn cover_of_shortest_path_is_one() {
         let g = diamond();
-        let p = g.shortest_path(NodeId::new(0), NodeId::new(3), None).unwrap();
+        let p = g
+            .shortest_path(NodeId::new(0), NodeId::new(3), None)
+            .unwrap();
         assert_eq!(g.min_shortest_cover(&p), 1);
         assert_eq!(g.min_shortest_cover(&p[..1]), 0);
     }

@@ -1,7 +1,9 @@
 //! Dijkstra's algorithm over a [`Topology`], using perturbed `u128` costs
 //! for unique tie-breaking (see [`CostModel`]).
 
-use crate::{CostModel, EdgeId, FailureSet, Graph, NodeId, Path, PathCost, ShortestPathTree, Topology};
+use crate::{
+    CostModel, EdgeId, FailureSet, Graph, NodeId, Path, PathCost, ShortestPathTree, Topology,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -56,7 +58,13 @@ pub fn shortest_path_tree<T: Topology>(
             continue;
         }
         settled[ui as usize] = true;
-        tree.settle(u, d, base[ui as usize], hops[ui as usize], parent[ui as usize]);
+        tree.settle(
+            u,
+            d,
+            base[ui as usize],
+            hops[ui as usize],
+            parent[ui as usize],
+        );
 
         for h in topo.live_neighbors(u) {
             let vi = h.to.index();
@@ -149,7 +157,12 @@ pub fn shortest_path<T: Topology>(
 /// # Panics
 ///
 /// Panics if `s` or `t` is out of range.
-pub fn distance<T: Topology>(topo: &T, model: &CostModel, s: NodeId, t: NodeId) -> Option<PathCost> {
+pub fn distance<T: Topology>(
+    topo: &T,
+    model: &CostModel,
+    s: NodeId,
+    t: NodeId,
+) -> Option<PathCost> {
     shortest_path(topo, model, s, t).map(|p| p.cost(topo.graph(), model))
 }
 

@@ -57,6 +57,7 @@ mod error;
 mod graph;
 mod ids;
 mod path;
+mod rng;
 mod spt;
 mod subgraph;
 mod unionfind;
@@ -73,6 +74,7 @@ pub use error::{GraphError, PathError};
 pub use graph::{DegreeStats, EdgeRecord, Graph, HalfEdge};
 pub use ids::{EdgeId, NodeId};
 pub use path::Path;
+pub use rng::{DetRng, SampleRange};
 pub use spt::ShortestPathTree;
 pub use subgraph::{extract_subgraph, Subgraph};
 pub use unionfind::UnionFind;

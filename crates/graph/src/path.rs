@@ -77,7 +77,11 @@ impl Path {
     ///
     /// * [`PathError::Empty`] for an empty node sequence;
     /// * [`PathError::NotAWalk`] if consecutive nodes are not adjacent.
-    pub fn from_nodes(graph: &Graph, model: &CostModel, nodes: &[NodeId]) -> Result<Self, PathError> {
+    pub fn from_nodes(
+        graph: &Graph,
+        model: &CostModel,
+        nodes: &[NodeId],
+    ) -> Result<Self, PathError> {
         if nodes.is_empty() {
             return Err(PathError::Empty);
         }

@@ -1,0 +1,210 @@
+//! In-tree deterministic PRNG — the offline replacement for `rand`.
+//!
+//! The generator is a SplitMix64 stream: the same mixer [`splitmix64`]
+//! that realizes the [`CostModel`](crate::CostModel) infinitesimal
+//! padding, driven by a Weyl sequence. It is fast, has a full 2^64
+//! period, and is exactly reproducible per seed across platforms — all
+//! the topology generators, samplers, and randomized tests in this
+//! workspace need, without any external dependency.
+//!
+//! The API mirrors the subset of `rand` the workspace used
+//! (`seed_from_u64`, `gen_range`, `gen_bool`), so call sites only swap
+//! their `use` lines.
+//!
+//! ```
+//! use rbpc_graph::DetRng;
+//! let mut rng = DetRng::seed_from_u64(7);
+//! let a = rng.gen_range(0..10usize);
+//! assert!(a < 10);
+//! let w = rng.gen_range(1..=5u32);
+//! assert!((1..=5).contains(&w));
+//! let mut again = DetRng::seed_from_u64(7);
+//! assert_eq!(again.gen_range(0..10usize), a);
+//! ```
+
+use crate::splitmix64;
+use std::ops::{Range, RangeInclusive};
+
+/// Weyl-sequence increment of the SplitMix64 generator (golden-ratio
+/// constant, the canonical choice).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams; nearby seeds produce unrelated streams (the seed is mixed
+    /// once before use).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        splitmix64(self.state)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, span)` via Lemire's multiply-shift reduction.
+    #[inline]
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// Integer ranges [`DetRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled integer type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut DetRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.bounded(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every output is in range.
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.bounded(span) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(1);
+        let mut c = DetRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(5..17usize);
+            assert!((5..17).contains(&x));
+            let y = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_sane() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10 000; allow ±5 %.
+            assert!((9_500..=10_500).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..=3_300).contains(&hits), "hits = {hits}");
+        let mut rng = DetRng::seed_from_u64(8);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        let mut rng = DetRng::seed_from_u64(9);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        DetRng::seed_from_u64(0).gen_range(3..3usize);
+    }
+
+    #[test]
+    fn single_value_inclusive_range() {
+        let mut rng = DetRng::seed_from_u64(10);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(4..=4u32), 4);
+        }
+    }
+}

@@ -168,7 +168,9 @@ impl ShortestPathTree {
         let mut edges = Vec::new();
         let mut at = v;
         while let Some(pe) = self.parent_edge(at) {
-            let pn = self.parent_node(at).expect("parent edge implies parent node");
+            let pn = self
+                .parent_node(at)
+                .expect("parent edge implies parent node");
             edges.push(pe);
             nodes.push(pn);
             at = pn;

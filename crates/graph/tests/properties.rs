@@ -1,5 +1,9 @@
 //! Property-based tests for the graph substrate.
 
+// Requires the external `proptest` crate: compiled only with `--features proptest`
+// (offline builds ship without it).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use rbpc_graph::{
     bfs_distances, count_shortest_paths, distance, shortest_path, shortest_path_tree, CostModel,

@@ -64,10 +64,7 @@ impl fmt::Display for MplsError {
             MplsError::ChainStartsElsewhere {
                 router,
                 chain_start,
-            } => write!(
-                f,
-                "FEC chain for {router} starts at {chain_start} instead"
-            ),
+            } => write!(f, "FEC chain for {router} starts at {chain_start} instead"),
             MplsError::NoSuchIlmEntry { router, label } => {
                 write!(f, "router {router} has no ILM entry for {label}")
             }

@@ -169,8 +169,7 @@ impl MplsNetwork {
                     let next = self.graph().edge(out).other(NodeId::new(r));
                     IlmOp::SwapAndForward {
                         out,
-                        next_label: labels[next.index()]
-                            .expect("next hop routers participate"),
+                        next_label: labels[next.index()].expect("next hop routers participate"),
                     }
                 }
                 None => IlmOp::PopAndContinue,
@@ -195,10 +194,9 @@ impl MplsNetwork {
     ///
     /// [`MplsError::UnknownLsp`] (reusing the LSP error) for a stale id.
     pub fn sink_tree(&self, id: SinkTreeId) -> Result<&SinkTreeRecord, MplsError> {
-        self.sink_tree_ref(id.index())
-            .ok_or(MplsError::UnknownLsp {
-                lsp: crate::LspId::new(id.index()),
-            })
+        self.sink_tree_ref(id.index()).ok_or(MplsError::UnknownLsp {
+            lsp: crate::LspId::new(id.index()),
+        })
     }
 
     /// Tears a sink tree down, removing its ILM entries.

@@ -6,6 +6,7 @@ use crate::{
     Router, SignalingStats,
 };
 use rbpc_graph::{FailureSet, Graph, NodeId, Path, PathError};
+use rbpc_obs::{obs_count, obs_event, obs_record};
 
 /// An established label-switched path.
 #[derive(Debug, Clone)]
@@ -158,7 +159,9 @@ impl MplsNetwork {
     ///
     /// [`MplsError::UnknownLsp`] if the id is stale.
     pub fn lsp(&self, id: LspId) -> Result<&LspRecord, MplsError> {
-        self.lsps.get(id.index()).ok_or(MplsError::UnknownLsp { lsp: id })
+        self.lsps
+            .get(id.index())
+            .ok_or(MplsError::UnknownLsp { lsp: id })
     }
 
     /// Iterates over all LSP records (including torn-down ones).
@@ -239,9 +242,12 @@ impl MplsNetwork {
             };
             self.routers[node.index()].install_ilm(label, IlmEntry { op });
             self.stats.ilm_writes += 1;
+            obs_count!("mpls.signaling.ilm_writes");
         }
         self.stats.messages += 2 * path.hop_count() as u64;
         self.stats.lsps_established += 1;
+        obs_count!("mpls.signaling.messages", 2 * path.hop_count() as u64);
+        obs_count!("mpls.signaling.lsps_established");
         let id = LspId::new(self.lsps.len());
         self.lsps.push(LspRecord {
             path: path.clone(),
@@ -275,10 +281,13 @@ impl MplsNetwork {
             if let Some(l) = label {
                 self.routers[node.index()].remove_ilm(l);
                 self.stats.ilm_writes += 1;
+                obs_count!("mpls.signaling.ilm_writes");
             }
         }
         self.stats.messages += hops;
         self.stats.lsps_torn_down += 1;
+        obs_count!("mpls.signaling.messages", hops);
+        obs_count!("mpls.signaling.lsps_torn_down");
         Ok(())
     }
 
@@ -328,6 +337,7 @@ impl MplsNetwork {
         }
         // Bottom-first: the first LSP of the chain goes on top.
         entry_labels.reverse();
+        let depth = entry_labels.len();
         self.routers[router.index()].install_fec(
             dest,
             FecEntry {
@@ -335,6 +345,14 @@ impl MplsNetwork {
             },
         );
         self.stats.fec_writes += 1;
+        obs_count!("mpls.signaling.fec_writes");
+        obs_event!(
+            "fec_rewrite",
+            router = router.index(),
+            dest = dest.index(),
+            lsps = lsps.len(),
+            stack_depth = depth,
+        );
         Ok(())
     }
 
@@ -352,8 +370,16 @@ impl MplsNetwork {
     ) -> Result<(), MplsError> {
         self.router(router)?;
         self.router(dest)?;
+        let depth = labels.len();
         self.routers[router.index()].install_fec(dest, FecEntry { labels });
         self.stats.fec_writes += 1;
+        obs_count!("mpls.signaling.fec_writes");
+        obs_event!(
+            "fec_rewrite",
+            router = router.index(),
+            dest = dest.index(),
+            stack_depth = depth,
+        );
         Ok(())
     }
 
@@ -366,6 +392,7 @@ impl MplsNetwork {
         self.router(router)?;
         if self.routers[router.index()].remove_fec(dest).is_some() {
             self.stats.fec_writes += 1;
+            obs_count!("mpls.signaling.fec_writes");
         }
         Ok(())
     }
@@ -420,6 +447,7 @@ impl MplsNetwork {
             .ilm(label)
             .cloned()
             .ok_or(MplsError::NoSuchIlmEntry { router, label })?;
+        let depth = entry_labels.len();
         self.routers[router.index()].install_ilm(
             label,
             IlmEntry {
@@ -429,6 +457,15 @@ impl MplsNetwork {
             },
         );
         self.stats.ilm_writes += 1;
+        obs_count!("mpls.signaling.ilm_writes");
+        obs_count!("mpls.ilm_splices");
+        obs_event!(
+            "ilm_splice",
+            router = router.index(),
+            label = label.value(),
+            chain = chain.len(),
+            stack_depth = depth,
+        );
         Ok(old)
     }
 
@@ -446,6 +483,7 @@ impl MplsNetwork {
     ) -> Result<Option<IlmEntry>, MplsError> {
         self.router(router)?;
         self.stats.ilm_writes += 1;
+        obs_count!("mpls.signaling.ilm_writes");
         Ok(self.routers[router.index()].install_ilm(label, entry))
     }
 
@@ -475,6 +513,25 @@ impl MplsNetwork {
     ///   `dest`;
     /// * [`ForwardError::TtlExceeded`] on a forwarding loop.
     pub fn forward_with_failures(
+        &self,
+        src: NodeId,
+        dest: NodeId,
+        failures: &FailureSet,
+    ) -> Result<ForwardTrace, ForwardError> {
+        obs_count!("mpls.forward.packets");
+        let result = self.forward_inner(src, dest, failures);
+        match &result {
+            Ok(trace) => {
+                obs_count!("mpls.forward.delivered");
+                obs_record!("mpls.forward.hops", trace.hop_count());
+                obs_record!("mpls.forward.label_ops", trace.label_ops());
+            }
+            Err(_) => obs_count!("mpls.forward.errors"),
+        }
+        result
+    }
+
+    fn forward_inner(
         &self,
         src: NodeId,
         dest: NodeId,
@@ -683,7 +740,8 @@ mod tests {
         );
         // FEC via a dead LSP is rejected.
         assert_eq!(
-            net.set_fec_via_lsps(0.into(), 2.into(), &[lsp]).unwrap_err(),
+            net.set_fec_via_lsps(0.into(), 2.into(), &[lsp])
+                .unwrap_err(),
             MplsError::LspInactive { lsp }
         );
     }
@@ -716,7 +774,8 @@ mod tests {
         let l2 = net.establish_lsp(&p2).unwrap();
         // Gap between node 1 and node 2.
         assert_eq!(
-            net.set_fec_via_lsps(0.into(), 3.into(), &[l1, l2]).unwrap_err(),
+            net.set_fec_via_lsps(0.into(), 3.into(), &[l1, l2])
+                .unwrap_err(),
             MplsError::BrokenChain { position: 1 }
         );
         // Chain starting elsewhere.
@@ -766,7 +825,8 @@ mod tests {
         // Failed source router.
         let f = FailureSet::of_nodes([0usize]);
         assert_eq!(
-            net.forward_with_failures(0.into(), 3.into(), &f).unwrap_err(),
+            net.forward_with_failures(0.into(), 3.into(), &f)
+                .unwrap_err(),
             ForwardError::DeadRouter { router: 0.into() }
         );
     }

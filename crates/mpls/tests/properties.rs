@@ -2,10 +2,12 @@
 //! forwarding correctness, and sink-tree equivalence — over random
 //! topologies and random paths.
 
+// Requires the external `proptest` crate: compiled only with `--features proptest`
+// (offline builds ship without it).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
-use rbpc_graph::{
-    shortest_path, shortest_path_tree, CostModel, FailureSet, Metric, NodeId,
-};
+use rbpc_graph::{shortest_path, shortest_path_tree, CostModel, FailureSet, Metric, NodeId};
 use rbpc_mpls::{ForwardError, MplsNetwork};
 use rbpc_topo::gnm_connected;
 

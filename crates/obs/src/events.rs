@@ -1,0 +1,297 @@
+//! Structured events and the JSONL sink.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// A field value of a structured [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values serialize as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+macro_rules! impl_value_from {
+    ($($t:ty => $variant:ident as $cast:ty),+ $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::$variant(v as $cast)
+            }
+        }
+    )+};
+}
+
+impl_value_from!(
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    f32 => F64 as f64,
+    f64 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "\"{}\"", json_escape(s));
+        }
+    }
+}
+
+/// A structured event: a name, a monotonic timestamp, and typed fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event name, e.g. `restore_done`.
+    pub name: &'static str,
+    /// Microseconds since the process's observability epoch (the first
+    /// event or timestamp request).
+    pub ts_us: u64,
+    /// Ordered `(key, value)` fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Builds an event stamped with the current time.
+    pub fn now(name: &'static str, fields: Vec<(&'static str, Value)>) -> Event {
+        Event {
+            name,
+            ts_us: epoch_micros(),
+            fields,
+        }
+    }
+
+    /// Serializes the event as a single JSON object (no trailing
+    /// newline): `{"event":"...","ts_us":...,<fields>}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(
+            out,
+            "{{\"event\":\"{}\",\"ts_us\":{}",
+            json_escape(self.name),
+            self.ts_us
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",\"{}\":", json_escape(key));
+            write_value(&mut out, value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Microseconds since the process's observability epoch.
+pub(crate) fn epoch_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A sink writing one JSON object per line to an arbitrary writer.
+///
+/// Writes are serialized through an internal mutex, so a sink can be
+/// shared by concurrently restoring threads without interleaving lines.
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new<W: Write + Send + 'static>(writer: W) -> JsonlSink {
+        JsonlSink {
+            writer: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Creates (truncating) a file sink with buffering.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Writes one event as one line. I/O errors are swallowed: metrics
+    /// must never take down the instrumented program.
+    pub fn emit(&self, event: &Event) {
+        let line = event.to_json();
+        let mut w = self.writer.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static Mutex<Option<JsonlSink>> {
+    static SINK: OnceLock<Mutex<Option<JsonlSink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes and flushes) the process-global
+/// event sink that [`obs_event!`](crate::obs_event) writes to. Returns
+/// the previous sink, if any.
+pub fn set_event_sink(sink: Option<JsonlSink>) -> Option<JsonlSink> {
+    SINK_ACTIVE.store(sink.is_some(), Ordering::Release);
+    std::mem::replace(&mut *sink_slot().lock().unwrap(), sink)
+}
+
+/// True when a global event sink is installed. This is the cheap guard
+/// `obs_event!` checks before building an event, so un-sunk events cost
+/// one atomic load.
+#[inline]
+pub fn event_sink_active() -> bool {
+    SINK_ACTIVE.load(Ordering::Acquire)
+}
+
+/// Stamps and emits an event to the global sink; a no-op when no sink is
+/// installed.
+pub fn emit(name: &'static str, fields: Vec<(&'static str, Value)>) {
+    if !event_sink_active() {
+        return;
+    }
+    let event = Event::now(name, fields);
+    if let Some(sink) = sink_slot().lock().unwrap().as_ref() {
+        sink.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = Event {
+            name: "restore_done",
+            ts_us: 42,
+            fields: vec![
+                ("src", Value::from(3usize)),
+                ("ok", Value::from(true)),
+                ("note", Value::from("a\"b")),
+                ("ratio", Value::from(1.5f64)),
+                ("nan", Value::from(f64::NAN)),
+            ],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"restore_done\",\"ts_us\":42,\"src\":3,\"ok\":true,\
+             \"note\":\"a\\\"b\",\"ratio\":1.5,\"nan\":null}"
+        );
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let sink = JsonlSink::new(buf.clone());
+        sink.emit(&Event::now("a", vec![]));
+        sink.emit(&Event::now("b", vec![("k", Value::from(1u64))]));
+        drop(sink);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"a\""));
+        assert!(lines[1].ends_with("\"k\":1}"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Std-only observability for the RBPC workspace.
+//!
+//! The paper's whole claim is *speed of recovery* — restoration latency,
+//! label-stack depth, signaling and table-update counts — so the hot
+//! paths need first-class instrumentation, not ad-hoc timers in the eval
+//! harness. This crate provides that layer with **no external
+//! dependencies**: everything is built on `std::sync::atomic` and
+//! `std::time`, so it compiles offline and adds nothing to the
+//! dependency graph.
+//!
+//! # Pieces
+//!
+//! * [`Counter`] — a relaxed [`AtomicU64`](std::sync::atomic::AtomicU64)
+//!   event counter;
+//! * [`Histogram`] — a log-bucketed latency/size histogram with lock-free
+//!   recording and p50/p95/p99/max [`summary`](Histogram::summary);
+//! * [`Span`] — an RAII timer that records its elapsed nanoseconds into a
+//!   global histogram on drop (including drops during unwinding), with
+//!   per-thread nesting depth;
+//! * [`Registry`] — a labeled metric-family store; the process-global one
+//!   is [`Registry::global`], and [`Registry::global_snapshot`] freezes
+//!   everything into a [`Snapshot`] for rendering or export;
+//! * [`JsonlSink`] + [`obs_event!`] — structured events
+//!   (`restore_start`, `restore_done`, `fec_rewrite`, `ilm_splice`,
+//!   `decompose_fallback`, …) streamed as one JSON object per line.
+//!
+//! # Feature gating
+//!
+//! Instrumented crates call the [`obs_count!`], [`obs_record!`],
+//! [`obs_span!`], and [`obs_event!`] macros. Each macro expands an
+//! `#[cfg(feature = "obs")]` guard *in the consumer crate*, so every
+//! instrumented crate declares its own default-on `obs` feature; building
+//! with `--no-default-features` compiles every instrumentation point to a
+//! no-op with zero runtime cost.
+//!
+//! ```
+//! use rbpc_obs::{obs_count, obs_span, Registry};
+//!
+//! {
+//!     let _span = obs_span!("doc.example");
+//!     obs_count!("doc.example.calls");
+//! }
+//! let snap = Registry::global_snapshot();
+//! assert!(snap.counter("doc.example.calls").unwrap_or(0) >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod events;
+mod histogram;
+mod registry;
+mod span;
+
+pub use counter::Counter;
+pub use events::{emit, event_sink_active, json_escape, set_event_sink, Event, JsonlSink, Value};
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Registry, Snapshot};
+pub use span::Span;
+
+/// Increments a counter in the global [`Registry`].
+///
+/// * `obs_count!("name")` — add 1;
+/// * `obs_count!("name", n)` — add `n` (any unsigned integer expression);
+/// * `obs_count!("name", label: l, n)` — add `n` to the `l`-labeled
+///   member of the `name` family.
+///
+/// Compiles to a no-op when the calling crate's `obs` feature is off.
+#[macro_export]
+macro_rules! obs_count {
+    ($name:expr) => {
+        $crate::obs_count!($name, 1u64)
+    };
+    ($name:expr, label: $label:expr, $n:expr) => {{
+        #[cfg(feature = "obs")]
+        $crate::Registry::global()
+            .counter_with($name, $label)
+            .add($n as u64);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&$name, &$label, &$n);
+        }
+    }};
+    ($name:expr, $n:expr) => {{
+        #[cfg(feature = "obs")]
+        $crate::Registry::global().counter($name).add($n as u64);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&$name, &$n);
+        }
+    }};
+}
+
+/// Records a value into a histogram in the global [`Registry`].
+///
+/// * `obs_record!("name", v)` — record `v`;
+/// * `obs_record!("name", label: l, v)` — record into the `l`-labeled
+///   member of the `name` family.
+///
+/// Compiles to a no-op when the calling crate's `obs` feature is off.
+#[macro_export]
+macro_rules! obs_record {
+    ($name:expr, label: $label:expr, $v:expr) => {{
+        #[cfg(feature = "obs")]
+        $crate::Registry::global()
+            .histogram_with($name, $label)
+            .record($v as u64);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&$name, &$label, &$v);
+        }
+    }};
+    ($name:expr, $v:expr) => {{
+        #[cfg(feature = "obs")]
+        $crate::Registry::global()
+            .histogram($name)
+            .record($v as u64);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&$name, &$v);
+        }
+    }};
+}
+
+/// Opens an RAII [`Span`] timer: `let _span = obs_span!("core.restore");`.
+///
+/// Evaluates to an `Option<Span>`; when the span drops (normally or
+/// during unwinding) its elapsed nanoseconds are recorded into the global
+/// histogram of the same name. Evaluates to `None` — with no timer
+/// started — when the calling crate's `obs` feature is off.
+#[macro_export]
+macro_rules! obs_span {
+    ($name:expr) => {{
+        #[cfg(feature = "obs")]
+        let __obs_span = Some($crate::Span::enter($name));
+        #[cfg(not(feature = "obs"))]
+        let __obs_span: Option<$crate::Span> = {
+            let _ = &$name;
+            None
+        };
+        __obs_span
+    }};
+}
+
+/// Emits a structured event to the active [`JsonlSink`], if one is set.
+///
+/// ```
+/// # use rbpc_obs::obs_event;
+/// obs_event!("restore_done", src = 3usize, dst = 9usize, segments = 2usize, ok = true);
+/// ```
+///
+/// Field values may be any type convertible into [`Value`] (integers,
+/// floats, bools, strings). Compiles to a no-op when the calling crate's
+/// `obs` feature is off, and is a cheap early-out when no sink is set.
+#[macro_export]
+macro_rules! obs_event {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        #[cfg(feature = "obs")]
+        {
+            if $crate::event_sink_active() {
+                $crate::emit(
+                    $name,
+                    vec![$((stringify!($key), $crate::Value::from($val))),*],
+                );
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&$name $(, &$val)*);
+        }
+    }};
+}

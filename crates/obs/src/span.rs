@@ -1,0 +1,82 @@
+//! RAII span timers.
+
+use crate::Registry;
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// An RAII timer over a named region of code.
+///
+/// `Span::enter("core.restore")` starts the clock; when the span drops —
+/// at normal scope exit *or* while unwinding from a panic — the elapsed
+/// nanoseconds are recorded into the global histogram of the same name,
+/// so a crashing restore still leaves its latency on the record.
+///
+/// Spans nest: [`depth`](Span::depth) reports how many spans were already
+/// open on this thread when this one was entered (0 = outermost).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+}
+
+impl Span {
+    /// Opens a span; the returned guard records on drop.
+    pub fn enter(name: &'static str) -> Span {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Span {
+            name,
+            start: Instant::now(),
+            depth,
+        }
+    }
+
+    /// The metric name this span records to.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nesting depth at entry (0 = outermost span on this thread).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Nanoseconds elapsed so far (also what drop will record).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        Registry::global()
+            .histogram(self.name)
+            .record(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_depth() {
+        let outer = Span::enter("span.test.outer");
+        assert_eq!(outer.depth(), 0);
+        {
+            let inner = Span::enter("span.test.inner");
+            assert_eq!(inner.depth(), 1);
+        }
+        let sibling = Span::enter("span.test.sibling");
+        assert_eq!(sibling.depth(), 1);
+    }
+}

@@ -153,9 +153,7 @@ pub fn simulate_flow<O: BasePathOracle>(
         }
         send += interval;
     }
-    if report.delivered > 0 {
-        report.mean_latency_us = latency_sum / report.delivered;
-    }
+    report.mean_latency_us = latency_sum.checked_div(report.delivered).unwrap_or(0);
     Ok(report)
 }
 

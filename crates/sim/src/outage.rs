@@ -3,6 +3,7 @@
 use crate::{flood_timeline, LatencyModel};
 use rbpc_core::{edge_bypass, end_route, BasePathOracle, RestoreError, Restorer};
 use rbpc_graph::{EdgeId, FailureSet, NodeId};
+use rbpc_obs::{obs_count, obs_record};
 
 /// A restoration scheme whose outage window is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,6 +31,17 @@ impl Scheme {
             Scheme::SourceRbpc,
             Scheme::Reestablish,
         ]
+    }
+
+    /// Stable short name, used as the metric label in observability output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::LocalEdgeBypass => "local_edge_bypass",
+            Scheme::LocalEndRoute => "local_end_route",
+            Scheme::SourceRbpc => "source_rbpc",
+            Scheme::Hybrid => "hybrid",
+            Scheme::Reestablish => "reestablish",
+        }
     }
 }
 
@@ -124,10 +136,7 @@ pub fn outage<O: BasePathOracle>(
                 source: s,
                 target: t,
             })?;
-            (
-                aware + model.fec_write_us,
-                r.backup_cost.hops,
-            )
+            (aware + model.fec_write_us, r.backup_cost.hops)
         }
         Scheme::Reestablish => {
             let r = restorer.restore(s, t, &failures)?;
@@ -146,6 +155,8 @@ pub fn outage<O: BasePathOracle>(
             )
         }
     };
+    obs_count!("sim.outage.events", label: scheme.name(), 1u64);
+    obs_record!("sim.outage.restored_us", label: scheme.name(), restored_at_us);
     Ok(OutageReport {
         scheme,
         restored_at_us,
@@ -191,7 +202,10 @@ pub fn outage_summary<O: BasePathOracle>(
                     total += r.restored_at_us;
                     max = max.max(r.restored_at_us);
                 }
-                Err(_) => unrestorable += 1,
+                Err(_) => {
+                    unrestorable += 1;
+                    obs_count!("sim.outage.unrestorable", label: scheme.name(), 1u64);
+                }
             }
         }
     }

@@ -1,6 +1,10 @@
 //! Property tests for the latency simulation: the scheme ordering and the
 //! flood/flow invariants must hold on arbitrary random topologies.
 
+// Requires the external `proptest` crate: compiled only with `--features proptest`
+// (offline builds ship without it).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use rbpc_core::{BasePathOracle, DenseBasePaths};
 use rbpc_graph::{CostModel, FailureSet, Metric, NodeId};

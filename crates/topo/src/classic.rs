@@ -102,7 +102,10 @@ pub fn weighted_tight(k: usize) -> WeightedTightTopology {
             let end = a + 2;
             let next = 3 * (i + 1);
             cheap.push(g.add_edge(end, next, scale).expect("cheap junction"));
-            expensive.push(g.add_edge(end, next, scale + 1).expect("expensive junction"));
+            expensive.push(
+                g.add_edge(end, next, scale + 1)
+                    .expect("expensive junction"),
+            );
         }
     }
     WeightedTightTopology {
@@ -316,9 +319,7 @@ pub fn grid(r: usize, c: usize) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rbpc_graph::{
-        distance, is_connected, shortest_path, CostModel, FailureSet, Metric,
-    };
+    use rbpc_graph::{distance, is_connected, shortest_path, CostModel, FailureSet, Metric};
 
     fn um() -> CostModel {
         CostModel::new(Metric::Unweighted, 3)
@@ -491,6 +492,8 @@ mod directed_tests {
     }
 
     #[test]
+    // Indices feed both the expected value and the assertion message.
+    #[allow(clippy::needless_range_loop)]
     fn figure5_shortcut_dominates_long_segments() {
         let d = directed_counterexample(8);
         let dist = d.graph.distance_matrix();

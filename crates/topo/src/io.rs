@@ -107,10 +107,11 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, TopologyParseError> {
                 if parts.next().is_some() {
                     return Err(TopologyParseError::Malformed { line: line_no });
                 }
-                g.add_edge(u, v, w).map_err(|source| TopologyParseError::Graph {
-                    line: line_no,
-                    source,
-                })?;
+                g.add_edge(u, v, w)
+                    .map_err(|source| TopologyParseError::Graph {
+                        line: line_no,
+                        source,
+                    })?;
             }
             _ => return Err(TopologyParseError::Malformed { line: line_no }),
         }
@@ -125,7 +126,13 @@ pub fn write_edge_list(graph: &Graph) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "nodes {}", graph.node_count());
     for (_, rec) in graph.edges() {
-        let _ = writeln!(out, "edge {} {} {}", rec.u.index(), rec.v.index(), rec.weight);
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            rec.u.index(),
+            rec.v.index(),
+            rec.weight
+        );
     }
     out
 }

@@ -9,9 +9,7 @@
 //! generator reproduces that structure and those aggregate statistics,
 //! which are the only properties the paper's experiments depend on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rbpc_graph::{Graph, NodeId};
+use rbpc_graph::{DetRng, Graph, NodeId};
 
 /// Parameters of the ISP backbone generator.
 ///
@@ -102,7 +100,7 @@ pub fn isp_topology(params: IspParams, seed: u64) -> IspTopology {
         params.min_access_per_pop <= params.max_access_per_pop,
         "empty access range"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
 
     let mut g = Graph::new(0);
     let core: Vec<NodeId> = (0..params.core_routers).map(|_| g.add_node()).collect();
@@ -147,14 +145,13 @@ pub fn isp_topology(params: IspParams, seed: u64) -> IspTopology {
         g.add_edge(agg_a, agg_b, params.intra_pop_weight)
             .expect("intra-pop link");
 
-        let n_access =
-            rng.gen_range(params.min_access_per_pop..=params.max_access_per_pop);
+        let n_access = rng.gen_range(params.min_access_per_pop..=params.max_access_per_pop);
         for _ in 0..n_access {
             let acc = g.add_node();
             access.push(acc);
             g.add_edge(acc, agg_a, params.access_weight)
                 .expect("access link");
-            if rng.gen_range(0..100) < params.dual_homed_access_pct {
+            if rng.gen_range(0..100u32) < params.dual_homed_access_pct {
                 g.add_edge(acc, agg_b, params.access_weight)
                     .expect("access backup link");
             }

@@ -31,13 +31,16 @@ pub mod powerlaw;
 pub mod random;
 pub mod waxman;
 
-pub use classic::{directed_counterexample, weighted_tight, DirectedCounterexample};
 pub use classic::{
     comb, complete, cycle, grid, parallel_chain, path, two_hop_star, CombTopology,
     ParallelChainTopology, StarTopology, WeightedTightTopology,
 };
+pub use classic::{directed_counterexample, weighted_tight, DirectedCounterexample};
 pub use io::{parse_edge_list, write_edge_list, TopologyParseError};
 pub use isp::{isp_topology, IspParams};
-pub use powerlaw::{as_graph_like, ba_graph, ba_graph_clustered, internet_like, internet_like_scaled, INTERNET_TRIAD_PCT};
+pub use powerlaw::{
+    as_graph_like, ba_graph, ba_graph_clustered, internet_like, internet_like_scaled,
+    INTERNET_TRIAD_PCT,
+};
 pub use random::gnm_connected;
 pub use waxman::{waxman, WaxmanParams};

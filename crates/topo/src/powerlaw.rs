@@ -8,9 +8,7 @@
 //! preference is implemented by sampling a uniformly random endpoint of a
 //! uniformly random existing edge, which is proportional to degree.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rbpc_graph::{Graph, NodeId};
+use rbpc_graph::{DetRng, Graph, NodeId};
 
 /// Generates a connected Barabási–Albert-style graph with exactly `n`
 /// nodes and `target_edges` edges (unit weights; the paper evaluates these
@@ -56,7 +54,7 @@ pub fn ba_graph_clustered(n: usize, target_edges: usize, triad_pct: u32, seed: u
         "need at least n - 1 edges for connectivity"
     );
     assert!(triad_pct <= 100, "triad_pct is a percentage");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = Graph::with_capacity(n, target_edges);
     // Endpoint pool: each edge contributes both endpoints, so sampling a
     // pool element uniformly is degree-proportional sampling.
@@ -87,7 +85,7 @@ pub fn ba_graph_clustered(n: usize, target_edges: usize, triad_pct: u32, seed: u
             guard += 1;
             // Triad formation: follow a neighbor of the previous target.
             if let Some(&prev) = chosen.last() {
-                if rng.gen_range(0..100) < triad_pct {
+                if rng.gen_range(0..100u32) < triad_pct {
                     let deg = g.degree(NodeId::new(prev));
                     if deg > 0 {
                         let pick = rng.gen_range(0..deg);

@@ -1,8 +1,6 @@
 //! Seeded connected random graphs for tests and fuzzing.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rbpc_graph::Graph;
+use rbpc_graph::{DetRng, Graph};
 
 /// A connected random multigraph with `n` nodes and exactly `m ≥ n − 1`
 /// edges: a uniformly random spanning tree skeleton (random attachment)
@@ -27,7 +25,7 @@ pub fn gnm_connected(n: usize, m: usize, max_weight: u32, seed: u64) -> Graph {
     assert!(n >= 1, "need at least one node");
     assert!(m + 1 >= n, "need at least n - 1 edges for connectivity");
     assert!(max_weight >= 1, "weights are strictly positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = Graph::with_capacity(n, m);
     // Random attachment spanning tree.
     for v in 1..n {

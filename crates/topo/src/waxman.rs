@@ -7,9 +7,7 @@
 //! generators with a flat, distance-driven family — useful for checking
 //! that RBPC's behaviour is not an artifact of one topology style.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rbpc_graph::{Graph, UnionFind};
+use rbpc_graph::{DetRng, Graph, UnionFind};
 
 /// Parameters of the Waxman generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,8 +61,8 @@ pub fn waxman(params: WaxmanParams, seed: u64) -> Graph {
         "beta must be in (0, 1]"
     );
     let n = params.nodes;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut rng = DetRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
     let diag = 2f64.sqrt();
     let dist = |a: usize, b: usize| -> f64 {
         let dx = pos[a].0 - pos[b].0;
@@ -86,7 +84,7 @@ pub fn waxman(params: WaxmanParams, seed: u64) -> Graph {
         for b in a + 1..n {
             let d = dist(a, b);
             let p = params.beta * (-d / (params.alpha * diag)).exp();
-            if rng.gen::<f64>() < p {
+            if rng.gen_f64() < p {
                 g.add_edge(a, b, weight_of(d)).expect("valid edge");
                 uf.union(a, b);
             }

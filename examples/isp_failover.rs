@@ -94,6 +94,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(trace.route(), update.restoration.backup.nodes());
         verified += 1;
     }
-    println!("\nverified {verified} restored routes by packet forwarding through the failed network");
+    println!(
+        "\nverified {verified} restored routes by packet forwarding through the failed network"
+    );
     Ok(())
 }

@@ -14,7 +14,9 @@
 //!
 //! Run with: `cargo run --release --example local_vs_source`
 
-use mpls_rbpc::core::{edge_bypass, end_route, BasePathOracle, DenseBasePaths, ProvisionedDomain, Restorer};
+use mpls_rbpc::core::{
+    edge_bypass, end_route, BasePathOracle, DenseBasePaths, ProvisionedDomain, Restorer,
+};
 use mpls_rbpc::eval::{figure10, sample_pairs};
 use mpls_rbpc::graph::{CostModel, FailureSet, Metric};
 use mpls_rbpc::topo::{isp_topology, IspParams};
@@ -53,8 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Roll back and try phase 1b: end-route splice.
-    let broken_label = domain.net().lsp(lsp)?.label_at(bypass.r1).expect("label at r1");
-    domain.net_mut().install_ilm_entry(bypass.r1, broken_label, old_entry)?;
+    let broken_label = domain
+        .net()
+        .lsp(lsp)?
+        .label_at(bypass.r1)
+        .expect("label at r1");
+    domain
+        .net_mut()
+        .install_ilm_entry(bypass.r1, broken_label, old_entry)?;
     let endroute = end_route(&oracle, &base, failed, &failures)?;
     domain.apply_local_restoration(lsp, &endroute)?;
     let trace = domain.forward(s, t, &failures)?;

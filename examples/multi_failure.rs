@@ -9,10 +9,8 @@
 
 use mpls_rbpc::core::theory::min_shortest_path_cover;
 use mpls_rbpc::core::{greedy_decompose, BasePathOracle, DenseBasePaths, Restorer};
-use mpls_rbpc::graph::{shortest_path, CostModel, FailureSet, Metric};
+use mpls_rbpc::graph::{shortest_path, CostModel, DetRng, FailureSet, Metric};
 use mpls_rbpc::topo::{comb, isp_topology, two_hop_star, weighted_tight, IspParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // --- Figure 2: the comb (Theorem 1 is tight) ---
@@ -24,7 +22,11 @@ fn main() {
         let view = failures.view(&c.graph);
         let backup = shortest_path(&view, oracle.cost_model(), c.s, c.t).expect("teeth survive");
         let conc = greedy_decompose(&oracle, &backup);
-        println!("  k = {k}: restoration uses {} base paths (bound: {})", conc.len(), k + 1);
+        println!(
+            "  k = {k}: restoration uses {} base paths (bound: {})",
+            conc.len(),
+            k + 1
+        );
     }
 
     // --- Figure 3: weighted chain (Theorem 2 is tight) ---
@@ -53,7 +55,8 @@ fn main() {
             DenseBasePaths::build(star.graph.clone(), CostModel::new(Metric::Unweighted, 0));
         let failures = FailureSet::of_nodes([star.hub.index()]);
         let view = failures.view(&star.graph);
-        let backup = shortest_path(&view, oracle.cost_model(), star.s, star.t).expect("line survives");
+        let backup =
+            shortest_path(&view, oracle.cost_model(), star.s, star.t).expect("line survives");
         let conc = greedy_decompose(&oracle, &backup);
         println!(
             "  n = {n}: one router failure forces {} pieces (lower bound (n-2)/2 = {})",
@@ -67,7 +70,7 @@ fn main() {
     let isp = isp_topology(IspParams::default(), 1).graph;
     let oracle = DenseBasePaths::build(isp.clone(), CostModel::new(Metric::Weighted, 1));
     let restorer = Restorer::new(&oracle);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = DetRng::seed_from_u64(9);
     for k in 1..=4usize {
         let mut lens = Vec::new();
         let mut disconnected = 0;
@@ -77,7 +80,9 @@ fn main() {
             if s == t {
                 continue;
             }
-            let Some(base) = oracle.base_path(s, t) else { continue };
+            let Some(base) = oracle.base_path(s, t) else {
+                continue;
+            };
             if base.hop_count() < k {
                 continue;
             }

@@ -10,10 +10,8 @@
 //! Run with: `cargo run --release --example network_churn`
 
 use mpls_rbpc::core::{BasePathOracle, ChurnDriver, DenseBasePaths};
-use mpls_rbpc::graph::{CostModel, EdgeId, Metric};
+use mpls_rbpc::graph::{CostModel, DetRng, EdgeId, Metric};
 use mpls_rbpc::topo::{isp_topology, IspParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let isp = isp_topology(
@@ -34,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oracle.graph().edge_count()
     );
 
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = DetRng::seed_from_u64(99);
     let m = oracle.graph().edge_count();
     let mut down: Vec<EdgeId> = Vec::new();
     for step in 1..=20 {

@@ -21,7 +21,12 @@ fn main() {
     // ISP generator's inverse-capacity class: 1 = core, 2 = intra-PoP,
     // 4 = uplink, 8 = access).
     let families = FamilySet::new()
-        .with(RouteFamily::new("best-effort (all links)", g, model, |_, _| true))
+        .with(RouteFamily::new(
+            "best-effort (all links)",
+            g,
+            model,
+            |_, _| true,
+        ))
         .with(RouteFamily::new(
             "premium (≥ OC12: core+uplink+PoP)",
             g,
@@ -72,11 +77,7 @@ fn main() {
     // Show the subnet guarantee: the premium restoration only uses
     // premium-class links.
     let r = premium.restore(s, t, &failures).unwrap();
-    assert!(r
-        .backup
-        .edges()
-        .iter()
-        .all(|&e| g.weight(e) <= 4));
+    assert!(r.backup.edges().iter().all(|&e| g.weight(e) <= 4));
     println!("\npremium restoration verified to stay on ≥ OC12 links");
     let _ = NodeId::new(0);
 }

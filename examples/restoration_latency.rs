@@ -57,9 +57,7 @@ fn main() {
         .expect("pairs exist");
     let failed = base.edges()[base.hop_count() / 2];
     let cfg = FlowConfig::default();
-    println!(
-        "\npacket-level flow {s} -> {t} (10k pps, 200 ms, link {failed} fails at 50 ms):"
-    );
+    println!("\npacket-level flow {s} -> {t} (10k pps, 200 ms, link {failed} fails at 50 ms):");
     println!(
         "{:<18} {:>8} {:>8} {:>10} {:>14} {:>12}",
         "scheme", "dropped", "reorder", "mean lat.", "max lat.", "delivered"

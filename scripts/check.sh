@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline pre-PR gate: formatting, lints, the full test suite, and the
+# no-default-features build proving instrumentation compiles to no-ops.
+# Everything here runs without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace"
+cargo test --workspace -q
+
+echo "== cargo test -p rbpc-core --no-default-features (obs compiled out)"
+cargo test -p rbpc-core --no-default-features -q
+
+echo "OK: all checks passed"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decompose-a72dfecd93615247.d: crates/bench/benches/decompose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecompose-a72dfecd93615247.rmeta: crates/bench/benches/decompose.rs Cargo.toml
+
+crates/bench/benches/decompose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

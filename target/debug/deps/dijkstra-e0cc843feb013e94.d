@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dijkstra-e0cc843feb013e94.d: crates/bench/benches/dijkstra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdijkstra-e0cc843feb013e94.rmeta: crates/bench/benches/dijkstra.rs Cargo.toml
+
+crates/bench/benches/dijkstra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_mpls-03d62720d2eabe7b.d: tests/end_to_end_mpls.rs
+
+/root/repo/target/debug/deps/end_to_end_mpls-03d62720d2eabe7b: tests/end_to_end_mpls.rs
+
+tests/end_to_end_mpls.rs:

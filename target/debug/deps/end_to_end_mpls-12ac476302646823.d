@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_mpls-12ac476302646823.d: tests/end_to_end_mpls.rs
+
+/root/repo/target/debug/deps/end_to_end_mpls-12ac476302646823: tests/end_to_end_mpls.rs
+
+tests/end_to_end_mpls.rs:

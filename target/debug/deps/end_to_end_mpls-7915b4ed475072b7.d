@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_mpls-7915b4ed475072b7.d: tests/end_to_end_mpls.rs
+
+/root/repo/target/debug/deps/end_to_end_mpls-7915b4ed475072b7: tests/end_to_end_mpls.rs
+
+tests/end_to_end_mpls.rs:

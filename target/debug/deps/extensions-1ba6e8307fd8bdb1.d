@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1ba6e8307fd8bdb1.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1ba6e8307fd8bdb1: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-294cf318a0153e2f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-294cf318a0153e2f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f63d43daa7692204.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f63d43daa7692204: tests/extensions.rs
+
+tests/extensions.rs:

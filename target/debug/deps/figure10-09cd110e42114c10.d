@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure10-09cd110e42114c10.d: crates/bench/benches/figure10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure10-09cd110e42114c10.rmeta: crates/bench/benches/figure10.rs Cargo.toml
+
+crates/bench/benches/figure10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

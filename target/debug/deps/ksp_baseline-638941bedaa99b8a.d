@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ksp_baseline-638941bedaa99b8a.d: crates/bench/benches/ksp_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libksp_baseline-638941bedaa99b8a.rmeta: crates/bench/benches/ksp_baseline.rs Cargo.toml
+
+crates/bench/benches/ksp_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

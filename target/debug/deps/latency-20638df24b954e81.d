@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-20638df24b954e81.d: crates/bench/benches/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-20638df24b954e81.rmeta: crates/bench/benches/latency.rs Cargo.toml
+
+crates/bench/benches/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

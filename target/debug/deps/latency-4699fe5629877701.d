@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-4699fe5629877701.d: crates/bench/benches/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-4699fe5629877701.rmeta: crates/bench/benches/latency.rs Cargo.toml
+
+crates/bench/benches/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

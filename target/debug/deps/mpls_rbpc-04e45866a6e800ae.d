@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpls_rbpc-04e45866a6e800ae.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpls_rbpc-04e45866a6e800ae: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpls_rbpc-49e12e437fa15190.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpls_rbpc-49e12e437fa15190.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpls_rbpc-49e12e437fa15190.rmeta: src/lib.rs
+
+src/lib.rs:

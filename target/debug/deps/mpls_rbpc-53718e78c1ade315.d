@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpls_rbpc-53718e78c1ade315.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_rbpc-53718e78c1ade315.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpls_rbpc-59f8745f92f6060c.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpls_rbpc-59f8745f92f6060c: src/lib.rs
+
+src/lib.rs:

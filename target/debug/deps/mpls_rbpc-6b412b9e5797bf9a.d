@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpls_rbpc-6b412b9e5797bf9a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpls_rbpc-6b412b9e5797bf9a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpls_rbpc-6b412b9e5797bf9a.rmeta: src/lib.rs
+
+src/lib.rs:

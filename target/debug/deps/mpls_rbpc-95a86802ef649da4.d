@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpls_rbpc-95a86802ef649da4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_rbpc-95a86802ef649da4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpls_rbpc-c6a58a3958eb2455.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpls_rbpc-c6a58a3958eb2455.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpls_rbpc-c6a58a3958eb2455.rmeta: src/lib.rs
+
+src/lib.rs:

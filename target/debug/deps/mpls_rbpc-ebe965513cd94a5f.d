@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpls_rbpc-ebe965513cd94a5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpls_rbpc-ebe965513cd94a5f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs-0c2574d10dc69a9f.d: crates/obs/tests/obs.rs
+
+/root/repo/target/debug/deps/obs-0c2574d10dc69a9f: crates/obs/tests/obs.rs
+
+crates/obs/tests/obs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_disabled-3c3c3accceaed529.d: crates/core/tests/obs_disabled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_disabled-3c3c3accceaed529.rmeta: crates/core/tests/obs_disabled.rs Cargo.toml
+
+crates/core/tests/obs_disabled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

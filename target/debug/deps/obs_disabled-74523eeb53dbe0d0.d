@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_disabled-74523eeb53dbe0d0.d: crates/core/tests/obs_disabled.rs
+
+/root/repo/target/debug/deps/obs_disabled-74523eeb53dbe0d0: crates/core/tests/obs_disabled.rs
+
+crates/core/tests/obs_disabled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_disabled-7c8a04c806df4efc.d: crates/core/tests/obs_disabled.rs
+
+/root/repo/target/debug/deps/obs_disabled-7c8a04c806df4efc: crates/core/tests/obs_disabled.rs
+
+crates/core/tests/obs_disabled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_disabled-f9c0a8f9f91b3470.d: crates/core/tests/obs_disabled.rs
+
+/root/repo/target/debug/deps/obs_disabled-f9c0a8f9f91b3470: crates/core/tests/obs_disabled.rs
+
+crates/core/tests/obs_disabled.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-152caa37bb224b9c.d: crates/core/tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-152caa37bb224b9c: crates/core/tests/obs_integration.rs
+
+crates/core/tests/obs_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-b299021ffa97653f.d: crates/core/tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-b299021ffa97653f: crates/core/tests/obs_integration.rs
+
+crates/core/tests/obs_integration.rs:

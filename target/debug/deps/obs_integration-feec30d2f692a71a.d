@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-feec30d2f692a71a.d: crates/core/tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-feec30d2f692a71a: crates/core/tests/obs_integration.rs
+
+crates/core/tests/obs_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_experiments-7aa21011515c3ed8.d: tests/paper_experiments.rs
+
+/root/repo/target/debug/deps/paper_experiments-7aa21011515c3ed8: tests/paper_experiments.rs
+
+tests/paper_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_experiments-b2ed16d5be9f3e22.d: tests/paper_experiments.rs
+
+/root/repo/target/debug/deps/paper_experiments-b2ed16d5be9f3e22: tests/paper_experiments.rs
+
+tests/paper_experiments.rs:

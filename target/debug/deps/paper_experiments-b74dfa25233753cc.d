@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_experiments-b74dfa25233753cc.d: tests/paper_experiments.rs
+
+/root/repo/target/debug/deps/paper_experiments-b74dfa25233753cc: tests/paper_experiments.rs
+
+tests/paper_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_experiments-fdce33ba78f7fc99.d: tests/paper_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_experiments-fdce33ba78f7fc99.rmeta: tests/paper_experiments.rs Cargo.toml
+
+tests/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

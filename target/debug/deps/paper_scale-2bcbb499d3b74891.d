@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-2bcbb499d3b74891.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-2bcbb499d3b74891: tests/paper_scale.rs
+
+tests/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-50da8de927bcc294.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-50da8de927bcc294: tests/paper_scale.rs
+
+tests/paper_scale.rs:

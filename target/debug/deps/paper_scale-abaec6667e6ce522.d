@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-abaec6667e6ce522.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-abaec6667e6ce522: tests/paper_scale.rs
+
+tests/paper_scale.rs:

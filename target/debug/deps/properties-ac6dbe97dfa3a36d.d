@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ac6dbe97dfa3a36d.d: crates/mpls/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ac6dbe97dfa3a36d.rmeta: crates/mpls/tests/properties.rs Cargo.toml
+
+crates/mpls/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d2e1a7a060578fb4.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d2e1a7a060578fb4: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

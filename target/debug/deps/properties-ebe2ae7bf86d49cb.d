@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ebe2ae7bf86d49cb.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ebe2ae7bf86d49cb: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

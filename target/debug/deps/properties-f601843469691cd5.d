@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f601843469691cd5.d: crates/mpls/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f601843469691cd5: crates/mpls/tests/properties.rs
+
+crates/mpls/tests/properties.rs:

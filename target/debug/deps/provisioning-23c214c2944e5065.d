@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/provisioning-23c214c2944e5065.d: crates/bench/benches/provisioning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprovisioning-23c214c2944e5065.rmeta: crates/bench/benches/provisioning.rs Cargo.toml
+
+crates/bench/benches/provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/provisioning-36f59df31788d4aa.d: crates/bench/benches/provisioning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprovisioning-36f59df31788d4aa.rmeta: crates/bench/benches/provisioning.rs Cargo.toml
+
+crates/bench/benches/provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rbpc_bench-15e3d07c868f82a2.d: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+/root/repo/target/debug/deps/librbpc_bench-15e3d07c868f82a2.rlib: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+/root/repo/target/debug/deps/librbpc_bench-15e3d07c868f82a2.rmeta: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/crit.rs:

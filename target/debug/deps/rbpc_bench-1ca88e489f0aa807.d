@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rbpc_bench-1ca88e489f0aa807.d: crates/bench/src/lib.rs crates/bench/src/crit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_bench-1ca88e489f0aa807.rmeta: crates/bench/src/lib.rs crates/bench/src/crit.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/crit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

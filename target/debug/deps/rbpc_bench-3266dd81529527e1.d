@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rbpc_bench-3266dd81529527e1.d: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+/root/repo/target/debug/deps/rbpc_bench-3266dd81529527e1: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/crit.rs:

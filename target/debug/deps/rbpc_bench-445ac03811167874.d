@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rbpc_bench-445ac03811167874.d: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+/root/repo/target/debug/deps/librbpc_bench-445ac03811167874.rlib: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+/root/repo/target/debug/deps/librbpc_bench-445ac03811167874.rmeta: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/crit.rs:

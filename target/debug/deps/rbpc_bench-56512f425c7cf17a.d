@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rbpc_bench-56512f425c7cf17a.d: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+/root/repo/target/debug/deps/rbpc_bench-56512f425c7cf17a: crates/bench/src/lib.rs crates/bench/src/crit.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/crit.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rbpc_bench-6938966c06907bd4.d: crates/bench/src/lib.rs crates/bench/src/crit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_bench-6938966c06907bd4.rmeta: crates/bench/src/lib.rs crates/bench/src/crit.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/crit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rbpc_core-0a350a1109368543.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/basepaths.rs crates/core/src/churn.rs crates/core/src/decompose.rs crates/core/src/error.rs crates/core/src/expanded.rs crates/core/src/families.rs crates/core/src/hybrid.rs crates/core/src/local.rs crates/core/src/provision.rs crates/core/src/restore.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/librbpc_core-0a350a1109368543.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/basepaths.rs crates/core/src/churn.rs crates/core/src/decompose.rs crates/core/src/error.rs crates/core/src/expanded.rs crates/core/src/families.rs crates/core/src/hybrid.rs crates/core/src/local.rs crates/core/src/provision.rs crates/core/src/restore.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/librbpc_core-0a350a1109368543.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/basepaths.rs crates/core/src/churn.rs crates/core/src/decompose.rs crates/core/src/error.rs crates/core/src/expanded.rs crates/core/src/families.rs crates/core/src/hybrid.rs crates/core/src/local.rs crates/core/src/provision.rs crates/core/src/restore.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/basepaths.rs:
+crates/core/src/churn.rs:
+crates/core/src/decompose.rs:
+crates/core/src/error.rs:
+crates/core/src/expanded.rs:
+crates/core/src/families.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/local.rs:
+crates/core/src/provision.rs:
+crates/core/src/restore.rs:
+crates/core/src/theory.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/rbpc_core-ed8084db1f16a5d0.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/basepaths.rs crates/core/src/churn.rs crates/core/src/decompose.rs crates/core/src/error.rs crates/core/src/expanded.rs crates/core/src/families.rs crates/core/src/hybrid.rs crates/core/src/local.rs crates/core/src/provision.rs crates/core/src/restore.rs crates/core/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_core-ed8084db1f16a5d0.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/basepaths.rs crates/core/src/churn.rs crates/core/src/decompose.rs crates/core/src/error.rs crates/core/src/expanded.rs crates/core/src/families.rs crates/core/src/hybrid.rs crates/core/src/local.rs crates/core/src/provision.rs crates/core/src/restore.rs crates/core/src/theory.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/basepaths.rs:
+crates/core/src/churn.rs:
+crates/core/src/decompose.rs:
+crates/core/src/error.rs:
+crates/core/src/expanded.rs:
+crates/core/src/families.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/local.rs:
+crates/core/src/provision.rs:
+crates/core/src/restore.rs:
+crates/core/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rbpc_eval-2823724c4eebb839.d: crates/eval/src/main.rs
+
+/root/repo/target/debug/deps/rbpc_eval-2823724c4eebb839: crates/eval/src/main.rs
+
+crates/eval/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rbpc_eval-a8d5e3ba57919a7a.d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs
+
+/root/repo/target/debug/deps/rbpc_eval-a8d5e3ba57919a7a: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/ablation.rs:
+crates/eval/src/figure10.rs:
+crates/eval/src/report.rs:
+crates/eval/src/sampling.rs:
+crates/eval/src/suite.rs:
+crates/eval/src/table1.rs:
+crates/eval/src/table2.rs:
+crates/eval/src/table3.rs:

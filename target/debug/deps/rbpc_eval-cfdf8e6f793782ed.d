@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rbpc_eval-cfdf8e6f793782ed.d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_eval-cfdf8e6f793782ed.rmeta: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/ablation.rs:
+crates/eval/src/figure10.rs:
+crates/eval/src/report.rs:
+crates/eval/src/sampling.rs:
+crates/eval/src/suite.rs:
+crates/eval/src/table1.rs:
+crates/eval/src/table2.rs:
+crates/eval/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rbpc_eval-fb5bf4843b6dbc8f.d: crates/eval/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_eval-fb5bf4843b6dbc8f.rmeta: crates/eval/src/main.rs Cargo.toml
+
+crates/eval/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rbpc_eval-fc499ee0411e16e3.d: crates/eval/src/main.rs
+
+/root/repo/target/debug/deps/rbpc_eval-fc499ee0411e16e3: crates/eval/src/main.rs
+
+crates/eval/src/main.rs:

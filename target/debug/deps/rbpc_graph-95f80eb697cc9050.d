@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/rbpc_graph-95f80eb697cc9050.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cost.rs crates/graph/src/counting.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/dijkstra.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/path.rs crates/graph/src/rng.rs crates/graph/src/spt.rs crates/graph/src/subgraph.rs crates/graph/src/unionfind.rs crates/graph/src/view.rs crates/graph/src/yen.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_graph-95f80eb697cc9050.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cost.rs crates/graph/src/counting.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/dijkstra.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/path.rs crates/graph/src/rng.rs crates/graph/src/spt.rs crates/graph/src/subgraph.rs crates/graph/src/unionfind.rs crates/graph/src/view.rs crates/graph/src/yen.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cost.rs:
+crates/graph/src/counting.rs:
+crates/graph/src/cuts.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/error.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/path.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/spt.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/unionfind.rs:
+crates/graph/src/view.rs:
+crates/graph/src/yen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

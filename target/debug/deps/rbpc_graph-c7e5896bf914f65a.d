@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/rbpc_graph-c7e5896bf914f65a.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cost.rs crates/graph/src/counting.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/dijkstra.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/path.rs crates/graph/src/rng.rs crates/graph/src/spt.rs crates/graph/src/subgraph.rs crates/graph/src/unionfind.rs crates/graph/src/view.rs crates/graph/src/yen.rs
+
+/root/repo/target/debug/deps/rbpc_graph-c7e5896bf914f65a: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/cost.rs crates/graph/src/counting.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/dijkstra.rs crates/graph/src/error.rs crates/graph/src/graph.rs crates/graph/src/ids.rs crates/graph/src/path.rs crates/graph/src/rng.rs crates/graph/src/spt.rs crates/graph/src/subgraph.rs crates/graph/src/unionfind.rs crates/graph/src/view.rs crates/graph/src/yen.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/cost.rs:
+crates/graph/src/counting.rs:
+crates/graph/src/cuts.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dijkstra.rs:
+crates/graph/src/error.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/path.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/spt.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/unionfind.rs:
+crates/graph/src/view.rs:
+crates/graph/src/yen.rs:

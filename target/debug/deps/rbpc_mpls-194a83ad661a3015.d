@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rbpc_mpls-194a83ad661a3015.d: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_mpls-194a83ad661a3015.rmeta: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs Cargo.toml
+
+crates/mpls/src/lib.rs:
+crates/mpls/src/error.rs:
+crates/mpls/src/label.rs:
+crates/mpls/src/merged.rs:
+crates/mpls/src/network.rs:
+crates/mpls/src/packet.rs:
+crates/mpls/src/router.rs:
+crates/mpls/src/signaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

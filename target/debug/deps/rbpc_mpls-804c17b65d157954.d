@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rbpc_mpls-804c17b65d157954.d: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/debug/deps/librbpc_mpls-804c17b65d157954.rlib: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/debug/deps/librbpc_mpls-804c17b65d157954.rmeta: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+crates/mpls/src/lib.rs:
+crates/mpls/src/error.rs:
+crates/mpls/src/label.rs:
+crates/mpls/src/merged.rs:
+crates/mpls/src/network.rs:
+crates/mpls/src/packet.rs:
+crates/mpls/src/router.rs:
+crates/mpls/src/signaling.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rbpc_mpls-f30d0cf485e91533.d: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/debug/deps/rbpc_mpls-f30d0cf485e91533: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+crates/mpls/src/lib.rs:
+crates/mpls/src/error.rs:
+crates/mpls/src/label.rs:
+crates/mpls/src/merged.rs:
+crates/mpls/src/network.rs:
+crates/mpls/src/packet.rs:
+crates/mpls/src/router.rs:
+crates/mpls/src/signaling.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rbpc_obs-23fbbcfd90671091.d: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/rbpc_obs-23fbbcfd90671091: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/events.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rbpc_obs-c0ad3a1bfb921a7f.d: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_obs-c0ad3a1bfb921a7f.rmeta: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/events.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

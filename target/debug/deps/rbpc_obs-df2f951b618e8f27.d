@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rbpc_obs-df2f951b618e8f27.d: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/librbpc_obs-df2f951b618e8f27.rlib: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/librbpc_obs-df2f951b618e8f27.rmeta: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/events.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rbpc_sim-85fb85caca4dbfcc.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/debug/deps/rbpc_sim-85fb85caca4dbfcc: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/model.rs:
+crates/sim/src/outage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rbpc_sim-93cd5cb43f070ca5.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/debug/deps/librbpc_sim-93cd5cb43f070ca5.rlib: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/debug/deps/librbpc_sim-93cd5cb43f070ca5.rmeta: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/model.rs:
+crates/sim/src/outage.rs:

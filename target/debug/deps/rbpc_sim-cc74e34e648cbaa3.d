@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rbpc_sim-cc74e34e648cbaa3.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_sim-cc74e34e648cbaa3.rmeta: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/model.rs:
+crates/sim/src/outage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rbpc_topo-5a4fa569fbdd72aa.d: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+/root/repo/target/debug/deps/rbpc_topo-5a4fa569fbdd72aa: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/classic.rs:
+crates/topo/src/io.rs:
+crates/topo/src/isp.rs:
+crates/topo/src/powerlaw.rs:
+crates/topo/src/random.rs:
+crates/topo/src/waxman.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rbpc_topo-66f2494424aaecbb.d: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs Cargo.toml
+
+/root/repo/target/debug/deps/librbpc_topo-66f2494424aaecbb.rmeta: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/classic.rs:
+crates/topo/src/io.rs:
+crates/topo/src/isp.rs:
+crates/topo/src/powerlaw.rs:
+crates/topo/src/random.rs:
+crates/topo/src/waxman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rbpc_topo-a6080071eeb13665.d: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+/root/repo/target/debug/deps/librbpc_topo-a6080071eeb13665.rlib: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+/root/repo/target/debug/deps/librbpc_topo-a6080071eeb13665.rmeta: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/classic.rs:
+crates/topo/src/io.rs:
+crates/topo/src/isp.rs:
+crates/topo/src/powerlaw.rs:
+crates/topo/src/random.rs:
+crates/topo/src/waxman.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restoration_properties-0cac4ade7a1f8e16.d: tests/restoration_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestoration_properties-0cac4ade7a1f8e16.rmeta: tests/restoration_properties.rs Cargo.toml
+
+tests/restoration_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

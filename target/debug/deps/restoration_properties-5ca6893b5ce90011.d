@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restoration_properties-5ca6893b5ce90011.d: tests/restoration_properties.rs
+
+/root/repo/target/debug/deps/restoration_properties-5ca6893b5ce90011: tests/restoration_properties.rs
+
+tests/restoration_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restoration_properties-e4ce9acbccada566.d: tests/restoration_properties.rs
+
+/root/repo/target/debug/deps/restoration_properties-e4ce9acbccada566: tests/restoration_properties.rs
+
+tests/restoration_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restoration_properties-f65e91670266252a.d: tests/restoration_properties.rs
+
+/root/repo/target/debug/deps/restoration_properties-f65e91670266252a: tests/restoration_properties.rs
+
+tests/restoration_properties.rs:

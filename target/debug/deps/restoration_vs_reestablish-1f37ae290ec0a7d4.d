@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restoration_vs_reestablish-1f37ae290ec0a7d4.d: crates/bench/benches/restoration_vs_reestablish.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestoration_vs_reestablish-1f37ae290ec0a7d4.rmeta: crates/bench/benches/restoration_vs_reestablish.rs Cargo.toml
+
+crates/bench/benches/restoration_vs_reestablish.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restoration_vs_reestablish-db0604f5a010873b.d: crates/bench/benches/restoration_vs_reestablish.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestoration_vs_reestablish-db0604f5a010873b.rmeta: crates/bench/benches/restoration_vs_reestablish.rs Cargo.toml
+
+crates/bench/benches/restoration_vs_reestablish.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

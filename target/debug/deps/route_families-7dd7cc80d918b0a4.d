@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/route_families-7dd7cc80d918b0a4.d: tests/route_families.rs
+
+/root/repo/target/debug/deps/route_families-7dd7cc80d918b0a4: tests/route_families.rs
+
+tests/route_families.rs:

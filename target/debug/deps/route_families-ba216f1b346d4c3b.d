@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/route_families-ba216f1b346d4c3b.d: tests/route_families.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroute_families-ba216f1b346d4c3b.rmeta: tests/route_families.rs Cargo.toml
+
+tests/route_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

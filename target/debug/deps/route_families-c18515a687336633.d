@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/route_families-c18515a687336633.d: tests/route_families.rs
+
+/root/repo/target/debug/deps/route_families-c18515a687336633: tests/route_families.rs
+
+tests/route_families.rs:

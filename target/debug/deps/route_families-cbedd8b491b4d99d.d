@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/route_families-cbedd8b491b4d99d.d: tests/route_families.rs
+
+/root/repo/target/debug/deps/route_families-cbedd8b491b4d99d: tests/route_families.rs
+
+tests/route_families.rs:

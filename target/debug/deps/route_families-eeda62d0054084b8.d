@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/route_families-eeda62d0054084b8.d: tests/route_families.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroute_families-eeda62d0054084b8.rmeta: tests/route_families.rs Cargo.toml
+
+tests/route_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-01288a371a234d44.d: tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-01288a371a234d44: tests/theory_bounds.rs
+
+tests/theory_bounds.rs:

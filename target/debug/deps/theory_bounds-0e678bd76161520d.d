@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-0e678bd76161520d.d: tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-0e678bd76161520d: tests/theory_bounds.rs
+
+tests/theory_bounds.rs:

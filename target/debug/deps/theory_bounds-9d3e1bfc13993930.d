@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory_bounds-9d3e1bfc13993930.d: tests/theory_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory_bounds-9d3e1bfc13993930.rmeta: tests/theory_bounds.rs Cargo.toml
+
+tests/theory_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-c36c6f4414bea3c1.d: tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-c36c6f4414bea3c1: tests/theory_bounds.rs
+
+tests/theory_bounds.rs:

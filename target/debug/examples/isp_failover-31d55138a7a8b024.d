@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_failover-31d55138a7a8b024.d: examples/isp_failover.rs
+
+/root/repo/target/debug/examples/isp_failover-31d55138a7a8b024: examples/isp_failover.rs
+
+examples/isp_failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isp_failover-6612c0abb94fa9b1.d: examples/isp_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisp_failover-6612c0abb94fa9b1.rmeta: examples/isp_failover.rs Cargo.toml
+
+examples/isp_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_failover-820e738f3985bd6b.d: examples/isp_failover.rs
+
+/root/repo/target/debug/examples/isp_failover-820e738f3985bd6b: examples/isp_failover.rs
+
+examples/isp_failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isp_failover-d04bed7bd73e0120.d: examples/isp_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisp_failover-d04bed7bd73e0120.rmeta: examples/isp_failover.rs Cargo.toml
+
+examples/isp_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_failover-d6235f5d35219868.d: examples/isp_failover.rs
+
+/root/repo/target/debug/examples/isp_failover-d6235f5d35219868: examples/isp_failover.rs
+
+examples/isp_failover.rs:

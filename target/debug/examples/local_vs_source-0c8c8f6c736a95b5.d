@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_vs_source-0c8c8f6c736a95b5.d: examples/local_vs_source.rs
+
+/root/repo/target/debug/examples/local_vs_source-0c8c8f6c736a95b5: examples/local_vs_source.rs
+
+examples/local_vs_source.rs:

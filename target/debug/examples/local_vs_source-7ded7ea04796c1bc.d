@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/local_vs_source-7ded7ea04796c1bc.d: examples/local_vs_source.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocal_vs_source-7ded7ea04796c1bc.rmeta: examples/local_vs_source.rs Cargo.toml
+
+examples/local_vs_source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_vs_source-aeb95aedecf40ca8.d: examples/local_vs_source.rs
+
+/root/repo/target/debug/examples/local_vs_source-aeb95aedecf40ca8: examples/local_vs_source.rs
+
+examples/local_vs_source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_vs_source-d14e8df3cd26bfd6.d: examples/local_vs_source.rs
+
+/root/repo/target/debug/examples/local_vs_source-d14e8df3cd26bfd6: examples/local_vs_source.rs
+
+examples/local_vs_source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_failure-28126f0237be5009.d: examples/multi_failure.rs
+
+/root/repo/target/debug/examples/multi_failure-28126f0237be5009: examples/multi_failure.rs
+
+examples/multi_failure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_failure-5771f50af752372c.d: examples/multi_failure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_failure-5771f50af752372c.rmeta: examples/multi_failure.rs Cargo.toml
+
+examples/multi_failure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

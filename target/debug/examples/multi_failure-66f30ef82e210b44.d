@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_failure-66f30ef82e210b44.d: examples/multi_failure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_failure-66f30ef82e210b44.rmeta: examples/multi_failure.rs Cargo.toml
+
+examples/multi_failure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_failure-b951cc961924da29.d: examples/multi_failure.rs
+
+/root/repo/target/debug/examples/multi_failure-b951cc961924da29: examples/multi_failure.rs
+
+examples/multi_failure.rs:

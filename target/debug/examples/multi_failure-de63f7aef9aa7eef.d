@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_failure-de63f7aef9aa7eef.d: examples/multi_failure.rs
+
+/root/repo/target/debug/examples/multi_failure-de63f7aef9aa7eef: examples/multi_failure.rs
+
+examples/multi_failure.rs:

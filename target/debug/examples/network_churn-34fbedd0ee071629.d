@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_churn-34fbedd0ee071629.d: examples/network_churn.rs
+
+/root/repo/target/debug/examples/network_churn-34fbedd0ee071629: examples/network_churn.rs
+
+examples/network_churn.rs:

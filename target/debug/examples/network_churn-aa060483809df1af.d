@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_churn-aa060483809df1af.d: examples/network_churn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_churn-aa060483809df1af.rmeta: examples/network_churn.rs Cargo.toml
+
+examples/network_churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_churn-dcc555bf713587cb.d: examples/network_churn.rs
+
+/root/repo/target/debug/examples/network_churn-dcc555bf713587cb: examples/network_churn.rs
+
+examples/network_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_churn-fa234b65d07dcdc2.d: examples/network_churn.rs
+
+/root/repo/target/debug/examples/network_churn-fa234b65d07dcdc2: examples/network_churn.rs
+
+examples/network_churn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qos_families-2f930eb9c18775d6.d: examples/qos_families.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqos_families-2f930eb9c18775d6.rmeta: examples/qos_families.rs Cargo.toml
+
+examples/qos_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qos_families-6d9b58d631e64827.d: examples/qos_families.rs
+
+/root/repo/target/debug/examples/qos_families-6d9b58d631e64827: examples/qos_families.rs
+
+examples/qos_families.rs:

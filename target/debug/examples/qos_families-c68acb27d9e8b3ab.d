@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qos_families-c68acb27d9e8b3ab.d: examples/qos_families.rs
+
+/root/repo/target/debug/examples/qos_families-c68acb27d9e8b3ab: examples/qos_families.rs
+
+examples/qos_families.rs:

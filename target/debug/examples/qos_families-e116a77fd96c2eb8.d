@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qos_families-e116a77fd96c2eb8.d: examples/qos_families.rs
+
+/root/repo/target/debug/examples/qos_families-e116a77fd96c2eb8: examples/qos_families.rs
+
+examples/qos_families.rs:

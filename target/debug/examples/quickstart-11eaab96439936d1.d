@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-11eaab96439936d1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-11eaab96439936d1: examples/quickstart.rs
+
+examples/quickstart.rs:

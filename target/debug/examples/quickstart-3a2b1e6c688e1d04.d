@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3a2b1e6c688e1d04.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3a2b1e6c688e1d04: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-81f624dd69c3d29e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-81f624dd69c3d29e: examples/quickstart.rs
+
+examples/quickstart.rs:

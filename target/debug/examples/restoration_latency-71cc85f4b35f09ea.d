@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/restoration_latency-71cc85f4b35f09ea.d: examples/restoration_latency.rs Cargo.toml
+
+/root/repo/target/debug/examples/librestoration_latency-71cc85f4b35f09ea.rmeta: examples/restoration_latency.rs Cargo.toml
+
+examples/restoration_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restoration_latency-82c0cc77aa47a45a.d: examples/restoration_latency.rs
+
+/root/repo/target/debug/examples/restoration_latency-82c0cc77aa47a45a: examples/restoration_latency.rs
+
+examples/restoration_latency.rs:

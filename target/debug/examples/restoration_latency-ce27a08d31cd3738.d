@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restoration_latency-ce27a08d31cd3738.d: examples/restoration_latency.rs
+
+/root/repo/target/debug/examples/restoration_latency-ce27a08d31cd3738: examples/restoration_latency.rs
+
+examples/restoration_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restoration_latency-db5301ad3515fe78.d: examples/restoration_latency.rs
+
+/root/repo/target/debug/examples/restoration_latency-db5301ad3515fe78: examples/restoration_latency.rs
+
+examples/restoration_latency.rs:

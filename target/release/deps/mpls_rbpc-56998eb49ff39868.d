@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpls_rbpc-56998eb49ff39868.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpls_rbpc-56998eb49ff39868.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpls_rbpc-56998eb49ff39868.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpls_rbpc-5cb27e3c06c1e948.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpls_rbpc-5cb27e3c06c1e948.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpls_rbpc-5cb27e3c06c1e948.rmeta: src/lib.rs
+
+src/lib.rs:

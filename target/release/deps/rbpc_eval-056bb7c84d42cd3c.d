@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rbpc_eval-056bb7c84d42cd3c.d: crates/eval/src/main.rs
+
+/root/repo/target/release/deps/rbpc_eval-056bb7c84d42cd3c: crates/eval/src/main.rs
+
+crates/eval/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rbpc_eval-2eff46097483b083.d: crates/eval/src/main.rs
+
+/root/repo/target/release/deps/rbpc_eval-2eff46097483b083: crates/eval/src/main.rs
+
+crates/eval/src/main.rs:

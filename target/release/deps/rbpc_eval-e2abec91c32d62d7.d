@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rbpc_eval-e2abec91c32d62d7.d: crates/eval/src/main.rs
+
+/root/repo/target/release/deps/rbpc_eval-e2abec91c32d62d7: crates/eval/src/main.rs
+
+crates/eval/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rbpc_eval-f6ce7486c352c6d8.d: crates/eval/src/main.rs
+
+/root/repo/target/release/deps/rbpc_eval-f6ce7486c352c6d8: crates/eval/src/main.rs
+
+crates/eval/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rbpc_eval-f81bd144bfb6b212.d: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs
+
+/root/repo/target/release/deps/librbpc_eval-f81bd144bfb6b212.rlib: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs
+
+/root/repo/target/release/deps/librbpc_eval-f81bd144bfb6b212.rmeta: crates/eval/src/lib.rs crates/eval/src/ablation.rs crates/eval/src/figure10.rs crates/eval/src/report.rs crates/eval/src/sampling.rs crates/eval/src/suite.rs crates/eval/src/table1.rs crates/eval/src/table2.rs crates/eval/src/table3.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/ablation.rs:
+crates/eval/src/figure10.rs:
+crates/eval/src/report.rs:
+crates/eval/src/sampling.rs:
+crates/eval/src/suite.rs:
+crates/eval/src/table1.rs:
+crates/eval/src/table2.rs:
+crates/eval/src/table3.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rbpc_mpls-44b4d6ae0c72af5d.d: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/release/deps/librbpc_mpls-44b4d6ae0c72af5d.rlib: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/release/deps/librbpc_mpls-44b4d6ae0c72af5d.rmeta: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+crates/mpls/src/lib.rs:
+crates/mpls/src/error.rs:
+crates/mpls/src/label.rs:
+crates/mpls/src/merged.rs:
+crates/mpls/src/network.rs:
+crates/mpls/src/packet.rs:
+crates/mpls/src/router.rs:
+crates/mpls/src/signaling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rbpc_mpls-98e353a49276f809.d: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/release/deps/librbpc_mpls-98e353a49276f809.rlib: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+/root/repo/target/release/deps/librbpc_mpls-98e353a49276f809.rmeta: crates/mpls/src/lib.rs crates/mpls/src/error.rs crates/mpls/src/label.rs crates/mpls/src/merged.rs crates/mpls/src/network.rs crates/mpls/src/packet.rs crates/mpls/src/router.rs crates/mpls/src/signaling.rs
+
+crates/mpls/src/lib.rs:
+crates/mpls/src/error.rs:
+crates/mpls/src/label.rs:
+crates/mpls/src/merged.rs:
+crates/mpls/src/network.rs:
+crates/mpls/src/packet.rs:
+crates/mpls/src/router.rs:
+crates/mpls/src/signaling.rs:

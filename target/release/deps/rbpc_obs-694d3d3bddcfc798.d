@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rbpc_obs-694d3d3bddcfc798.d: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/librbpc_obs-694d3d3bddcfc798.rlib: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/librbpc_obs-694d3d3bddcfc798.rmeta: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/events.rs crates/obs/src/histogram.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/events.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rbpc_sim-5639c0651d1a5421.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/release/deps/librbpc_sim-5639c0651d1a5421.rlib: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/release/deps/librbpc_sim-5639c0651d1a5421.rmeta: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/model.rs:
+crates/sim/src/outage.rs:

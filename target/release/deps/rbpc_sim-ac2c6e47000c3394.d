@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rbpc_sim-ac2c6e47000c3394.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/release/deps/librbpc_sim-ac2c6e47000c3394.rlib: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+/root/repo/target/release/deps/librbpc_sim-ac2c6e47000c3394.rmeta: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/model.rs crates/sim/src/outage.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/model.rs:
+crates/sim/src/outage.rs:

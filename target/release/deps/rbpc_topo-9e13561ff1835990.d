@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rbpc_topo-9e13561ff1835990.d: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+/root/repo/target/release/deps/librbpc_topo-9e13561ff1835990.rlib: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+/root/repo/target/release/deps/librbpc_topo-9e13561ff1835990.rmeta: crates/topo/src/lib.rs crates/topo/src/classic.rs crates/topo/src/io.rs crates/topo/src/isp.rs crates/topo/src/powerlaw.rs crates/topo/src/random.rs crates/topo/src/waxman.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/classic.rs:
+crates/topo/src/io.rs:
+crates/topo/src/isp.rs:
+crates/topo/src/powerlaw.rs:
+crates/topo/src/random.rs:
+crates/topo/src/waxman.rs:

@@ -74,9 +74,7 @@ fn every_link_failure_is_restorable_by_fec_rewrites() {
         // Unrestorable pairs must really be disconnected.
         for &(s, t) in &plan.unrestorable {
             let view = failures.view(&g);
-            assert!(
-                mpls_rbpc::graph::shortest_path(&view, oracle.cost_model(), s, t).is_none()
-            );
+            assert!(mpls_rbpc::graph::shortest_path(&view, oracle.cost_model(), s, t).is_none());
         }
         // Restore original FEC entries for the next link's round.
         for update in &plan.updates {
@@ -103,7 +101,9 @@ fn local_splices_deliver_and_reverse() {
             if s == t {
                 continue;
             }
-            let Some(base) = oracle.base_path(s, t) else { continue };
+            let Some(base) = oracle.base_path(s, t) else {
+                continue;
+            };
             if base.hop_count() < 3 {
                 continue;
             }
@@ -153,7 +153,9 @@ fn double_failure_restoration_end_to_end() {
             if s == t {
                 continue;
             }
-            let Some(base) = oracle.base_path(s, t) else { continue };
+            let Some(base) = oracle.base_path(s, t) else {
+                continue;
+            };
             if base.hop_count() < 2 {
                 continue;
             }
@@ -190,7 +192,9 @@ fn router_failure_end_to_end() {
             if s == t {
                 continue;
             }
-            let Some(base) = oracle.base_path(s, t) else { continue };
+            let Some(base) = oracle.base_path(s, t) else {
+                continue;
+            };
             if base.hop_count() < 2 {
                 continue;
             }

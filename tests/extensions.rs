@@ -5,8 +5,7 @@
 
 use mpls_rbpc::core::baseline::KspBackupSet;
 use mpls_rbpc::core::{
-    expanded_decompose, hybrid_restore, BasePathOracle, DenseBasePaths, ProvisionedDomain,
-    Restorer,
+    expanded_decompose, hybrid_restore, BasePathOracle, DenseBasePaths, ProvisionedDomain, Restorer,
 };
 use mpls_rbpc::graph::{cut_elements, CostModel, FailureSet, Metric};
 use mpls_rbpc::sim::{outage, outage_summary, LatencyModel, Scheme};
@@ -89,7 +88,9 @@ fn hybrid_on_isp_has_modest_interim_stretch() {
             if s == t {
                 continue;
             }
-            let Some(base) = o.base_path(s, t) else { continue };
+            let Some(base) = o.base_path(s, t) else {
+                continue;
+            };
             if base.hop_count() < 2 {
                 continue;
             }
@@ -117,12 +118,7 @@ fn latency_ordering_on_isp() {
         .graph()
         .nodes()
         .step_by(9)
-        .flat_map(|s| {
-            o.graph()
-                .nodes()
-                .step_by(17)
-                .map(move |t| (s, t))
-        })
+        .flat_map(|s| o.graph().nodes().step_by(17).map(move |t| (s, t)))
         .filter(|(s, t)| s != t)
         .collect();
     let model = LatencyModel::default();
@@ -163,12 +159,13 @@ fn expanded_set_on_isp() {
             if s == t {
                 continue;
             }
-            let Some(base) = o.base_path(s, t) else { continue };
+            let Some(base) = o.base_path(s, t) else {
+                continue;
+            };
             for &e in base.edges() {
                 let failures = FailureSet::of_edge(e);
                 let view = failures.view(&g);
-                let Some(backup) = mpls_rbpc::graph::shortest_path(&view, &model, s, t)
-                else {
+                let Some(backup) = mpls_rbpc::graph::shortest_path(&view, &model, s, t) else {
                     continue;
                 };
                 let exp = expanded_decompose(&o, &backup);

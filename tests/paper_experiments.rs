@@ -3,8 +3,7 @@
 //! (EXPERIMENTS.md records the full-scale paper-vs-measured numbers.)
 
 use mpls_rbpc::eval::{
-    figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale,
-    FailureClass,
+    figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
 };
 
 #[test]
@@ -36,7 +35,11 @@ fn table2_one_link_matches_paper_shape() {
         "avg PC length {}",
         row.avg_pc_length
     );
-    assert!((1.0..=1.6).contains(&row.length_sf), "length sf {}", row.length_sf);
+    assert!(
+        (1.0..=1.6).contains(&row.length_sf),
+        "length sf {}",
+        row.length_sf
+    );
     assert!(row.avg_ilm_sf < 0.6, "avg ILM sf {}", row.avg_ilm_sf);
     assert!(row.min_ilm_sf < row.avg_ilm_sf);
     assert!(row.skipped == 0, "ISP is 2-edge-connected");
@@ -53,9 +56,18 @@ fn table2_two_links_cost_more_state_than_one() {
     let two = table2_block(&isp.name, &oracle, FailureClass::TwoLinks, &pairs, 4);
     // The paper's pattern: for two failures, pre-provisioning explodes
     // (ILM stretch factor drops) and PC length grows a little.
-    assert!(two.avg_ilm_sf < one.avg_ilm_sf, "{} !< {}", two.avg_ilm_sf, one.avg_ilm_sf);
+    assert!(
+        two.avg_ilm_sf < one.avg_ilm_sf,
+        "{} !< {}",
+        two.avg_ilm_sf,
+        one.avg_ilm_sf
+    );
     assert!(two.avg_pc_length >= one.avg_pc_length);
-    assert!(two.avg_pc_length < 3.5, "PC length stays small: {}", two.avg_pc_length);
+    assert!(
+        two.avg_pc_length < 3.5,
+        "PC length stays small: {}",
+        two.avg_pc_length
+    );
 }
 
 #[test]
@@ -90,7 +102,12 @@ fn table2_runs_on_powerlaw_topologies_with_lazy_oracle() {
             case.name,
             row.avg_pc_length
         );
-        assert!(row.length_sf < 1.7, "{}: length sf {}", case.name, row.length_sf);
+        assert!(
+            row.length_sf < 1.7,
+            "{}: length sf {}",
+            case.name,
+            row.length_sf
+        );
     }
 }
 

@@ -27,7 +27,11 @@ fn paper_scale_internet_one_link_block() {
     let row = table2_block(&case.name, &oracle, FailureClass::OneLink, &pairs, 8);
     assert!(row.events > 0);
     // The paper's Internet row: avg PC length 2.00, length s.f. 1.08.
-    assert!((1.9..=2.2).contains(&row.avg_pc_length), "{}", row.avg_pc_length);
+    assert!(
+        (1.9..=2.2).contains(&row.avg_pc_length),
+        "{}",
+        row.avg_pc_length
+    );
     assert!((1.0..=1.25).contains(&row.length_sf), "{}", row.length_sf);
 }
 

@@ -2,6 +2,10 @@
 //! invariants RBPC must maintain end-to-end (including through the MPLS
 //! data plane).
 
+// Requires the external `proptest` crate: compiled only with `--features proptest`
+// (offline builds ship without it).
+#![cfg(feature = "proptest")]
+
 use mpls_rbpc::core::{
     greedy_decompose, BasePathOracle, DenseBasePaths, ProvisionedDomain, Restorer, SegmentKind,
 };

@@ -19,7 +19,9 @@ fn families_on_isp_share_one_failure_feed() {
     let model = CostModel::new(Metric::Weighted, 13);
     let set = FamilySet::new()
         .with(RouteFamily::new("all", g, model, |_, _| true))
-        .with(RouteFamily::new("backbone", g, model, |_, rec| rec.weight <= 4));
+        .with(RouteFamily::new("backbone", g, model, |_, rec| {
+            rec.weight <= 4
+        }));
 
     let (s, t) = (isp.core[0], isp.core[4]);
     // Fail every backbone link on the backbone family's path; both
@@ -71,7 +73,10 @@ fn families_on_waxman_distance_classes() {
         );
         compared += 1;
     }
-    assert!(compared >= 10, "only {compared} pairs connected in the family");
+    assert!(
+        compared >= 10,
+        "only {compared} pairs connected in the family"
+    );
 }
 
 #[test]
@@ -89,7 +94,9 @@ fn family_restorations_obey_theorem_bounds_everywhere() {
     let mut events = 0;
     for t in (5..50usize).step_by(7) {
         let (s, t) = (NodeId::new(0), NodeId::new(t));
-        let Some(base) = family.base_path(s, t) else { continue };
+        let Some(base) = family.base_path(s, t) else {
+            continue;
+        };
         for &e in base.edges() {
             let failures = FailureSet::of_edge(e);
             let Ok(r) = family.restore(s, t, &failures) else {
