@@ -1,0 +1,101 @@
+//! `bench-gate` — fail the build when benchmarks regress.
+//!
+//! ```text
+//! bench-gate --baseline bench/baseline.json --current BENCH_rbpc.json
+//!            [--tolerance 0.75]
+//! ```
+//!
+//! Both files are JSONL as written by the bench harness's `--json` mode.
+//! Exits 0 when every benchmark present in both files has a current median
+//! within `baseline * (1 + tolerance)`, 1 when any regressed, 2 on usage or
+//! I/O errors. See `scripts/bench_gate.sh` for the end-to-end pipeline.
+
+use rbpc_bench::gate::{compare, parse_results};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: bench-gate --baseline FILE --current FILE [--tolerance X]\n\
+     \x20 --baseline FILE   committed JSONL baseline (bench/baseline.json)\n\
+     \x20 --current FILE    fresh JSONL results (BENCH_rbpc.json)\n\
+     \x20 --tolerance X     allowed relative median growth (default 0.75)"
+}
+
+struct Opts {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 0.75f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value()?),
+            "--current" => current = Some(value()?),
+            "--tolerance" => {
+                tolerance = value()?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if !(tolerance >= 0.0 && tolerance.is_finite()) {
+                    return Err("tolerance must be a finite non-negative number".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Opts {
+        baseline: baseline.ok_or("missing --baseline")?,
+        current: current.ok_or("missing --current")?,
+        tolerance,
+    })
+}
+
+fn load(path: &str) -> Result<Vec<rbpc_bench::gate::GateEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = parse_results(&text).map_err(|e| format!("{path}: {e}"))?;
+    if entries.is_empty() {
+        return Err(format!("{path}: no benchmark results"));
+    }
+    Ok(entries)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline, current) = match (load(&opts.baseline), load(&opts.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare(&baseline, &current, opts.tolerance);
+    print!("{}", report.render());
+    if report.compared.is_empty() {
+        eprintln!("error: no benchmark names in common between baseline and current");
+        return ExitCode::from(2);
+    }
+    if report.passed() {
+        println!("bench gate: PASS ({} compared)", report.compared.len());
+        ExitCode::SUCCESS
+    } else {
+        let n = report.compared.iter().filter(|c| c.regressed).count();
+        println!("bench gate: FAIL ({n} regressed)");
+        ExitCode::FAILURE
+    }
+}

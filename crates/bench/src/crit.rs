@@ -12,10 +12,93 @@
 //! rejection, no regression analysis. For publishable numbers, vendor
 //! criterion and swap the import back.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Minimum measured duration per sample after calibration.
 const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// One measured benchmark: summary statistics over the timed samples, in
+/// nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/id` — the stable name the perf gate keys on.
+    pub name: String,
+    /// Median ns/iteration over the samples.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iteration (nearest rank).
+    pub p95_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Renders the result as one JSON object (a `BENCH_rbpc.json` line).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"median_ns\":{:.1},\"p95_ns\":{:.1},\
+             \"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters\":{}}}",
+            self.name,
+            self.median_ns,
+            self.p95_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters
+        )
+    }
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Drains every result recorded by [`BenchmarkGroup::bench_function`] since
+/// the process started (or the previous drain).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut results().lock().expect("bench results poisoned"))
+}
+
+/// Writes collected results to the `--json FILE` named in `args`, if any —
+/// called by the `criterion_main!`-generated `main` after all groups ran.
+///
+/// The file is opened in append mode so several bench binaries (cargo runs
+/// one per `[[bench]]` target) can accumulate into a single JSONL file;
+/// delete it before the run for a fresh snapshot. Unrelated flags that
+/// cargo's bench runner passes (e.g. `--bench`) are ignored.
+pub fn finish_main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            json_path = args.next();
+        }
+    }
+    let collected = take_results();
+    let Some(path) = json_path else { return };
+    let mut body = String::new();
+    for r in &collected {
+        body.push_str(&r.to_json_line());
+        body.push('\n');
+    }
+    use std::io::Write as _;
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(body.as_bytes()));
+    match written {
+        Ok(()) => eprintln!("# appended {} result(s) to {path}", collected.len()),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
 
 /// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
 /// compatibility (this harness always runs one setup per routine call).
@@ -100,18 +183,32 @@ impl BenchmarkGroup {
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let median = per_iter[per_iter.len() / 2];
+        let p95 = per_iter[((per_iter.len() - 1) as f64 * 0.95).round() as usize];
         let min = per_iter[0];
         let max = per_iter[per_iter.len() - 1];
         println!(
-            "{}/{:<40} {:>14} ns/iter (min {}, max {}, {} samples x {} iters)",
+            "{}/{:<40} {:>14} ns/iter (p95 {}, min {}, max {}, {} samples x {} iters)",
             self.name,
             id,
             fmt_ns(median),
+            fmt_ns(p95),
             fmt_ns(min),
             fmt_ns(max),
             self.sample_size,
             iters
         );
+        results()
+            .lock()
+            .expect("bench results poisoned")
+            .push(BenchResult {
+                name: format!("{}/{id}", self.name),
+                median_ns: median,
+                p95_ns: p95,
+                min_ns: min,
+                max_ns: max,
+                samples: self.sample_size,
+                iters,
+            });
         self
     }
 
@@ -179,12 +276,15 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main` (shim for
-/// `criterion::criterion_main!`).
+/// `criterion::criterion_main!`). After all groups run, results are
+/// appended to the `--json FILE` argument if one was passed (see
+/// [`crate::crit::finish_main`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::crit::finish_main();
         }
     };
 }
@@ -211,5 +311,32 @@ mod tests {
             )
         });
         assert!(ran > 0);
+        let recorded = take_results();
+        assert!(recorded.iter().any(|r| r.name == "shim_test/spin"));
+        assert!(recorded.iter().any(|r| r.name == "shim_test/batched"));
+        for r in &recorded {
+            assert!(r.median_ns > 0.0);
+            assert!(r.p95_ns >= r.median_ns - 1e-9);
+            assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+            assert_eq!(r.samples, 2);
+        }
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let r = BenchResult {
+            name: "g/b".to_string(),
+            median_ns: 1234.5,
+            p95_ns: 2000.0,
+            min_ns: 1000.0,
+            max_ns: 2100.25,
+            samples: 20,
+            iters: 64,
+        };
+        let line = r.to_json_line();
+        assert!(line.starts_with("{\"bench\":\"g/b\""));
+        assert!(line.contains("\"median_ns\":1234.5"));
+        assert!(line.contains("\"p95_ns\":2000.0"));
+        assert!(line.contains("\"iters\":64"));
     }
 }

@@ -1,0 +1,248 @@
+//! The perf-regression gate: compares a fresh `BENCH_rbpc.json` against a
+//! committed baseline and fails when any benchmark's median slowed down by
+//! more than the configured tolerance.
+//!
+//! Both files are JSONL — one object per benchmark as written by the
+//! harness's `--json` mode ([`crate::crit::finish_main`]). Only benchmarks
+//! present in **both** files are compared; additions and removals are
+//! reported but never fail the gate, so the baseline does not have to be
+//! refreshed in the same commit that adds a bench target.
+
+use rbpc_obs::json::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// One benchmark's summary as read back from a JSONL results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// `group/id` benchmark name.
+    pub name: String,
+    /// Median ns/iteration.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iteration.
+    pub p95_ns: f64,
+}
+
+/// The comparison of one benchmark across baseline and current runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median ns/iteration.
+    pub baseline_ns: f64,
+    /// Current median ns/iteration.
+    pub current_ns: f64,
+    /// `current / baseline` (1.0 = unchanged, 2.0 = twice as slow).
+    pub ratio: f64,
+    /// Whether the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// The gate's verdict over a full result-file pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-benchmark comparisons, in name order.
+    pub compared: Vec<Comparison>,
+    /// Benchmarks only in the baseline (deleted or not run).
+    pub only_baseline: Vec<String>,
+    /// Benchmarks only in the current results (new targets).
+    pub only_current: Vec<String>,
+    /// The relative slowdown allowed before a benchmark regresses.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// Whether the gate passes: no compared benchmark regressed.
+    pub fn passed(&self) -> bool {
+        self.compared.iter().all(|c| !c.regressed)
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = self
+            .compared
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(12)
+            .max(12);
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>14} {:>14} {:>8}  verdict",
+            "benchmark", "baseline", "current", "ratio"
+        );
+        for c in &self.compared {
+            let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>12.1}ns {:>12.1}ns {:>7.2}x  {verdict}",
+                c.name, c.baseline_ns, c.current_ns, c.ratio
+            );
+        }
+        for name in &self.only_baseline {
+            let _ = writeln!(out, "{name:<width$} (baseline only — not compared)");
+        }
+        for name in &self.only_current {
+            let _ = writeln!(out, "{name:<width$} (new — not compared)");
+        }
+        let _ = writeln!(
+            out,
+            "tolerance: median may grow up to {:.0}% before failing",
+            self.tolerance * 100.0
+        );
+        out
+    }
+}
+
+/// Parses a JSONL results file (as written by the bench harness's `--json`
+/// mode) into gate entries. Blank lines are skipped; later lines win when a
+/// benchmark name repeats.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (bad JSON, or missing
+/// `bench` / `median_ns` / `p95_ns` fields).
+pub fn parse_results(jsonl: &str) -> Result<Vec<GateEntry>, String> {
+    let mut by_name: BTreeMap<String, GateEntry> = BTreeMap::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let field = |key: &str| -> Result<&JsonValue, String> {
+            value
+                .get(key)
+                .ok_or_else(|| format!("line {}: missing `{key}`", i + 1))
+        };
+        let name = field("bench")?
+            .as_str()
+            .ok_or_else(|| format!("line {}: `bench` is not a string", i + 1))?
+            .to_string();
+        let num = |key: &str| -> Result<f64, String> {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| format!("line {}: `{key}` is not a number", i + 1))
+        };
+        let entry = GateEntry {
+            median_ns: num("median_ns")?,
+            p95_ns: num("p95_ns")?,
+            name: name.clone(),
+        };
+        by_name.insert(name, entry);
+    }
+    Ok(by_name.into_values().collect())
+}
+
+/// Compares current results against a baseline. A benchmark regresses when
+/// its current median exceeds `baseline * (1 + tolerance)` — e.g.
+/// `tolerance = 0.75` allows up to a 75% slowdown before failing, generous
+/// enough to absorb shared-runner noise while catching real cliffs.
+pub fn compare(baseline: &[GateEntry], current: &[GateEntry], tolerance: f64) -> GateReport {
+    let base: BTreeMap<&str, &GateEntry> = baseline.iter().map(|e| (e.name.as_str(), e)).collect();
+    let cur: BTreeMap<&str, &GateEntry> = current.iter().map(|e| (e.name.as_str(), e)).collect();
+    let mut compared = Vec::new();
+    let mut only_baseline = Vec::new();
+    let mut only_current = Vec::new();
+    for (name, b) in &base {
+        match cur.get(name) {
+            Some(c) => {
+                let ratio = if b.median_ns > 0.0 {
+                    c.median_ns / b.median_ns
+                } else {
+                    1.0
+                };
+                compared.push(Comparison {
+                    name: (*name).to_string(),
+                    baseline_ns: b.median_ns,
+                    current_ns: c.median_ns,
+                    ratio,
+                    regressed: ratio > 1.0 + tolerance,
+                });
+            }
+            None => only_baseline.push((*name).to_string()),
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            only_current.push((*name).to_string());
+        }
+    }
+    GateReport {
+        compared,
+        only_baseline,
+        only_current,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, median: f64) -> String {
+        format!(
+            "{{\"bench\":\"{name}\",\"median_ns\":{median},\"p95_ns\":{},\
+             \"min_ns\":1,\"max_ns\":9,\"samples\":20,\"iters\":8}}",
+            median * 1.2
+        )
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = format!("{}\n\n{}\n", entry("g/a", 100.0), entry("g/b", 250.5));
+        let entries = parse_results(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "g/a");
+        assert!((entries[1].median_ns - 250.5).abs() < 1e-9);
+        assert!((entries[1].p95_ns - 300.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_results("not json\n").is_err());
+        assert!(parse_results("{\"median_ns\":1,\"p95_ns\":1}\n").is_err());
+        assert!(parse_results("{\"bench\":\"x\",\"p95_ns\":1}\n").is_err());
+    }
+
+    #[test]
+    fn unchanged_results_pass() {
+        let base =
+            parse_results(&format!("{}\n{}", entry("g/a", 100.0), entry("g/b", 50.0))).unwrap();
+        let report = compare(&base, &base, 0.75);
+        assert!(report.passed());
+        assert_eq!(report.compared.len(), 2);
+        assert!(report.only_baseline.is_empty() && report.only_current.is_empty());
+    }
+
+    #[test]
+    fn synthetic_slowdown_fails() {
+        let base = parse_results(&entry("g/a", 100.0)).unwrap();
+        // 3x the baseline median: well past a 75% tolerance.
+        let slow = parse_results(&entry("g/a", 300.0)).unwrap();
+        let report = compare(&base, &slow, 0.75);
+        assert!(!report.passed());
+        assert!(report.compared[0].regressed);
+        assert!((report.compared[0].ratio - 3.0).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = parse_results(&entry("g/a", 100.0)).unwrap();
+        let slightly = parse_results(&entry("g/a", 160.0)).unwrap();
+        assert!(compare(&base, &slightly, 0.75).passed());
+        assert!(!compare(&base, &slightly, 0.5).passed());
+    }
+
+    #[test]
+    fn disjoint_names_never_fail() {
+        let base = parse_results(&entry("g/old", 100.0)).unwrap();
+        let cur = parse_results(&entry("g/new", 9e9)).unwrap();
+        let report = compare(&base, &cur, 0.75);
+        assert!(report.passed());
+        assert_eq!(report.only_baseline, vec!["g/old".to_string()]);
+        assert_eq!(report.only_current, vec!["g/new".to_string()]);
+    }
+}

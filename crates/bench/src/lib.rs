@@ -8,8 +8,9 @@
 //! `rbpc-eval --scale paper` for the full-size numbers.
 
 pub mod crit;
+pub mod gate;
 
-pub use crit::{BatchSize, Bencher, BenchmarkGroup, Criterion};
+pub use crit::{take_results, BatchSize, BenchResult, Bencher, BenchmarkGroup, Criterion};
 
 use rbpc_core::DenseBasePaths;
 use rbpc_graph::{CostModel, Graph, Metric, NodeId};

@@ -19,7 +19,7 @@
 //! given `(metric, seed)`.
 
 use rbpc_graph::{shortest_path_tree, CostModel, Graph, NodeId, Path, PathCost, ShortestPathTree};
-use rbpc_obs::obs_count;
+use rbpc_obs::{obs_count, obs_trace};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -189,6 +189,7 @@ impl LazyBasePaths {
         obs_count!("core.basepaths.cache_miss");
         // Compute outside the lock; a racing thread may duplicate the work
         // but the result is identical either way.
+        let _t = obs_trace!("spt.build", cat: "lookup", source = source.index());
         let computed = Arc::new(shortest_path_tree(&self.graph, &self.model, source));
         let mut cache = self.cache.lock().unwrap();
         if let Some(t) = cache.map.get(&key) {

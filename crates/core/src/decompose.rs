@@ -11,7 +11,7 @@
 
 use crate::BasePathOracle;
 use rbpc_graph::{shortest_path_tree, FailureSet, NodeId, Path, PathCost, Topology};
-use rbpc_obs::{obs_count, obs_event, obs_record};
+use rbpc_obs::{obs_count, obs_event, obs_record, obs_trace, obs_trace_attr};
 use std::collections::VecDeque;
 
 /// What a segment of a concatenation is.
@@ -137,6 +137,7 @@ impl Concatenation {
 /// assert_eq!(conc.len(), 4); // exactly k + 1 — the comb is tight
 /// ```
 pub fn greedy_decompose<O: BasePathOracle>(oracle: &O, path: &Path) -> Concatenation {
+    let mut trace = obs_trace!("decompose.greedy", cat: "concat", hops = path.hop_count());
     let last = path.nodes().len() - 1;
     let mut segments = Vec::new();
     let mut i = 0;
@@ -162,6 +163,7 @@ pub fn greedy_decompose<O: BasePathOracle>(oracle: &O, path: &Path) -> Concatena
     }
     obs_count!("core.decompose.calls");
     obs_record!("core.decompose.segments", segments.len());
+    obs_trace_attr!(trace, segments = segments.len());
     Concatenation::from_segments(segments)
 }
 

@@ -16,6 +16,7 @@ use crate::{
     edge_bypass, end_route, BasePathOracle, LocalRestoration, Restoration, RestoreError, Restorer,
 };
 use rbpc_graph::{EdgeId, FailureSet, PathCost};
+use rbpc_obs::{obs_trace, obs_trace_attr};
 
 /// Which local variant phase 1 ended up using.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,10 +99,20 @@ pub fn hybrid_restore<O: BasePathOracle>(
     s: rbpc_graph::NodeId,
     t: rbpc_graph::NodeId,
 ) -> Result<HybridRestoration, RestoreError> {
-    let lsp_path = oracle.base_path(s, t).ok_or(RestoreError::Disconnected {
-        source: s,
-        target: t,
-    })?;
+    let mut trace = obs_trace!(
+        "restore.hybrid",
+        cat: "restore",
+        src = s.index(),
+        dst = t.index(),
+        k_failures = failures.failed_edge_count(),
+    );
+    let lsp_path = {
+        let _t = obs_trace!("base_path.lookup", cat: "lookup");
+        oracle.base_path(s, t).ok_or(RestoreError::Disconnected {
+            source: s,
+            target: t,
+        })?
+    };
     let (local, variant) = match edge_bypass(oracle, &lsp_path, failed, failures) {
         Ok(l) => (l, LocalVariant::EdgeBypass),
         Err(_) => (
@@ -110,6 +121,7 @@ pub fn hybrid_restore<O: BasePathOracle>(
         ),
     };
     let source = restorer.restore(s, t, failures)?;
+    obs_trace_attr!(trace, stack_depth = source.concatenation.len());
     let interim_cost = local.end_to_end.cost(oracle.graph(), oracle.cost_model());
     // The notification travels back along the (surviving) LSP prefix.
     let flood_hops = lsp_path.position_of(local.r1).expect("r1 lies on the LSP") as u32;

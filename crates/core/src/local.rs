@@ -16,6 +16,7 @@
 
 use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
 use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path};
+use rbpc_obs::{obs_trace, obs_trace_attr};
 
 /// The result of a local (adjacent-router) restoration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,13 +83,22 @@ pub fn end_route<O: BasePathOracle>(
 ) -> Result<LocalRestoration, RestoreError> {
     let (pos, r1, _) = locate(lsp_path, failed)?;
     let dest = lsp_path.target();
+    let mut trace = obs_trace!(
+        "local.end_route",
+        cat: "restore",
+        r1 = r1.index(),
+        k_failures = failures.failed_edge_count(),
+    );
     let view = failures.view(oracle.graph());
-    let detour =
+    let detour = {
+        let _t = obs_trace!("detour.search", cat: "lookup");
         shortest_path(&view, oracle.cost_model(), r1, dest).ok_or(RestoreError::Disconnected {
             source: r1,
             target: dest,
-        })?;
+        })?
+    };
     let concatenation = greedy_decompose(oracle, &detour);
+    obs_trace_attr!(trace, stack_depth = concatenation.len());
     let end_to_end = lsp_path
         .subpath(0, pos)
         .concat(&detour)
@@ -121,12 +131,20 @@ pub fn edge_bypass<O: BasePathOracle>(
     failures: &FailureSet,
 ) -> Result<LocalRestoration, RestoreError> {
     let (pos, r1, far) = locate(lsp_path, failed)?;
+    let mut trace = obs_trace!(
+        "local.edge_bypass",
+        cat: "restore",
+        r1 = r1.index(),
+        k_failures = failures.failed_edge_count(),
+    );
     let view = failures.view(oracle.graph());
-    let bypass =
+    let bypass = {
+        let _t = obs_trace!("detour.search", cat: "lookup");
         shortest_path(&view, oracle.cost_model(), r1, far).ok_or(RestoreError::Disconnected {
             source: r1,
             target: far,
-        })?;
+        })?
+    };
     let tail = lsp_path.subpath(pos + 1, lsp_path.nodes().len() - 1);
     if !crate::decompose::path_survives(&tail, failures) {
         return Err(RestoreError::Disconnected {
@@ -135,6 +153,7 @@ pub fn edge_bypass<O: BasePathOracle>(
         });
     }
     let concatenation = greedy_decompose(oracle, &bypass);
+    obs_trace_attr!(trace, stack_depth = concatenation.len());
     let end_to_end = lsp_path
         .subpath(0, pos)
         .concat(&bypass)

@@ -4,7 +4,7 @@
 use crate::decompose::path_survives;
 use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
 use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path, PathCost};
-use rbpc_obs::{obs_count, obs_event, obs_record, obs_span};
+use rbpc_obs::{obs_count, obs_event, obs_record, obs_span, obs_trace, obs_trace_attr};
 
 /// The result of restoring one source–destination route.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +101,13 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
         failures: &FailureSet,
     ) -> Result<Restoration, RestoreError> {
         let _span = obs_span!("core.restore.ns");
+        let mut trace = obs_trace!(
+            "restore.source",
+            cat: "restore",
+            src = s.index(),
+            dst = t.index(),
+            k_failures = failures.failed_edge_count(),
+        );
         obs_count!("core.restore.calls");
         obs_event!(
             "restore_start",
@@ -116,6 +123,8 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
                     obs_count!("core.restore.affected");
                 }
                 obs_record!("core.restore.segments", r.concatenation.len());
+                obs_trace_attr!(trace, stack_depth = r.concatenation.len());
+                obs_trace_attr!(trace, stretch = r.hop_stretch());
                 obs_event!(
                     "restore_done",
                     src = s.index(),
@@ -154,15 +163,18 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
                 return Err(RestoreError::EndpointFailed { node });
             }
         }
-        let original = self
-            .oracle
-            .base_path(s, t)
-            .ok_or(RestoreError::Disconnected {
-                source: s,
-                target: t,
-            })?;
+        let original = {
+            let _t = obs_trace!("base_path.lookup", cat: "lookup");
+            self.oracle
+                .base_path(s, t)
+                .ok_or(RestoreError::Disconnected {
+                    source: s,
+                    target: t,
+                })?
+        };
         let affected = !path_survives(&original, failures);
         let backup = if affected {
+            let _t = obs_trace!("backup.search", cat: "lookup");
             let view = failures.view(graph);
             shortest_path(&view, model, s, t).ok_or(RestoreError::Disconnected {
                 source: s,

@@ -6,7 +6,7 @@
 
 use rbpc_core::{BasePathOracle, DenseBasePaths, Restorer};
 use rbpc_graph::{CostModel, FailureSet, Metric, NodeId};
-use rbpc_obs::Registry;
+use rbpc_obs::{obs_trace, obs_trace_attr, Registry};
 use rbpc_topo::gnm_connected;
 
 #[test]
@@ -25,4 +25,29 @@ fn disabled_instrumentation_records_nothing() {
     assert_eq!(snap.counter("core.restore.ok"), None);
     assert!(snap.histogram("core.restore.segments").is_none());
     assert!(snap.histogram("core.restore.ns").is_none());
+}
+
+#[test]
+fn disabled_tracing_collects_nothing() {
+    // Even with the collector explicitly armed, the traced restore paths
+    // compile to no-ops and record no spans.
+    rbpc_obs::start_tracing();
+    let g = gnm_connected(12, 26, 5, 3);
+    let oracle = DenseBasePaths::build(g, CostModel::new(Metric::Weighted, 7));
+    let restorer = Restorer::new(&oracle);
+    let (s, t) = (NodeId::new(0), NodeId::new(11));
+    let base = oracle.base_path(s, t).expect("connected");
+    let failures = FailureSet::of_edge(base.edges()[0]);
+    restorer.restore(s, t, &failures).expect("restorable");
+    assert!(rbpc_obs::stop_tracing().is_empty());
+}
+
+#[test]
+fn disabled_trace_macros_are_zero_sized() {
+    // `obs_trace!` expands to a unit value when the feature is off: no
+    // guard object, no atomic load, nothing for the optimizer to keep.
+    let mut span = obs_trace!("noop", cat: "test", answer = 42u64);
+    assert_eq!(std::mem::size_of_val(&span), 0);
+    obs_trace_attr!(span, more = 7u64);
+    assert_eq!(std::mem::size_of_val(&span), 0);
 }

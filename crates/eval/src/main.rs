@@ -1,10 +1,11 @@
 //! `rbpc-eval` — regenerate the RBPC paper's tables and figures.
 //!
 //! ```text
-//! rbpc-eval <table1|table2|table3|figure10|latency|ablation|all>
+//! rbpc-eval <table1|table2|table3|figure10|latency|ablation|trace|all>
 //!           [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]
 //!           [--topology FILE --metric weighted|unweighted]
 //!           [--metrics-out FILE] [--events-out FILE]
+//!           [--trace-out FILE] [--failures K]
 //! ```
 //!
 //! With `--csv DIR`, each artifact is additionally written as a CSV file
@@ -17,11 +18,20 @@
 //! `--metrics-out FILE` writes the final counter/histogram snapshot as one
 //! JSON object. A human-readable metrics summary is printed to stderr at
 //! the end whenever any instrumentation fired.
+//!
+//! Tracing: `--trace-out FILE` collects causal spans from every restoration
+//! performed while the suite runs and writes them as Chrome `trace_event`
+//! JSON, loadable in `ui.perfetto.dev`. The `trace` command injects a
+//! multi-failure scenario (`--failures K`, default 2) into the first suite
+//! network and prints one human-readable span tree per affected LSP and
+//! scheme, with the critical path marked `*`.
 
+use rbpc_core::BasePathOracle;
 use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
 };
-use rbpc_sim::{outage_summary, LatencyModel, Scheme};
+use rbpc_graph::FailureSet;
+use rbpc_sim::{outage_summary, outage_under, LatencyModel, Scheme};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -35,6 +45,32 @@ struct Args {
     metric: rbpc_graph::Metric,
     metrics_out: Option<PathBuf>,
     events_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    failures: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|trace|all>\n\
+     \x20         [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]\n\
+     \x20         [--topology FILE --metric weighted|unweighted]\n\
+     \x20         [--metrics-out FILE] [--events-out FILE]\n\
+     \x20         [--trace-out FILE] [--failures K]\n\
+     \n\
+     commands:\n\
+     \x20 table1    network suite summary (Table 1)\n\
+     \x20 table2    source-router RBPC restorability/stretch (Table 2)\n\
+     \x20 table3    edge-bypass hop counts (Table 3)\n\
+     \x20 figure10  local RBPC stretch histogram (Figure 10)\n\
+     \x20 latency   modeled restoration latency per scheme\n\
+     \x20 ablation  provisioning footprint, k-SP comparison, coverage\n\
+     \x20 trace     inject a K-link failure and print per-LSP span trees\n\
+     \x20 all       every artifact above except `trace`\n\
+     \n\
+     tracing:\n\
+     \x20 --trace-out FILE  write Chrome trace_event JSON of every\n\
+     \x20                   restoration (open in ui.perfetto.dev)\n\
+     \x20 --failures K      number of links the `trace` command fails\n\
+     \x20                   simultaneously (default 2)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
     let mut metric = rbpc_graph::Metric::Weighted;
     let mut metrics_out = None;
     let mut events_out = None;
+    let mut trace_out = None;
+    let mut failures = 2usize;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -69,6 +107,13 @@ fn parse_args() -> Result<Args, String> {
             "--topology" => topology = Some(PathBuf::from(value()?)),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value()?)),
             "--events-out" => events_out = Some(PathBuf::from(value()?)),
+            "--trace-out" => trace_out = Some(PathBuf::from(value()?)),
+            "--failures" => {
+                failures = value()?.parse().map_err(|e| format!("bad failures: {e}"))?;
+                if failures == 0 {
+                    return Err("--failures must be at least 1".to_string());
+                }
+            }
             "--metric" => {
                 metric = match value()?.as_str() {
                     "weighted" => rbpc_graph::Metric::Weighted,
@@ -89,6 +134,8 @@ fn parse_args() -> Result<Args, String> {
         metric,
         metrics_out,
         events_out,
+        trace_out,
+        failures,
     })
 }
 
@@ -131,12 +178,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|all> \
-                 [--scale quick|paper] [--seed N] [--threads N] [--csv DIR] \
-                 [--topology FILE --metric weighted|unweighted] \
-                 [--metrics-out FILE] [--events-out FILE]"
-            );
+            eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -148,6 +190,9 @@ fn main() -> ExitCode {
         "# rbpc-eval {} --scale {scale_name} --seed {} --threads {}",
         args.command, args.seed, args.threads
     );
+    if args.trace_out.is_some() || args.command == "trace" {
+        rbpc_obs::start_tracing();
+    }
     if let Some(path) = &args.events_out {
         match rbpc_obs::JsonlSink::create(path) {
             Ok(sink) => {
@@ -301,6 +346,66 @@ fn main() -> ExitCode {
         );
     };
 
+    // Spans the `trace` command drains per scheme, kept so `--trace-out`
+    // still exports everything at the end.
+    let drained_spans = std::cell::RefCell::new(Vec::new());
+    let run_trace = || {
+        println!(
+            "== Trace: {}-link failure on {} — span tree per affected LSP ==",
+            args.failures, suite[0].name
+        );
+        let case = &suite[0];
+        let oracle = case.oracle(args.seed);
+        let pairs = sample_pairs(&case.graph, case.samples, args.seed);
+        let model = LatencyModel::default();
+        // Fail the middle link of the first K distinct sampled LSPs, so the
+        // scenario is guaranteed to hit several provisioned paths at once.
+        let mut failures = FailureSet::new();
+        for &(s, t) in &pairs {
+            if failures.failed_edge_count() >= args.failures {
+                break;
+            }
+            if let Some(path) = oracle.base_path(s, t) {
+                failures.fail_edge(path.edges()[path.hop_count() / 2]);
+            }
+        }
+        let affected: Vec<_> = pairs
+            .iter()
+            .copied()
+            .filter_map(|(s, t)| {
+                let path = oracle.base_path(s, t)?;
+                let hit = path
+                    .edges()
+                    .iter()
+                    .copied()
+                    .find(|&e| failures.edge_failed(e))?;
+                Some((s, t, hit))
+            })
+            .collect();
+        eprintln!(
+            "# failed {} link(s); {} of {} sampled LSPs affected",
+            failures.failed_edge_count(),
+            affected.len(),
+            pairs.len()
+        );
+        for scheme in Scheme::all() {
+            println!("-- scheme {} --", scheme.name());
+            for &(s, t, hit) in &affected {
+                let _ = outage_under(&oracle, &model, s, t, hit, &failures, scheme);
+            }
+            let spans = rbpc_obs::take_spans();
+            let trees = rbpc_obs::TraceTree::build(&spans);
+            if trees.is_empty() {
+                println!("(no spans collected — built without the `obs` feature?)");
+            }
+            for tree in trees {
+                print!("{}", tree.render());
+            }
+            println!();
+            drained_spans.borrow_mut().extend(spans);
+        }
+    };
+
     match args.command.as_str() {
         "table1" => run_t1(),
         "table2" => run_t2(),
@@ -308,6 +413,7 @@ fn main() -> ExitCode {
         "figure10" => run_f10(),
         "latency" => run_latency(),
         "ablation" => run_ablation(),
+        "trace" => run_trace(),
         "all" => {
             run_t1();
             run_t2();
@@ -318,20 +424,37 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("error: unknown command `{other}`");
+            eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
     }
-    finish_observability(&args);
+    finish_observability(&args, drained_spans.into_inner());
     ExitCode::SUCCESS
 }
 
-/// Drains the event sink and dumps the metric registry: JSON to
-/// `--metrics-out` if given, and a human-readable summary to stderr.
-fn finish_observability(args: &Args) {
+/// Drains the event sink, exports collected trace spans, and dumps the
+/// metric registry: JSON to `--metrics-out` if given, and a human-readable
+/// summary to stderr.
+fn finish_observability(args: &Args, mut spans: Vec<rbpc_obs::SpanRecord>) {
     // Dropping the previous sink flushes the JSONL file.
     drop(rbpc_obs::set_event_sink(None));
     if let Some(path) = &args.events_out {
         eprintln!("# wrote {}", path.display());
+    }
+    if rbpc_obs::tracing_active() {
+        spans.extend(rbpc_obs::stop_tracing());
+    }
+    if let Some(path) = &args.trace_out {
+        let mut json = rbpc_obs::chrome_trace_json(&spans);
+        json.push('\n');
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!(
+                "# wrote {} ({} spans; open in ui.perfetto.dev)",
+                path.display(),
+                spans.len()
+            ),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
     let snap = rbpc_obs::Registry::global_snapshot();
     if let Some(path) = &args.metrics_out {

@@ -6,7 +6,7 @@ use crate::{
     Router, SignalingStats,
 };
 use rbpc_graph::{FailureSet, Graph, NodeId, Path, PathError};
-use rbpc_obs::{obs_count, obs_event, obs_record};
+use rbpc_obs::{obs_count, obs_event, obs_record, obs_trace, obs_trace_attr};
 
 /// An established label-switched path.
 #[derive(Debug, Clone)]
@@ -309,6 +309,13 @@ impl MplsNetwork {
         dest: NodeId,
         lsps: &[LspId],
     ) -> Result<(), MplsError> {
+        let mut trace = obs_trace!(
+            "mpls.fec_rewrite",
+            cat: "rewrite",
+            router = router.index(),
+            dest = dest.index(),
+            lsps = lsps.len(),
+        );
         self.router(router)?;
         self.router(dest)?;
         let mut entry_labels = Vec::with_capacity(lsps.len());
@@ -346,6 +353,7 @@ impl MplsNetwork {
         );
         self.stats.fec_writes += 1;
         obs_count!("mpls.signaling.fec_writes");
+        obs_trace_attr!(trace, stack_depth = depth);
         obs_event!(
             "fec_rewrite",
             router = router.index(),
@@ -420,6 +428,13 @@ impl MplsNetwork {
         chain: &[LspId],
         tail_labels: &[Label],
     ) -> Result<IlmEntry, MplsError> {
+        let mut trace = obs_trace!(
+            "mpls.ilm_splice",
+            cat: "splice",
+            router = router.index(),
+            label = label.value(),
+            chain = chain.len(),
+        );
         self.router(router)?;
         let mut entry_labels: Vec<Label> = tail_labels.to_vec();
         let mut at = router;
@@ -459,6 +474,7 @@ impl MplsNetwork {
         self.stats.ilm_writes += 1;
         obs_count!("mpls.signaling.ilm_writes");
         obs_count!("mpls.ilm_splices");
+        obs_trace_attr!(trace, stack_depth = depth);
         obs_event!(
             "ilm_splice",
             router = router.index(),
@@ -519,12 +535,21 @@ impl MplsNetwork {
         failures: &FailureSet,
     ) -> Result<ForwardTrace, ForwardError> {
         obs_count!("mpls.forward.packets");
+        let mut span = obs_trace!(
+            "mpls.forward",
+            cat: "forward",
+            src = src.index(),
+            dst = dest.index(),
+            k_failures = failures.failed_edge_count(),
+        );
         let result = self.forward_inner(src, dest, failures);
         match &result {
             Ok(trace) => {
                 obs_count!("mpls.forward.delivered");
                 obs_record!("mpls.forward.hops", trace.hop_count());
                 obs_record!("mpls.forward.label_ops", trace.label_ops());
+                obs_trace_attr!(span, hops = trace.hop_count());
+                obs_trace_attr!(span, label_ops = trace.label_ops());
             }
             Err(_) => obs_count!("mpls.forward.errors"),
         }

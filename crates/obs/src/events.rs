@@ -146,11 +146,21 @@ impl Event {
     }
 }
 
+/// The process's observability epoch (set at first use, shared by events
+/// and trace spans so their timestamps are directly comparable).
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
 /// Microseconds since the process's observability epoch.
 pub(crate) fn epoch_micros() -> u64 {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    let epoch = *EPOCH.get_or_init(Instant::now);
-    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds since the process's observability epoch.
+pub(crate) fn epoch_nanos() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A sink writing one JSON object per line to an arbitrary writer.

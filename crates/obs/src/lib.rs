@@ -47,17 +47,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod counter;
 mod events;
 mod histogram;
+pub mod json;
 mod registry;
 mod span;
+mod trace;
 
+pub use chrome::{chrome_trace_json, TraceNode, TraceTree};
 pub use counter::Counter;
 pub use events::{emit, event_sink_active, json_escape, set_event_sink, Event, JsonlSink, Value};
 pub use histogram::{Histogram, HistogramSummary};
 pub use registry::{Registry, Snapshot};
 pub use span::Span;
+pub use trace::{
+    current_trace, start_tracing, stop_tracing, take_spans, tracing_active, SpanId, SpanRecord,
+    TraceId, TraceSpan,
+};
 
 /// Increments a counter in the global [`Registry`].
 ///
@@ -140,6 +148,59 @@ macro_rules! obs_span {
             None
         };
         __obs_span
+    }};
+}
+
+/// Opens a causal trace span: `let mut _t = obs_trace!("flood.timeline",
+/// cat: "flood", hops = 3usize);`.
+///
+/// Evaluates to an `Option<TraceSpan>` guard — `None` (nothing allocated)
+/// unless [`start_tracing`] is active. With a span already open on the
+/// current thread the new span becomes its child in the same trace;
+/// otherwise it mints a fresh [`TraceId`] and roots a new trace. On drop
+/// the span's wall-clock duration and attributes are pushed to the global
+/// collector.
+///
+/// When the calling crate's `obs` feature is off the macro evaluates to
+/// the zero-sized `()` — the span context costs nothing, compile-time or
+/// run-time.
+#[macro_export]
+macro_rules! obs_trace {
+    ($name:expr, cat: $cat:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        #[cfg(feature = "obs")]
+        let __obs_trace = match $crate::TraceSpan::enter($name, $cat) {
+            Some(mut __s) => {
+                $(__s.attr(stringify!($key), $crate::Value::from($val));)*
+                Some(__s)
+            }
+            None => None,
+        };
+        #[cfg(not(feature = "obs"))]
+        let __obs_trace = {
+            let _ = (&$name, &$cat $(, &$val)*);
+        };
+        __obs_trace
+    }};
+}
+
+/// Attaches an attribute to an open [`obs_trace!`] guard after creation —
+/// for values only known once the traced step finishes:
+/// `obs_trace_attr!(span, stretch = 1.25f64);`.
+///
+/// The guard must be a `mut` binding. Compiles to a no-op when the calling
+/// crate's `obs` feature is off, and does nothing when tracing is inactive
+/// (the guard is `None`).
+#[macro_export]
+macro_rules! obs_trace_attr {
+    ($span:ident, $key:ident = $val:expr) => {{
+        #[cfg(feature = "obs")]
+        if let Some(__s) = $span.as_mut() {
+            __s.attr(stringify!($key), $crate::Value::from($val));
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&mut $span, &$val);
+        }
     }};
 }
 

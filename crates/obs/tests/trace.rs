@@ -1,0 +1,206 @@
+//! Integration tests for the causal-tracing layer: span identity and
+//! nesting, the global collector lifecycle, tree reassembly/rendering, and
+//! the Chrome `trace_event` exporter (validated by round-tripping through
+//! the crate's own JSON parser).
+//!
+//! The collector is process-global, so everything runs inside one `#[test]`
+//! of sequential scenarios instead of racing parallel test threads.
+
+use rbpc_obs::json::JsonValue;
+use rbpc_obs::{
+    chrome_trace_json, current_trace, json, start_tracing, stop_tracing, take_spans,
+    tracing_active, TraceSpan, TraceTree, Value,
+};
+
+#[test]
+fn tracing_end_to_end() {
+    inactive_enter_is_none();
+    nesting_and_identity();
+    sibling_roots_get_distinct_traces();
+    stop_discards_spans_still_open();
+    tree_assembly_and_render();
+    orphan_spans_are_promoted();
+    chrome_export_roundtrips();
+}
+
+fn inactive_enter_is_none() {
+    assert!(!tracing_active());
+    assert!(TraceSpan::enter("noop", "test").is_none());
+    assert!(current_trace().is_none());
+}
+
+fn nesting_and_identity() {
+    start_tracing();
+    {
+        let mut root = TraceSpan::enter("outage", "restore").expect("active");
+        root.attr("scheme", "source_rbpc");
+        root.attr("k_failures", 2u64);
+        assert!(root.is_root());
+        assert_eq!(current_trace(), Some(root.trace()));
+        {
+            let child = TraceSpan::enter("flood.timeline", "flood").expect("active");
+            assert!(!child.is_root());
+            assert_eq!(child.trace(), root.trace());
+            {
+                let grandchild = TraceSpan::enter("base_path.lookup", "lookup").expect("active");
+                assert_eq!(grandchild.trace(), root.trace());
+            }
+        }
+        // Context restored after the children dropped.
+        assert_eq!(current_trace(), Some(root.trace()));
+    }
+    assert!(current_trace().is_none());
+    let spans = stop_tracing();
+    assert_eq!(spans.len(), 3);
+    // Drop order: innermost finishes first.
+    assert_eq!(spans[0].name, "base_path.lookup");
+    assert_eq!(spans[1].name, "flood.timeline");
+    assert_eq!(spans[2].name, "outage");
+    let root = &spans[2];
+    assert!(root.parent.is_none());
+    assert_eq!(root.attr("scheme"), Some(&Value::Str("source_rbpc".into())));
+    assert_eq!(root.attr("k_failures"), Some(&Value::U64(2)));
+    assert_eq!(spans[1].parent, Some(root.span));
+    assert_eq!(spans[0].parent, Some(spans[1].span));
+    assert!(spans.iter().all(|s| s.trace == root.trace));
+}
+
+fn sibling_roots_get_distinct_traces() {
+    start_tracing();
+    let first = TraceSpan::enter("outage", "restore").unwrap().trace();
+    let second = TraceSpan::enter("outage", "restore").unwrap().trace();
+    assert_ne!(first, second);
+    let spans = stop_tracing();
+    assert_eq!(spans.len(), 2);
+    assert_ne!(spans[0].trace, spans[1].trace);
+}
+
+fn stop_discards_spans_still_open() {
+    start_tracing();
+    let open = TraceSpan::enter("outage", "restore").unwrap();
+    let drained = stop_tracing();
+    assert!(drained.is_empty());
+    drop(open); // tracing stopped while open: must not leak into next window
+    start_tracing();
+    assert!(take_spans().is_empty());
+    stop_tracing();
+}
+
+fn tree_assembly_and_render() {
+    start_tracing();
+    {
+        let mut root = TraceSpan::enter("outage", "restore").unwrap();
+        root.attr("scheme", "hybrid");
+        {
+            let _flood = TraceSpan::enter("flood.timeline", "flood").unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _concat = TraceSpan::enter("decompose.greedy", "concat").unwrap();
+        }
+        let _splice = TraceSpan::enter("ilm.splice", "splice").unwrap();
+    }
+    let spans = stop_tracing();
+    let trees = TraceTree::build(&spans);
+    assert_eq!(trees.len(), 1);
+    let tree = &trees[0];
+    assert_eq!(tree.span_count(), 4);
+    assert_eq!(tree.root.record.name, "outage");
+    assert_eq!(tree.root.children.len(), 3);
+    // Children are ordered by start time.
+    assert_eq!(tree.root.children[0].record.name, "flood.timeline");
+    assert_eq!(tree.root.children[1].record.name, "decompose.greedy");
+    assert_eq!(tree.root.children[2].record.name, "ilm.splice");
+    let rendered = tree.render();
+    assert!(rendered.contains("outage [restore]"));
+    assert!(rendered.contains("scheme=\"hybrid\""));
+    // The slept-in flood span dominates the root, so it is the critical
+    // path and carries the `*` marker.
+    assert!(
+        rendered.contains("├─* flood.timeline [flood]"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("└─  ilm.splice [splice]"), "{rendered}");
+}
+
+fn orphan_spans_are_promoted() {
+    start_tracing();
+    let parent = TraceSpan::enter("outage", "restore").unwrap();
+    {
+        let _child = TraceSpan::enter("flood.timeline", "flood").unwrap();
+    }
+    // Drain while the parent is still open: the child's parent id is never
+    // recorded in this batch, so the child must become a root of its own.
+    let spans = take_spans();
+    assert_eq!(spans.len(), 1);
+    let trees = TraceTree::build(&spans);
+    assert_eq!(trees.len(), 1);
+    assert_eq!(trees[0].root.record.name, "flood.timeline");
+    drop(parent);
+    stop_tracing();
+}
+
+fn chrome_export_roundtrips() {
+    start_tracing();
+    {
+        let mut root = TraceSpan::enter("outage", "restore").unwrap();
+        root.attr("scheme", "local_edge_bypass");
+        root.attr("stretch", 1.5f64);
+        let _child = TraceSpan::enter("flood.timeline", "flood").unwrap();
+    }
+    let spans = stop_tracing();
+    let json_text = chrome_trace_json(&spans);
+    let parsed = json::parse(&json_text).expect("exporter emits valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ms")
+    );
+    let events = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    // One metadata event naming the trace row, plus the two spans.
+    assert_eq!(events.len(), 3);
+    let meta = &events[0];
+    assert_eq!(meta.get("ph").and_then(JsonValue::as_str), Some("M"));
+    let label = meta
+        .get("args")
+        .and_then(|a| a.get("name"))
+        .and_then(JsonValue::as_str)
+        .expect("thread_name label");
+    assert!(label.contains("outage") && label.contains("local_edge_bypass"));
+    for event in &events[1..] {
+        assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert!(event.get("ts").and_then(JsonValue::as_f64).is_some());
+        assert!(event.get("dur").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+        assert_eq!(event.get("pid").and_then(JsonValue::as_f64), Some(1.0));
+    }
+    let root_event = events
+        .iter()
+        .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("outage"))
+        .expect("root span exported");
+    assert_eq!(
+        root_event.get("cat").and_then(JsonValue::as_str),
+        Some("restore")
+    );
+    let args = root_event.get("args").expect("args object");
+    assert_eq!(
+        args.get("scheme").and_then(JsonValue::as_str),
+        Some("local_edge_bypass")
+    );
+    assert_eq!(args.get("stretch").and_then(JsonValue::as_f64), Some(1.5));
+    // Round-trip: re-serializing the parsed document and parsing it again
+    // yields the same value, so the export survives tooling that rewrites.
+    let reprinted = parsed.to_string();
+    assert_eq!(json::parse(&reprinted).unwrap(), parsed);
+
+    // An empty span list still produces a well-formed document.
+    let empty = json::parse(&chrome_trace_json(&[])).unwrap();
+    assert_eq!(
+        empty
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .map(<[JsonValue]>::len),
+        Some(0)
+    );
+}

@@ -28,4 +28,4 @@ mod outage;
 
 pub use flow::{simulate_flow, FlowConfig, FlowReport};
 pub use model::{flood_timeline, FloodTimeline, LatencyModel};
-pub use outage::{outage, outage_summary, OutageReport, OutageSummary, Scheme};
+pub use outage::{outage, outage_summary, outage_under, OutageReport, OutageSummary, Scheme};

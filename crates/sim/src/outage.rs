@@ -3,7 +3,7 @@
 use crate::{flood_timeline, LatencyModel};
 use rbpc_core::{edge_bypass, end_route, BasePathOracle, RestoreError, Restorer};
 use rbpc_graph::{EdgeId, FailureSet, NodeId};
-use rbpc_obs::{obs_count, obs_record};
+use rbpc_obs::{obs_count, obs_record, obs_trace, obs_trace_attr};
 
 /// A restoration scheme whose outage window is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,25 +96,89 @@ pub fn outage<O: BasePathOracle>(
     failed: EdgeId,
     scheme: Scheme,
 ) -> Result<OutageReport, RestoreError> {
-    let failures = FailureSet::of_edge(failed);
+    outage_under(
+        oracle,
+        model,
+        s,
+        t,
+        failed,
+        &FailureSet::of_edge(failed),
+        scheme,
+    )
+}
+
+/// Like [`outage`], but under an arbitrary [`FailureSet`] — `failed` is the
+/// link on the LSP whose loss the adjacent router detects, while `failures`
+/// may contain further failed elements (multi-failure scenarios).
+///
+/// This is where a restoration's **trace** is minted: injecting the failure
+/// opens a root span (category `restore`, attributes `scheme`/`k_failures`)
+/// and every step below — flood wait, base-path lookup, concatenation
+/// search, FEC rewrite or ILM splice — records a child span, so the whole
+/// recovery of one LSP can be followed end to end in `rbpc-eval trace` or
+/// a Perfetto export.
+///
+/// # Errors
+///
+/// As [`outage`]; `failed` must be an element of `failures` for the
+/// modeled timeline to make sense (not enforced).
+pub fn outage_under<O: BasePathOracle>(
+    oracle: &O,
+    model: &LatencyModel,
+    s: NodeId,
+    t: NodeId,
+    failed: EdgeId,
+    failures: &FailureSet,
+    scheme: Scheme,
+) -> Result<OutageReport, RestoreError> {
+    let mut root = obs_trace!(
+        "outage",
+        cat: "restore",
+        scheme = scheme.name(),
+        k_failures = failures.failed_edge_count(),
+        src = s.index(),
+        dst = t.index(),
+    );
     let restorer = Restorer::new(oracle);
-    let lsp_path = oracle.base_path(s, t).ok_or(RestoreError::Disconnected {
-        source: s,
-        target: t,
-    })?;
-    let flood = flood_timeline(oracle.graph(), &failures, model);
-    let source_aware = flood.at(s);
+    let lsp_path = {
+        let _t = obs_trace!("base_path.lookup", cat: "lookup");
+        oracle.base_path(s, t).ok_or(RestoreError::Disconnected {
+            source: s,
+            target: t,
+        })?
+    };
+    let source_aware = {
+        let mut t_flood = obs_trace!("flood.timeline", cat: "flood");
+        let flood = flood_timeline(oracle.graph(), failures, model);
+        let aware = flood.at(s);
+        if let Some(aware_us) = aware {
+            obs_trace_attr!(t_flood, source_aware_us = aware_us);
+        }
+        aware
+    };
 
     let (restored_at_us, interim_hops) = match scheme {
         Scheme::LocalEdgeBypass => {
-            let lr = edge_bypass(oracle, &lsp_path, failed, &failures)?;
+            let lr = edge_bypass(oracle, &lsp_path, failed, failures)?;
+            let _t = obs_trace!(
+                "ilm.splice",
+                cat: "splice",
+                modeled_us = model.detection_us + model.ilm_write_us,
+                labels = lr.pc_length(),
+            );
             (
                 model.detection_us + model.ilm_write_us,
                 lr.end_to_end.hop_count() as u32,
             )
         }
         Scheme::LocalEndRoute => {
-            let lr = end_route(oracle, &lsp_path, failed, &failures)?;
+            let lr = end_route(oracle, &lsp_path, failed, failures)?;
+            let _t = obs_trace!(
+                "ilm.splice",
+                cat: "splice",
+                modeled_us = model.detection_us + model.ilm_write_us,
+                labels = lr.pc_length(),
+            );
             (
                 model.detection_us + model.ilm_write_us,
                 lr.end_to_end.hop_count() as u32,
@@ -123,23 +187,36 @@ pub fn outage<O: BasePathOracle>(
         Scheme::Hybrid => {
             // Outage ends at the first successful local splice; fall back
             // to end-route when edge-bypass cannot patch.
-            let lr = edge_bypass(oracle, &lsp_path, failed, &failures)
-                .or_else(|_| end_route(oracle, &lsp_path, failed, &failures))?;
+            let lr = edge_bypass(oracle, &lsp_path, failed, failures)
+                .or_else(|_| end_route(oracle, &lsp_path, failed, failures))?;
+            let _t = obs_trace!(
+                "ilm.splice",
+                cat: "splice",
+                modeled_us = model.detection_us + model.ilm_write_us,
+                labels = lr.pc_length(),
+            );
             (
                 model.detection_us + model.ilm_write_us,
                 lr.end_to_end.hop_count() as u32,
             )
         }
         Scheme::SourceRbpc => {
-            let r = restorer.restore(s, t, &failures)?;
+            let r = restorer.restore(s, t, failures)?;
             let aware = source_aware.ok_or(RestoreError::Disconnected {
                 source: s,
                 target: t,
             })?;
+            let _t = obs_trace!(
+                "fec.rewrite",
+                cat: "rewrite",
+                modeled_us = model.fec_write_us,
+                flood_wait_us = aware,
+                stack_depth = r.concatenation.len(),
+            );
             (aware + model.fec_write_us, r.backup_cost.hops)
         }
         Scheme::Reestablish => {
-            let r = restorer.restore(s, t, &failures)?;
+            let r = restorer.restore(s, t, failures)?;
             let aware = source_aware.ok_or(RestoreError::Disconnected {
                 source: s,
                 target: t,
@@ -149,6 +226,15 @@ pub fn outage<O: BasePathOracle>(
             // then ILM installs (pipelined with the mapping pass, charge
             // one write) and the FEC switch.
             let hops = u64::from(r.backup_cost.hops);
+            let _t = obs_trace!(
+                "lsp.reestablish",
+                cat: "rewrite",
+                modeled_us = 2 * hops * model.signal_hop_us
+                    + model.ilm_write_us
+                    + model.fec_write_us,
+                flood_wait_us = aware,
+                signal_hops = hops,
+            );
             (
                 aware + 2 * hops * model.signal_hop_us + model.ilm_write_us + model.fec_write_us,
                 r.backup_cost.hops,
@@ -157,6 +243,15 @@ pub fn outage<O: BasePathOracle>(
     };
     obs_count!("sim.outage.events", label: scheme.name(), 1u64);
     obs_record!("sim.outage.restored_us", label: scheme.name(), restored_at_us);
+    obs_trace_attr!(root, restored_at_us = restored_at_us);
+    obs_trace_attr!(root, interim_hops = interim_hops);
+    let base_hops = lsp_path.hop_count() as u32;
+    if base_hops > 0 {
+        obs_trace_attr!(
+            root,
+            stretch = f64::from(interim_hops) / f64::from(base_hops)
+        );
+    }
     Ok(OutageReport {
         scheme,
         restored_at_us,

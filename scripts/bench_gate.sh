@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the benchmark suite with JSONL output and
+# compare the fresh medians against the committed baseline.
+#
+#   scripts/bench_gate.sh                 # run gate against bench/baseline.json
+#   REFRESH_BASELINE=1 scripts/bench_gate.sh   # re-record the baseline too
+#
+# Tunables (environment):
+#   BENCH_TARGETS   space-separated [[bench]] targets to run
+#                   (default: a fast subset — the full suite takes minutes)
+#   BENCH_TOLERANCE allowed relative median growth (default 0.75 = +75%,
+#                   generous so shared-runner noise doesn't flake the gate)
+#   BENCH_OUT       fresh results file (default BENCH_rbpc.json)
+#   BASELINE        committed baseline (default bench/baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1"}
+BENCH_TOLERANCE=${BENCH_TOLERANCE:-0.75}
+BENCH_OUT=${BENCH_OUT:-BENCH_rbpc.json}
+BASELINE=${BASELINE:-bench/baseline.json}
+
+# Bench binaries run with their package dir as CWD, so hand them an
+# absolute path or the JSONL lands in crates/bench/.
+case "$BENCH_OUT" in
+    /*) ;;
+    *) BENCH_OUT="$PWD/$BENCH_OUT" ;;
+esac
+
+rm -f "$BENCH_OUT"
+for target in $BENCH_TARGETS; do
+    echo "== cargo bench --bench $target"
+    cargo bench -p rbpc-bench --bench "$target" -- --json "$BENCH_OUT"
+done
+
+if [[ ! -s "$BENCH_OUT" ]]; then
+    echo "error: $BENCH_OUT is empty — did the bench targets run?" >&2
+    exit 2
+fi
+
+if [[ "${REFRESH_BASELINE:-0}" = "1" ]]; then
+    mkdir -p "$(dirname "$BASELINE")"
+    cp "$BENCH_OUT" "$BASELINE"
+    echo "refreshed $BASELINE from $BENCH_OUT"
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: no baseline at $BASELINE" >&2
+    echo "record one with: REFRESH_BASELINE=1 scripts/bench_gate.sh" >&2
+    exit 2
+fi
+
+echo "== bench-gate --baseline $BASELINE --current $BENCH_OUT --tolerance $BENCH_TOLERANCE"
+cargo run -q -p rbpc-bench --bin bench-gate --release -- \
+    --baseline "$BASELINE" --current "$BENCH_OUT" --tolerance "$BENCH_TOLERANCE"

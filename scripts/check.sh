@@ -17,4 +17,14 @@ cargo test --workspace -q
 echo "== cargo test -p rbpc-core --no-default-features (obs compiled out)"
 cargo test -p rbpc-core --no-default-features -q
 
+echo "== cargo build --workspace --no-default-features (tracing compiled out)"
+cargo build --workspace --no-default-features -q
+
+if [[ "${SKIP_BENCH_GATE:-0}" = "1" ]]; then
+    echo "== bench gate skipped (SKIP_BENCH_GATE=1)"
+else
+    echo "== bench gate (scripts/bench_gate.sh)"
+    scripts/bench_gate.sh
+fi
+
 echo "OK: all checks passed"

@@ -16,7 +16,9 @@
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
 //!   figures;
 //! * [`sim`] — restoration-latency simulation (failure detection,
-//!   link-state flooding, per-scheme outage windows).
+//!   link-state flooding, per-scheme outage windows);
+//! * [`obs`] — std-only observability: metrics, structured events, and
+//!   causal restoration traces with Perfetto export.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,5 +26,6 @@ pub use rbpc_core as core;
 pub use rbpc_eval as eval;
 pub use rbpc_graph as graph;
 pub use rbpc_mpls as mpls;
+pub use rbpc_obs as obs;
 pub use rbpc_sim as sim;
 pub use rbpc_topo as topo;
