@@ -2,34 +2,43 @@
 //!
 //! ```text
 //! bench-gate --baseline bench/baseline.json --current BENCH_rbpc.json
-//!            [--tolerance 0.75]
+//!            [--tolerance 0.75] [--speedup FAST,SLOW,RATIO]...
 //! ```
 //!
 //! Both files are JSONL as written by the bench harness's `--json` mode.
 //! Exits 0 when every benchmark present in both files has a current median
-//! within `baseline * (1 + tolerance)`, 1 when any regressed, 2 on usage or
-//! I/O errors. See `scripts/bench_gate.sh` for the end-to-end pipeline.
+//! within `baseline * (1 + tolerance)` and every `--speedup` rule holds on
+//! the current results, 1 when any regressed or a speedup fell short, 2 on
+//! usage or I/O errors. See `scripts/bench_gate.sh` for the end-to-end
+//! pipeline.
 
-use rbpc_bench::gate::{compare, parse_results};
+use rbpc_bench::gate::{compare_with_speedups, parse_results, SpeedupRule};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: bench-gate --baseline FILE --current FILE [--tolerance X]\n\
+     \x20                [--speedup FAST,SLOW,RATIO]...\n\
      \x20 --baseline FILE   committed JSONL baseline (bench/baseline.json)\n\
      \x20 --current FILE    fresh JSONL results (BENCH_rbpc.json)\n\
-     \x20 --tolerance X     allowed relative median growth (default 0.75)"
+     \x20 --tolerance X     allowed relative median growth (default 0.75)\n\
+     \x20 --speedup SPEC    require current[SLOW].median / current[FAST].median\n\
+     \x20                   >= RATIO; comma-separated since bench names\n\
+     \x20                   contain `/`. Repeatable. Skipped (with a note)\n\
+     \x20                   when either benchmark is absent from --current."
 }
 
 struct Opts {
     baseline: String,
     current: String,
     tolerance: f64,
+    speedups: Vec<SpeedupRule>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
     let mut baseline = None;
     let mut current = None;
     let mut tolerance = 0.75f64;
+    let mut speedups = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -47,6 +56,7 @@ fn parse_opts() -> Result<Opts, String> {
                     return Err("tolerance must be a finite non-negative number".to_string());
                 }
             }
+            "--speedup" => speedups.push(SpeedupRule::parse(&value()?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -54,6 +64,7 @@ fn parse_opts() -> Result<Opts, String> {
         baseline: baseline.ok_or("missing --baseline")?,
         current: current.ok_or("missing --current")?,
         tolerance,
+        speedups,
     })
 }
 
@@ -84,18 +95,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = compare(&baseline, &current, opts.tolerance);
+    let report = compare_with_speedups(&baseline, &current, opts.tolerance, &opts.speedups);
     print!("{}", report.render());
     if report.compared.is_empty() {
         eprintln!("error: no benchmark names in common between baseline and current");
         return ExitCode::from(2);
     }
     if report.passed() {
-        println!("bench gate: PASS ({} compared)", report.compared.len());
+        println!(
+            "bench gate: PASS ({} compared, {} speedup rules)",
+            report.compared.len(),
+            report.speedups.len()
+        );
         ExitCode::SUCCESS
     } else {
-        let n = report.compared.iter().filter(|c| c.regressed).count();
-        println!("bench gate: FAIL ({n} regressed)");
+        let regressed = report.compared.iter().filter(|c| c.regressed).count();
+        let slow = report.speedups.iter().filter(|s| !s.passed()).count();
+        println!("bench gate: FAIL ({regressed} regressed, {slow} speedup rules unmet)");
         ExitCode::FAILURE
     }
 }

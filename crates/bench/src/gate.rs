@@ -22,6 +22,69 @@ pub struct GateEntry {
     pub p95_ns: f64,
 }
 
+/// A required speedup between two benchmarks of the *current* run: `fast`
+/// must have a median at least `min_ratio` times smaller than `slow`'s.
+///
+/// This guards claims of the form "incremental repair beats a full rebuild
+/// by ≥ 5×" — a property the plain regression check cannot express, since
+/// both sides could slow down in lockstep and still pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRule {
+    /// Name of the benchmark expected to be faster.
+    pub fast: String,
+    /// Name of the benchmark it is measured against.
+    pub slow: String,
+    /// Minimum required `slow.median / fast.median`.
+    pub min_ratio: f64,
+}
+
+impl SpeedupRule {
+    /// Parses a `fast,slow,min_ratio` spec (comma-separated because
+    /// benchmark names contain `/`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec does not have exactly three
+    /// comma-separated fields or the ratio is not a positive number.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(',').collect();
+        let [fast, slow, ratio] = parts.as_slice() else {
+            return Err(format!(
+                "speedup spec `{spec}` is not `fast,slow,min_ratio`"
+            ));
+        };
+        let min_ratio: f64 = ratio
+            .parse()
+            .map_err(|e| format!("speedup spec `{spec}`: bad ratio: {e}"))?;
+        if !(min_ratio > 0.0 && min_ratio.is_finite()) {
+            return Err(format!("speedup spec `{spec}`: ratio must be positive"));
+        }
+        Ok(SpeedupRule {
+            fast: fast.to_string(),
+            slow: slow.to_string(),
+            min_ratio,
+        })
+    }
+}
+
+/// The outcome of one [`SpeedupRule`] against the current results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupCheck {
+    /// The rule that was checked.
+    pub rule: SpeedupRule,
+    /// Achieved `slow.median / fast.median`, or `None` when either
+    /// benchmark is absent from the current results (skipped, not failed,
+    /// so partial bench runs don't flake the gate).
+    pub ratio: Option<f64>,
+}
+
+impl SpeedupCheck {
+    /// Whether this check passes (absent benchmarks pass vacuously).
+    pub fn passed(&self) -> bool {
+        self.ratio.is_none_or(|r| r >= self.rule.min_ratio)
+    }
+}
+
 /// The comparison of one benchmark across baseline and current runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -46,14 +109,17 @@ pub struct GateReport {
     pub only_baseline: Vec<String>,
     /// Benchmarks only in the current results (new targets).
     pub only_current: Vec<String>,
+    /// Speedup-rule outcomes over the current results.
+    pub speedups: Vec<SpeedupCheck>,
     /// The relative slowdown allowed before a benchmark regresses.
     pub tolerance: f64,
 }
 
 impl GateReport {
-    /// Whether the gate passes: no compared benchmark regressed.
+    /// Whether the gate passes: no compared benchmark regressed and every
+    /// speedup rule holds.
     pub fn passed(&self) -> bool {
-        self.compared.iter().all(|c| !c.regressed)
+        self.compared.iter().all(|c| !c.regressed) && self.speedups.iter().all(|s| s.passed())
     }
 
     /// Renders the report as an aligned text table.
@@ -85,6 +151,25 @@ impl GateReport {
         }
         for name in &self.only_current {
             let _ = writeln!(out, "{name:<width$} (new — not compared)");
+        }
+        for s in &self.speedups {
+            match s.ratio {
+                Some(r) => {
+                    let verdict = if s.passed() { "ok" } else { "TOO SLOW" };
+                    let _ = writeln!(
+                        out,
+                        "speedup {} vs {}: {:.2}x (need >= {:.2}x)  {verdict}",
+                        s.rule.fast, s.rule.slow, r, s.rule.min_ratio
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "speedup {} vs {}: benchmark missing — skipped",
+                        s.rule.fast, s.rule.slow
+                    );
+                }
+            }
         }
         let _ = writeln!(
             out,
@@ -140,6 +225,19 @@ pub fn parse_results(jsonl: &str) -> Result<Vec<GateEntry>, String> {
 /// `tolerance = 0.75` allows up to a 75% slowdown before failing, generous
 /// enough to absorb shared-runner noise while catching real cliffs.
 pub fn compare(baseline: &[GateEntry], current: &[GateEntry], tolerance: f64) -> GateReport {
+    compare_with_speedups(baseline, current, tolerance, &[])
+}
+
+/// [`compare`], plus [`SpeedupRule`]s evaluated over the *current* results:
+/// each rule requires `current[slow].median / current[fast].median >=
+/// min_ratio`. A rule whose benchmarks are absent from the current run is
+/// reported as skipped and passes vacuously.
+pub fn compare_with_speedups(
+    baseline: &[GateEntry],
+    current: &[GateEntry],
+    tolerance: f64,
+    rules: &[SpeedupRule],
+) -> GateReport {
     let base: BTreeMap<&str, &GateEntry> = baseline.iter().map(|e| (e.name.as_str(), e)).collect();
     let cur: BTreeMap<&str, &GateEntry> = current.iter().map(|e| (e.name.as_str(), e)).collect();
     let mut compared = Vec::new();
@@ -169,10 +267,24 @@ pub fn compare(baseline: &[GateEntry], current: &[GateEntry], tolerance: f64) ->
             only_current.push((*name).to_string());
         }
     }
+    let speedups = rules
+        .iter()
+        .map(|rule| {
+            let ratio = match (cur.get(rule.fast.as_str()), cur.get(rule.slow.as_str())) {
+                (Some(f), Some(s)) if f.median_ns > 0.0 => Some(s.median_ns / f.median_ns),
+                _ => None,
+            };
+            SpeedupCheck {
+                rule: rule.clone(),
+                ratio,
+            }
+        })
+        .collect();
     GateReport {
         compared,
         only_baseline,
         only_current,
+        speedups,
         tolerance,
     }
 }
@@ -234,6 +346,49 @@ mod tests {
         let slightly = parse_results(&entry("g/a", 160.0)).unwrap();
         assert!(compare(&base, &slightly, 0.75).passed());
         assert!(!compare(&base, &slightly, 0.5).passed());
+    }
+
+    #[test]
+    fn speedup_rule_parses_and_rejects() {
+        let rule = SpeedupRule::parse("g/fast,g/slow,5.0").unwrap();
+        assert_eq!(rule.fast, "g/fast");
+        assert_eq!(rule.slow, "g/slow");
+        assert!((rule.min_ratio - 5.0).abs() < 1e-9);
+        assert!(SpeedupRule::parse("g/fast,g/slow").is_err());
+        assert!(SpeedupRule::parse("a,b,c,d").is_err());
+        assert!(SpeedupRule::parse("a,b,nope").is_err());
+        assert!(SpeedupRule::parse("a,b,-1").is_err());
+        assert!(SpeedupRule::parse("a,b,0").is_err());
+    }
+
+    #[test]
+    fn speedup_rule_gates_on_current_ratio() {
+        let cur = parse_results(&format!(
+            "{}\n{}",
+            entry("g/fast", 10.0),
+            entry("g/slow", 100.0)
+        ))
+        .unwrap();
+        let ok = SpeedupRule::parse("g/fast,g/slow,5.0").unwrap();
+        let report = compare_with_speedups(&cur, &cur, 0.75, &[ok]);
+        assert!(report.passed());
+        assert!((report.speedups[0].ratio.unwrap() - 10.0).abs() < 1e-9);
+        assert!(report.render().contains("10.00x"));
+
+        let too_strict = SpeedupRule::parse("g/fast,g/slow,20.0").unwrap();
+        let report = compare_with_speedups(&cur, &cur, 0.75, &[too_strict]);
+        assert!(!report.passed());
+        assert!(report.render().contains("TOO SLOW"));
+    }
+
+    #[test]
+    fn speedup_rule_skips_missing_benchmarks() {
+        let cur = parse_results(&entry("g/fast", 10.0)).unwrap();
+        let rule = SpeedupRule::parse("g/fast,g/slow,5.0").unwrap();
+        let report = compare_with_speedups(&cur, &cur, 0.75, &[rule]);
+        assert!(report.passed());
+        assert!(report.speedups[0].ratio.is_none());
+        assert!(report.render().contains("skipped"));
     }
 
     #[test]

@@ -18,11 +18,53 @@
 //! Both return bit-identical answers because the trees are canonical for a
 //! given `(metric, seed)`.
 
-use rbpc_graph::{shortest_path_tree, CostModel, Graph, NodeId, Path, PathCost, ShortestPathTree};
-use rbpc_obs::{obs_count, obs_trace};
+use rbpc_graph::{
+    repair_after_failures, shortest_path_tree, CostModel, EdgeId, FailureSet, Graph, NodeId, Path,
+    PathCost, ShortestPathTree,
+};
+use rbpc_obs::{obs_count, obs_record, obs_span, obs_trace};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
+
+/// Repairs a clone of `base` to reflect `failures`, via
+/// [`repair_after_failures`] — the shared fast path behind
+/// [`BasePathOracle::with_spt_under`] for oracles that store unfailed
+/// trees. The caller must have ruled out a failed `source` (not
+/// expressible as a repair).
+fn repaired_tree(
+    graph: &Graph,
+    model: &CostModel,
+    base: &ShortestPathTree,
+    failures: &FailureSet,
+) -> ShortestPathTree {
+    // A node failure is equivalent to failing all of its incident edges;
+    // the dead node itself never re-attaches because the view masks them.
+    let mut edges: Vec<EdgeId> = failures.failed_edges().collect();
+    for v in failures.failed_nodes() {
+        edges.extend(graph.neighbors(v).map(|h| h.edge));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let view = failures.view(graph);
+    let _span = obs_span!("spt.repair.ns");
+    let mut tree = base.clone();
+    let stats = repair_after_failures(&mut tree, &view, model, &edges);
+    obs_record!("spt.repair.nodes_touched", stats.nodes_touched as u64);
+    tree
+}
+
+/// Rebuilds a tree from scratch over the failed view — the slow path used
+/// when no unfailed tree is available or the source itself is failed.
+fn rebuilt_tree(
+    graph: &Graph,
+    model: &CostModel,
+    source: NodeId,
+    failures: &FailureSet,
+) -> ShortestPathTree {
+    let _span = obs_span!("spt.rebuild.ns");
+    shortest_path_tree(&failures.view(graph), model, source)
+}
 
 /// The provisioned base set: one canonical shortest path per ordered pair.
 ///
@@ -41,6 +83,43 @@ pub trait BasePathOracle {
     ///
     /// Panics if `source` is out of range.
     fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R;
+
+    /// Runs `f` with the shortest-path tree rooted at `source` over the
+    /// graph with `failures` applied — the tree a router recomputes when
+    /// links go down.
+    ///
+    /// The default implementation rebuilds from scratch (recorded under the
+    /// `spt.rebuild.ns` histogram). [`DenseBasePaths`] and
+    /// [`LazyBasePaths`] override it to *repair* their cached unfailed tree
+    /// incrementally (`spt.repair.ns` / `spt.repair.nodes_touched`), which
+    /// yields a bit-identical tree because padded costs make shortest paths
+    /// unique — see [`rbpc_graph::repair_after_failures`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    fn with_spt_under<R>(
+        &self,
+        source: NodeId,
+        failures: &FailureSet,
+        f: impl FnOnce(&ShortestPathTree) -> R,
+    ) -> R {
+        if failures.is_empty() {
+            return self.with_spt(source, f);
+        }
+        f(&rebuilt_tree(
+            self.graph(),
+            self.cost_model(),
+            source,
+            failures,
+        ))
+    }
+
+    /// The canonical shortest path from `s` to `t` over the failed view,
+    /// or `None` if the failures disconnect the pair.
+    fn path_under(&self, s: NodeId, t: NodeId, failures: &FailureSet) -> Option<Path> {
+        self.with_spt_under(s, failures, |spt| spt.path_to(t))
+    }
 
     /// The canonical base path from `s` to `t`, or `None` if disconnected.
     fn base_path(&self, s: NodeId, t: NodeId) -> Option<Path> {
@@ -128,6 +207,28 @@ impl BasePathOracle for DenseBasePaths {
 
     fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
         f(&self.trees[source.index()])
+    }
+
+    fn with_spt_under<R>(
+        &self,
+        source: NodeId,
+        failures: &FailureSet,
+        f: impl FnOnce(&ShortestPathTree) -> R,
+    ) -> R {
+        if failures.is_empty() {
+            return self.with_spt(source, f);
+        }
+        if failures.node_failed(source) {
+            // Not expressible as a repair; the rebuild early-exits anyway.
+            return f(&rebuilt_tree(&self.graph, &self.model, source, failures));
+        }
+        let _t = obs_trace!("spt.repair", cat: "lookup", source = source.index());
+        f(&repaired_tree(
+            &self.graph,
+            &self.model,
+            &self.trees[source.index()],
+            failures,
+        ))
     }
 }
 
@@ -221,6 +322,25 @@ impl BasePathOracle for LazyBasePaths {
         let tree = self.tree(source);
         f(&tree)
     }
+
+    fn with_spt_under<R>(
+        &self,
+        source: NodeId,
+        failures: &FailureSet,
+        f: impl FnOnce(&ShortestPathTree) -> R,
+    ) -> R {
+        if failures.is_empty() {
+            return self.with_spt(source, f);
+        }
+        if failures.node_failed(source) {
+            return f(&rebuilt_tree(&self.graph, &self.model, source, failures));
+        }
+        // Repair a clone of the cached unfailed tree; the (transient)
+        // failed tree is never cached, so the cache stays canonical.
+        let base = self.tree(source);
+        let _t = obs_trace!("spt.repair", cat: "lookup", source = source.index());
+        f(&repaired_tree(&self.graph, &self.model, &base, failures))
+    }
 }
 
 impl<O: BasePathOracle> BasePathOracle for &O {
@@ -234,6 +354,15 @@ impl<O: BasePathOracle> BasePathOracle for &O {
 
     fn with_spt<R>(&self, source: NodeId, f: impl FnOnce(&ShortestPathTree) -> R) -> R {
         (**self).with_spt(source, f)
+    }
+
+    fn with_spt_under<R>(
+        &self,
+        source: NodeId,
+        failures: &FailureSet,
+        f: impl FnOnce(&ShortestPathTree) -> R,
+    ) -> R {
+        (**self).with_spt_under(source, failures, f)
     }
 }
 
@@ -341,6 +470,62 @@ mod tests {
         let oracle = DenseBasePaths::build(g, model());
         assert_eq!(takes_oracle(&oracle), 5);
         assert_eq!(takes_oracle(&&oracle), 5);
+    }
+
+    #[test]
+    fn with_spt_under_matches_rebuild_for_all_oracles() {
+        let g = gnm_connected(40, 90, 12, 5);
+        let dense = DenseBasePaths::build(g.clone(), model());
+        let lazy = LazyBasePaths::with_capacity(g.clone(), model(), 4);
+        let mut failures = FailureSet::new();
+        // A couple of edge failures plus a node failure.
+        failures.fail_edge(rbpc_graph::EdgeId::new(0));
+        failures.fail_edge(rbpc_graph::EdgeId::new(17));
+        failures.fail_node(7.into());
+        // Generic so `O = &DenseBasePaths` goes through the `&O` blanket
+        // impl, which must forward the override, not fall back to the
+        // default rebuild.
+        fn check<O: BasePathOracle>(
+            oracle: O,
+            failures: &FailureSet,
+            s: NodeId,
+            want: &ShortestPathTree,
+        ) {
+            oracle.with_spt_under(s, failures, |spt| assert_eq!(spt, want));
+        }
+        for s in g.nodes() {
+            let want = shortest_path_tree(&failures.view(&g), &model(), s);
+            dense.with_spt_under(s, &failures, |spt| assert_eq!(spt, &want, "dense, {s}"));
+            lazy.with_spt_under(s, &failures, |spt| assert_eq!(spt, &want, "lazy, {s}"));
+            check(&dense, &failures, s, &want);
+        }
+    }
+
+    #[test]
+    fn with_spt_under_empty_failures_is_base_tree() {
+        let g = gnm_connected(20, 40, 5, 1);
+        let dense = DenseBasePaths::build(g.clone(), model());
+        let none = FailureSet::new();
+        for s in g.nodes() {
+            dense.with_spt_under(s, &none, |spt| assert_eq!(spt, dense.spt(s)));
+        }
+    }
+
+    #[test]
+    fn path_under_avoids_failures() {
+        let g = gnm_connected(30, 70, 9, 3);
+        let oracle = DenseBasePaths::build(g.clone(), model());
+        let p = oracle.base_path(0.into(), 20.into()).unwrap();
+        let mut failures = FailureSet::new();
+        failures.fail_edge(p.edges()[0]);
+        if let Some(q) = oracle.path_under(0.into(), 20.into(), &failures) {
+            assert!(!q.contains_edge(p.edges()[0]));
+            assert_eq!(
+                Some(&q),
+                rbpc_graph::shortest_path(&failures.view(&g), &model(), 0.into(), 20.into())
+                    .as_ref()
+            );
+        }
     }
 
     #[test]

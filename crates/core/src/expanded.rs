@@ -12,6 +12,9 @@
 //! longest-prefix decomposition is again optimal; a prefix is either a
 //! base path, a base path plus one appended edge, or one prepended edge
 //! plus a base path.
+//!
+//! See `docs/PAPER_MAP.md` (repository root) for the full map from the
+//! paper's results to modules and tests.
 
 use crate::BasePathOracle;
 use rbpc_graph::{Graph, Path};

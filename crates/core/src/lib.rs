@@ -59,6 +59,10 @@
 //! #     g
 //! # }
 //! ```
+//!
+//! The full paper-to-code map (theorems, figures, tables -> modules and
+//! tests) is in `docs/PAPER_MAP.md` at the repository root;
+//! `docs/ARCHITECTURE.md` shows how the crates fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

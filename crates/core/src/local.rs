@@ -15,7 +15,7 @@
 //! splice instantly and lets the source re-route optimally later.
 
 use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
-use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path};
+use rbpc_graph::{EdgeId, FailureSet, NodeId, Path};
 use rbpc_obs::{obs_trace, obs_trace_attr};
 
 /// The result of a local (adjacent-router) restoration.
@@ -89,13 +89,16 @@ pub fn end_route<O: BasePathOracle>(
         r1 = r1.index(),
         k_failures = failures.failed_edge_count(),
     );
-    let view = failures.view(oracle.graph());
     let detour = {
+        // Repair r1's cached tree rather than re-running Dijkstra over the
+        // failed view (see `BasePathOracle::with_spt_under`).
         let _t = obs_trace!("detour.search", cat: "lookup");
-        shortest_path(&view, oracle.cost_model(), r1, dest).ok_or(RestoreError::Disconnected {
-            source: r1,
-            target: dest,
-        })?
+        oracle
+            .path_under(r1, dest, failures)
+            .ok_or(RestoreError::Disconnected {
+                source: r1,
+                target: dest,
+            })?
     };
     let concatenation = greedy_decompose(oracle, &detour);
     obs_trace_attr!(trace, stack_depth = concatenation.len());
@@ -137,13 +140,14 @@ pub fn edge_bypass<O: BasePathOracle>(
         r1 = r1.index(),
         k_failures = failures.failed_edge_count(),
     );
-    let view = failures.view(oracle.graph());
     let bypass = {
         let _t = obs_trace!("detour.search", cat: "lookup");
-        shortest_path(&view, oracle.cost_model(), r1, far).ok_or(RestoreError::Disconnected {
-            source: r1,
-            target: far,
-        })?
+        oracle
+            .path_under(r1, far, failures)
+            .ok_or(RestoreError::Disconnected {
+                source: r1,
+                target: far,
+            })?
     };
     let tail = lsp_path.subpath(pos + 1, lsp_path.nodes().len() - 1);
     if !crate::decompose::path_survives(&tail, failures) {

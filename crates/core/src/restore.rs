@@ -3,7 +3,7 @@
 
 use crate::decompose::path_survives;
 use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
-use rbpc_graph::{shortest_path, EdgeId, FailureSet, NodeId, Path, PathCost};
+use rbpc_graph::{EdgeId, FailureSet, NodeId, Path, PathCost};
 use rbpc_obs::{obs_count, obs_event, obs_record, obs_span, obs_trace, obs_trace_attr};
 
 /// The result of restoring one source–destination route.
@@ -174,12 +174,15 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
         };
         let affected = !path_survives(&original, failures);
         let backup = if affected {
+            // Repair the source's cached tree instead of running Dijkstra
+            // over the failed view from scratch (see `with_spt_under`).
             let _t = obs_trace!("backup.search", cat: "lookup");
-            let view = failures.view(graph);
-            shortest_path(&view, model, s, t).ok_or(RestoreError::Disconnected {
-                source: s,
-                target: t,
-            })?
+            self.oracle
+                .path_under(s, t, failures)
+                .ok_or(RestoreError::Disconnected {
+                    source: s,
+                    target: t,
+                })?
         } else {
             original.clone()
         };

@@ -15,6 +15,9 @@
 //! The minimum cover is computed greedily: "subpath of `P` is a shortest
 //! path of `G`" is closed under taking subpaths, so longest-prefix is
 //! optimal — the same argument as for base-path decomposition.
+//!
+//! See `docs/PAPER_MAP.md` (repository root) for the full map from the
+//! paper's results to modules and tests.
 
 use crate::BasePathOracle;
 use rbpc_graph::{Metric, Path};

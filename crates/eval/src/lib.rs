@@ -3,10 +3,10 @@
 //!
 //! | Paper artifact | Module | What it reports |
 //! |---|---|---|
-//! | Table 1 | [`table1`] | nodes / links / average degree per topology |
+//! | Table 1 | [`mod@table1`] | nodes / links / average degree per topology |
 //! | Table 2 | [`table2`] | ILM stretch factor, PC length, length stretch, redundancy after 1–2 link / router failures |
-//! | Table 3 | [`table3`] | distribution of min-cost bypass hop counts |
-//! | Figure 10 | [`figure10`] | cost / hop-count stretch histograms of local RBPC |
+//! | Table 3 | [`mod@table3`] | distribution of min-cost bypass hop counts |
+//! | Figure 10 | [`mod@figure10`] | cost / hop-count stretch histograms of local RBPC |
 //!
 //! The paper's topologies are proprietary or unobtainable; [`suite`]
 //! generates the synthetic stand-ins described in `DESIGN.md` at either
@@ -14,6 +14,10 @@
 //! and benches ([`EvalScale::Quick`]). Sampling follows the paper's
 //! protocol (200 pairs on the ISP, 40 on the large graphs), parallelized
 //! with std scoped threads; everything is deterministic per seed.
+//!
+//! The full paper-to-code map (theorems, figures, tables -> modules and
+//! tests) is in `docs/PAPER_MAP.md` at the repository root;
+//! `docs/ARCHITECTURE.md` shows how the crates fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

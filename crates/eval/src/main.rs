@@ -31,7 +31,7 @@ use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
 };
 use rbpc_graph::FailureSet;
-use rbpc_sim::{outage_summary, outage_under, LatencyModel, Scheme};
+use rbpc_sim::{churn_sequence, churn_under, outage_summary, outage_under, LatencyModel, Scheme};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -47,14 +47,15 @@ struct Args {
     events_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     failures: usize,
+    events: usize,
 }
 
 fn usage() -> &'static str {
-    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|trace|all>\n\
+    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|all>\n\
      \x20         [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]\n\
      \x20         [--topology FILE --metric weighted|unweighted]\n\
      \x20         [--metrics-out FILE] [--events-out FILE]\n\
-     \x20         [--trace-out FILE] [--failures K]\n\
+     \x20         [--trace-out FILE] [--failures K] [--events N]\n\
      \n\
      commands:\n\
      \x20 table1    network suite summary (Table 1)\n\
@@ -63,14 +64,16 @@ fn usage() -> &'static str {
      \x20 figure10  local RBPC stretch histogram (Figure 10)\n\
      \x20 latency   modeled restoration latency per scheme\n\
      \x20 ablation  provisioning footprint, k-SP comparison, coverage\n\
+     \x20 churn     failure/recovery sequence, restorations per event\n\
      \x20 trace     inject a K-link failure and print per-LSP span trees\n\
-     \x20 all       every artifact above except `trace`\n\
+     \x20 all       every artifact above except `churn` and `trace`\n\
      \n\
-     tracing:\n\
+     churn & tracing:\n\
      \x20 --trace-out FILE  write Chrome trace_event JSON of every\n\
      \x20                   restoration (open in ui.perfetto.dev)\n\
-     \x20 --failures K      number of links the `trace` command fails\n\
-     \x20                   simultaneously (default 2)"
+     \x20 --failures K      links the `trace` command fails simultaneously;\n\
+     \x20                   also the `churn` concurrent-failure cap (default 2)\n\
+     \x20 --events N        length of the `churn` event sequence (default 40)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
     let mut events_out = None;
     let mut trace_out = None;
     let mut failures = 2usize;
+    let mut events = 40usize;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -114,6 +118,12 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--failures must be at least 1".to_string());
                 }
             }
+            "--events" => {
+                events = value()?.parse().map_err(|e| format!("bad events: {e}"))?;
+                if events == 0 {
+                    return Err("--events must be at least 1".to_string());
+                }
+            }
             "--metric" => {
                 metric = match value()?.as_str() {
                     "weighted" => rbpc_graph::Metric::Weighted,
@@ -136,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
         events_out,
         trace_out,
         failures,
+        events,
     })
 }
 
@@ -346,6 +357,59 @@ fn main() -> ExitCode {
         );
     };
 
+    let run_churn = || {
+        println!(
+            "== Extension: churn — {} failure/recovery events on {} (≤{} concurrent) ==",
+            args.events, suite[0].name, args.failures
+        );
+        let case = &suite[0];
+        let oracle = case.oracle(args.seed);
+        let pairs = sample_pairs(&case.graph, case.samples, args.seed);
+        let model = LatencyModel::default();
+        let events = churn_sequence(&case.graph, args.events, args.failures, args.seed);
+        let mut csv = rbpc_eval::Csv::new();
+        csv.row([
+            "scheme",
+            "fail_events",
+            "recover_events",
+            "disrupted",
+            "restored",
+            "unrestorable",
+            "reverted",
+            "mean_outage_us",
+            "max_outage_us",
+        ]);
+        for scheme in Scheme::all() {
+            let s = churn_under(&oracle, &model, &pairs, &events, scheme);
+            println!(
+                "{:<18} {:>3} fail / {:>3} recover   {:>4} disrupted   {:>4} restored   \
+                 {:>3} unrestorable   {:>4} reverted   mean outage {:>8.1} ms   max {:>8.1} ms",
+                format!("{:?}", s.scheme),
+                s.fail_events,
+                s.recover_events,
+                s.disrupted,
+                s.restored,
+                s.unrestorable,
+                s.reverted,
+                s.mean_outage_us / 1000.0,
+                s.max_outage_us as f64 / 1000.0,
+            );
+            csv.row([
+                format!("{:?}", s.scheme),
+                s.fail_events.to_string(),
+                s.recover_events.to_string(),
+                s.disrupted.to_string(),
+                s.restored.to_string(),
+                s.unrestorable.to_string(),
+                s.reverted.to_string(),
+                format!("{:.1}", s.mean_outage_us),
+                s.max_outage_us.to_string(),
+            ]);
+        }
+        println!();
+        write_csv(&args.csv_dir, "churn.csv", csv.as_str());
+    };
+
     // Spans the `trace` command drains per scheme, kept so `--trace-out`
     // still exports everything at the end.
     let drained_spans = std::cell::RefCell::new(Vec::new());
@@ -413,6 +477,7 @@ fn main() -> ExitCode {
         "figure10" => run_f10(),
         "latency" => run_latency(),
         "ablation" => run_ablation(),
+        "churn" => run_churn(),
         "trace" => run_trace(),
         "all" => {
             run_t1();

@@ -130,6 +130,20 @@ impl BasePathOracle for AnyOracle {
             AnyOracle::Lazy(o) => o.with_spt(source, f),
         }
     }
+
+    fn with_spt_under<R>(
+        &self,
+        source: NodeId,
+        failures: &rbpc_graph::FailureSet,
+        f: impl FnOnce(&ShortestPathTree) -> R,
+    ) -> R {
+        // Forward explicitly so both variants keep their incremental-repair
+        // override instead of the trait's rebuild-from-scratch default.
+        match self {
+            AnyOracle::Dense(o) => o.with_spt_under(source, failures, f),
+            AnyOracle::Lazy(o) => o.with_spt_under(source, failures, f),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +179,23 @@ mod tests {
         assert_eq!(oracle.cost_model().metric(), Metric::Weighted);
         let d = oracle.base_dist(0.into(), 1.into());
         assert!(d.is_some());
+    }
+
+    #[test]
+    fn any_oracle_with_spt_under_repairs_like_rebuild() {
+        let case = &standard_suite(EvalScale::Quick, 3)[0];
+        let oracle = case.oracle(3);
+        let mut failures = rbpc_graph::FailureSet::new();
+        failures.fail_edge(rbpc_graph::EdgeId::new(0));
+        failures.fail_edge(rbpc_graph::EdgeId::new(9));
+        let model = *oracle.cost_model();
+        for s in [0usize, 5, 17] {
+            let want =
+                rbpc_graph::shortest_path_tree(&failures.view(oracle.graph()), &model, s.into());
+            oracle.with_spt_under(s.into(), &failures, |spt| {
+                assert_eq!(spt, &want, "source {s}")
+            });
+        }
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Incremental maintenance of [`ShortestPathTree`]s under edge failures
+//! and recoveries, in the style of Ramalingam–Reps.
+//!
+//! A full Dijkstra over a failed view costs `O((n + m) log n)` even when a
+//! failure detaches only a handful of nodes. This module updates an
+//! existing tree in place instead:
+//!
+//! * **Failure** ([`repair_after_failures`]): only nodes whose tree path
+//!   used a failed edge can change (edge deletions never shorten paths).
+//!   The affected subtrees are detached, re-seeded from their best live
+//!   neighbors outside the region, and re-settled by a Dijkstra restricted
+//!   to the region.
+//! * **Recovery** ([`repair_after_recoveries`]): a returning edge can only
+//!   shorten paths, so a decrease-only relaxation wave from its endpoints
+//!   suffices; nodes it never improves keep their entries verbatim.
+//!
+//! Because the padded [`CostModel`] makes shortest paths unique (distinct
+//! perturbed costs ⇒ a unique optimum per node — see the crate-level
+//! discussion of infinitesimal padding), a repaired tree is **bit-identical**
+//! to the tree a full rebuild over the same view would produce: same
+//! distances, same parents, same canonical base paths. This is the same
+//! invariant Bodwin–Parter call *restorable tiebreaking* — canonical
+//! shortest paths that survive edge deletions. The equivalence is enforced
+//! by this module's tests and by the `spt_repair` property suite.
+//!
+//! # Caller contract
+//!
+//! The `topo` passed to a repair call must be the **post-event** view: each
+//! failed edge already dead, each recovered edge already alive. A failure
+//! of the tree's source node itself cannot be expressed as a repair (the
+//! rebuilt tree is all-unreachable, including the source slot); callers
+//! must fall back to a rebuild for that case, as
+//! `rbpc_core`'s base-path oracles do. Node failures elsewhere are handled
+//! by repairing with the node's incident-edge set: the dead node never
+//! re-attaches because the view masks all of its edges.
+//!
+//! ```
+//! use rbpc_graph::{
+//!     repair_after_failure, shortest_path_tree, CostModel, FailureSet, Graph, Metric,
+//! };
+//! # fn main() -> Result<(), rbpc_graph::GraphError> {
+//! let mut g = Graph::new(4);
+//! let ab = g.add_edge(0, 1, 1)?;
+//! g.add_edge(1, 2, 1)?;
+//! g.add_edge(0, 3, 1)?;
+//! g.add_edge(3, 2, 1)?;
+//! let model = CostModel::new(Metric::Weighted, 7);
+//!
+//! let mut tree = shortest_path_tree(&g, &model, 0.into());
+//! let failures = FailureSet::of_edge(ab);
+//! let view = failures.view(&g);
+//! let stats = repair_after_failure(&mut tree, &view, &model, ab);
+//! assert_eq!(tree, shortest_path_tree(&view, &model, 0.into()));
+//! assert!(stats.nodes_touched <= g.node_count());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `docs/PAPER_MAP.md` (repository root) for the full map from the
+//! paper's results to modules and tests.
+
+use crate::spt::NO_NODE;
+use crate::{
+    shortest_path_tree, CostModel, EdgeId, FailureSet, Graph, NodeId, ShortestPathTree, Topology,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What one incremental repair did to the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Nodes whose tree entry was recomputed: the detached-subtree size for
+    /// a failure, the number of improved nodes for a recovery. Zero means
+    /// the event did not intersect the tree at all.
+    pub nodes_touched: usize,
+}
+
+/// Repairs `tree` in place after a single edge failure.
+///
+/// Equivalent to [`repair_after_failures`] with a one-element slice; see
+/// the [module docs](self) for the caller contract.
+pub fn repair_after_failure<T: Topology>(
+    tree: &mut ShortestPathTree,
+    topo: &T,
+    model: &CostModel,
+    failed: EdgeId,
+) -> RepairStats {
+    repair_after_failures(tree, topo, model, &[failed])
+}
+
+/// Repairs `tree` in place after a batch of edge failures, touching only
+/// the subtrees hanging below the failed tree edges.
+///
+/// `topo` must be the post-failure view (every edge in `failed` dead) and
+/// the tree's source must still be alive; see the [module docs](self).
+/// Failing edges that were never tree edges is a no-op, because deleting a
+/// non-tree edge can neither shorten any path nor invalidate a tree path.
+///
+/// Returns the number of nodes in the detached (recomputed) region.
+pub fn repair_after_failures<T: Topology>(
+    tree: &mut ShortestPathTree,
+    topo: &T,
+    model: &CostModel,
+    failed: &[EdgeId],
+) -> RepairStats {
+    let graph = topo.graph();
+    let n = graph.node_count();
+    debug_assert!(tree.compatible_with(graph), "tree/graph size mismatch");
+    debug_assert!(
+        topo.node_alive(tree.source()),
+        "source failure requires a full rebuild, not a repair"
+    );
+
+    // Roots of the detached region: tree edges are directed parent→child in
+    // `parent_edge`, so only a failed edge's endpoints can root a subtree.
+    let mut roots: Vec<u32> = Vec::new();
+    for &e in failed {
+        debug_assert!(
+            !topo.edge_alive(e),
+            "`topo` must be the post-failure view (edge {e} still alive)"
+        );
+        let (u, v) = graph.endpoints(e);
+        for x in [u, v] {
+            if tree.parent_edge[x.index()] == e.index() as u32 {
+                roots.push(x.index() as u32);
+            }
+        }
+    }
+    if roots.is_empty() {
+        return RepairStats::default();
+    }
+
+    // Children as a CSR (counts → offsets → fill): O(n), three flat
+    // allocations, no Vec-per-node.
+    let mut offsets = vec![0u32; n + 1];
+    for i in 0..n {
+        let p = tree.parent_node[i];
+        if p != NO_NODE {
+            offsets[p as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut kids = vec![0u32; offsets[n] as usize];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for i in 0..n {
+        let p = tree.parent_node[i];
+        if p != NO_NODE {
+            kids[cursor[p as usize] as usize] = i as u32;
+            cursor[p as usize] += 1;
+        }
+    }
+
+    // Collect the affected subtrees; the `affected` map deduplicates roots
+    // nested inside other roots' subtrees.
+    let mut affected = vec![false; n];
+    let mut affected_list: Vec<u32> = Vec::new();
+    let mut stack = roots;
+    while let Some(v) = stack.pop() {
+        let vi = v as usize;
+        if affected[vi] {
+            continue;
+        }
+        affected[vi] = true;
+        affected_list.push(v);
+        stack.extend_from_slice(&kids[offsets[vi] as usize..offsets[vi + 1] as usize]);
+    }
+
+    // Detach the region, then seed every affected node with its best entry
+    // point from the unaffected remainder (whose distances are final:
+    // deletions only lengthen paths).
+    for &v in &affected_list {
+        tree.clear_node(v as usize);
+    }
+    let mut heap: BinaryHeap<(Reverse<u128>, u32)> = BinaryHeap::new();
+    for &ai in &affected_list {
+        let a = NodeId::new(ai as usize);
+        for h in topo.live_neighbors(a) {
+            let bi = h.to.index();
+            if affected[bi] || tree.dist[bi] == u128::MAX {
+                continue;
+            }
+            let nd = tree.dist[bi] + model.perturbed_weight(graph, h.edge);
+            if nd < tree.dist[ai as usize] {
+                tree.settle(
+                    a,
+                    nd,
+                    tree.base_dist[bi] + model.base_weight(graph, h.edge),
+                    tree.hops[bi] + 1,
+                    Some((h.to, h.edge)),
+                );
+            }
+        }
+        if tree.dist[ai as usize] != u128::MAX {
+            heap.push((Reverse(tree.dist[ai as usize]), ai));
+        }
+    }
+
+    // Dijkstra restricted to the affected region.
+    let mut settled = vec![false; n];
+    while let Some((Reverse(d), ui)) = heap.pop() {
+        let uidx = ui as usize;
+        if settled[uidx] || d > tree.dist[uidx] {
+            continue;
+        }
+        settled[uidx] = true;
+        let u = NodeId::new(uidx);
+        for h in topo.live_neighbors(u) {
+            let vi = h.to.index();
+            if !affected[vi] || settled[vi] {
+                continue;
+            }
+            let nd = d + model.perturbed_weight(graph, h.edge);
+            if nd < tree.dist[vi] {
+                tree.settle(
+                    h.to,
+                    nd,
+                    tree.base_dist[uidx] + model.base_weight(graph, h.edge),
+                    tree.hops[uidx] + 1,
+                    Some((u, h.edge)),
+                );
+                heap.push((Reverse(nd), vi as u32));
+            }
+        }
+    }
+    RepairStats {
+        nodes_touched: affected_list.len(),
+    }
+}
+
+/// Repairs `tree` in place after a single edge recovery.
+///
+/// Equivalent to [`repair_after_recoveries`] with a one-element slice; see
+/// the [module docs](self) for the caller contract.
+pub fn repair_after_recovery<T: Topology>(
+    tree: &mut ShortestPathTree,
+    topo: &T,
+    model: &CostModel,
+    recovered: EdgeId,
+) -> RepairStats {
+    repair_after_recoveries(tree, topo, model, &[recovered])
+}
+
+/// Repairs `tree` in place after a batch of edge recoveries, via a
+/// decrease-only relaxation wave from the recovered edges' endpoints.
+///
+/// `topo` must be the post-recovery view. A recovered edge that is still
+/// dead in the view (e.g. one endpoint's router is failed) is skipped: it
+/// cannot carry traffic, so the tree is unchanged. Nodes the wave never
+/// improves keep their entries verbatim — correct because an insertion
+/// only ever shortens paths, and unique perturbed costs pin the parent of
+/// every unimproved node.
+///
+/// Returns the number of nodes whose entry improved.
+pub fn repair_after_recoveries<T: Topology>(
+    tree: &mut ShortestPathTree,
+    topo: &T,
+    model: &CostModel,
+    recovered: &[EdgeId],
+) -> RepairStats {
+    let graph = topo.graph();
+    let n = graph.node_count();
+    debug_assert!(tree.compatible_with(graph), "tree/graph size mismatch");
+    debug_assert!(
+        topo.node_alive(tree.source()),
+        "source failure requires a full rebuild, not a repair"
+    );
+
+    let mut heap: BinaryHeap<(Reverse<u128>, u32)> = BinaryHeap::new();
+    for &e in recovered {
+        if !topo.edge_alive(e) {
+            continue;
+        }
+        let (u, v) = graph.endpoints(e);
+        let w = model.perturbed_weight(graph, e);
+        for (a, b) in [(u, v), (v, u)] {
+            let (ai, bi) = (a.index(), b.index());
+            if tree.dist[ai] == u128::MAX {
+                continue;
+            }
+            let nd = tree.dist[ai] + w;
+            if nd < tree.dist[bi] {
+                tree.settle(
+                    b,
+                    nd,
+                    tree.base_dist[ai] + model.base_weight(graph, e),
+                    tree.hops[ai] + 1,
+                    Some((a, e)),
+                );
+                heap.push((Reverse(nd), bi as u32));
+            }
+        }
+    }
+
+    let mut improved = vec![false; n];
+    let mut touched = 0usize;
+    while let Some((Reverse(d), ui)) = heap.pop() {
+        let uidx = ui as usize;
+        if d > tree.dist[uidx] {
+            continue;
+        }
+        if !improved[uidx] {
+            improved[uidx] = true;
+            touched += 1;
+        }
+        let u = NodeId::new(uidx);
+        for h in topo.live_neighbors(u) {
+            let vi = h.to.index();
+            let nd = d + model.perturbed_weight(graph, h.edge);
+            if nd < tree.dist[vi] {
+                tree.settle(
+                    h.to,
+                    nd,
+                    tree.base_dist[uidx] + model.base_weight(graph, h.edge),
+                    tree.hops[uidx] + 1,
+                    Some((u, h.edge)),
+                );
+                heap.push((Reverse(nd), vi as u32));
+            }
+        }
+    }
+    RepairStats {
+        nodes_touched: touched,
+    }
+}
+
+/// A shortest-path tree kept current across a stream of edge failures and
+/// recoveries — the stateful convenience wrapper over
+/// [`repair_after_failures`] / [`repair_after_recoveries`].
+///
+/// Owns its [`FailureSet`], so callers only announce events; the view
+/// bookkeeping and the post-event contract of the repair functions are
+/// handled internally. Node failures are intentionally not part of this
+/// API (a source failure is not expressible as a repair) — callers that
+/// need them should go through `rbpc_core`'s oracle layer, which falls
+/// back to a rebuild.
+///
+/// ```
+/// use rbpc_graph::{shortest_path_tree, CostModel, DynamicSpt, Graph, Metric};
+/// # fn main() -> Result<(), rbpc_graph::GraphError> {
+/// let mut g = Graph::new(3);
+/// let ab = g.add_edge(0, 1, 1)?;
+/// g.add_edge(1, 2, 1)?;
+/// g.add_edge(0, 2, 5)?;
+/// let model = CostModel::new(Metric::Weighted, 3);
+/// let mut spt = DynamicSpt::new(&g, &model, 0.into());
+/// assert_eq!(spt.tree().base_dist(2.into()), Some(2));
+/// spt.fail_edge(ab);
+/// assert_eq!(spt.tree().base_dist(2.into()), Some(5));
+/// spt.recover_edge(ab);
+/// assert_eq!(spt.tree(), &shortest_path_tree(&g, &model, 0.into()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicSpt<'g> {
+    graph: &'g Graph,
+    model: CostModel,
+    failures: FailureSet,
+    tree: ShortestPathTree,
+}
+
+impl<'g> DynamicSpt<'g> {
+    /// Builds the initial tree over the unfailed graph.
+    pub fn new(graph: &'g Graph, model: &CostModel, source: NodeId) -> Self {
+        DynamicSpt {
+            graph,
+            model: *model,
+            failures: FailureSet::new(),
+            tree: shortest_path_tree(graph, model, source),
+        }
+    }
+
+    /// Builds the initial tree over `graph` with `failures` already in
+    /// effect (one full Dijkstra; subsequent events are incremental).
+    pub fn with_failures(
+        graph: &'g Graph,
+        model: &CostModel,
+        source: NodeId,
+        failures: FailureSet,
+    ) -> Self {
+        let tree = shortest_path_tree(&failures.view(graph), model, source);
+        DynamicSpt {
+            graph,
+            model: *model,
+            failures,
+            tree,
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The cost model the tree is canonical under.
+    #[inline]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The current tree — always bit-identical to a fresh
+    /// `shortest_path_tree` over [`failures()`](Self::failures)' view.
+    #[inline]
+    pub fn tree(&self) -> &ShortestPathTree {
+        &self.tree
+    }
+
+    /// The failure state the tree currently reflects.
+    #[inline]
+    pub fn failures(&self) -> &FailureSet {
+        &self.failures
+    }
+
+    /// Marks `e` failed and repairs the tree. Failing an already-failed
+    /// edge is a no-op.
+    pub fn fail_edge(&mut self, e: EdgeId) -> RepairStats {
+        if self.failures.edge_failed(e) {
+            return RepairStats::default();
+        }
+        self.failures.fail_edge(e);
+        if self.failures.node_failed(self.tree.source()) {
+            return RepairStats::default(); // tree is all-unreachable and stays so
+        }
+        let view = self.failures.view(self.graph);
+        repair_after_failure(&mut self.tree, &view, &self.model, e)
+    }
+
+    /// Clears `e` from the failure set and repairs the tree. Recovering an
+    /// edge that was not failed is a no-op.
+    pub fn recover_edge(&mut self, e: EdgeId) -> RepairStats {
+        if !self.failures.edge_failed(e) {
+            return RepairStats::default();
+        }
+        self.failures.restore_edge(e);
+        if self.failures.node_failed(self.tree.source()) {
+            return RepairStats::default();
+        }
+        let view = self.failures.view(self.graph);
+        repair_after_recovery(&mut self.tree, &view, &self.model, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetRng, Metric};
+
+    fn model() -> CostModel {
+        CostModel::new(Metric::Weighted, 17)
+    }
+
+    /// The same 5-node weighted graph the Dijkstra tests use.
+    fn sample() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 10).unwrap();
+        g.add_edge(0, 2, 3).unwrap();
+        g.add_edge(2, 1, 4).unwrap();
+        g.add_edge(1, 3, 2).unwrap();
+        g.add_edge(2, 3, 8).unwrap();
+        g.add_edge(3, 4, 7).unwrap();
+        g.add_edge(2, 4, 20).unwrap();
+        g
+    }
+
+    /// Deterministic pseudo-random multigraph (may be disconnected).
+    fn random_graph(n: usize, edges: usize, seed: u64) -> Graph {
+        let mut g = Graph::new(n);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut added = 0usize;
+        while added < edges {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let w = rng.gen_range(1u32..=50);
+                g.add_edge(a, b, w).unwrap();
+                added += 1;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn single_failure_matches_rebuild_everywhere() {
+        let g = sample();
+        let m = model();
+        for s in g.nodes() {
+            let base = shortest_path_tree(&g, &m, s);
+            for e in g.edge_ids() {
+                let failures = FailureSet::of_edge(e);
+                let view = failures.view(&g);
+                let mut repaired = base.clone();
+                repair_after_failure(&mut repaired, &view, &m, e);
+                let rebuilt = shortest_path_tree(&view, &m, s);
+                assert_eq!(repaired, rebuilt, "source {s}, failed edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_tree_edge_failure_is_noop() {
+        let g = sample();
+        let m = model();
+        let tree = shortest_path_tree(&g, &m, 0.into());
+        let non_tree: Vec<EdgeId> = g
+            .edge_ids()
+            .filter(|&e| {
+                let (u, v) = g.endpoints(e);
+                tree.parent_edge(u) != Some(e) && tree.parent_edge(v) != Some(e)
+            })
+            .collect();
+        assert!(
+            !non_tree.is_empty(),
+            "sample graph must have non-tree edges"
+        );
+        for e in non_tree {
+            let failures = FailureSet::of_edge(e);
+            let view = failures.view(&g);
+            let mut repaired = tree.clone();
+            let stats = repair_after_failure(&mut repaired, &view, &m, e);
+            assert_eq!(stats.nodes_touched, 0);
+            assert_eq!(repaired, tree);
+        }
+    }
+
+    #[test]
+    fn bridge_failure_detaches_subtree() {
+        let g = sample();
+        let m = model();
+        // 3-4 is node 4's only cheap attachment; failing both its edges
+        // makes 4 unreachable.
+        let e34 = g.find_edge(3.into(), 4.into()).unwrap();
+        let e24 = g.find_edge(2.into(), 4.into()).unwrap();
+        let mut failures = FailureSet::new();
+        failures.fail_edge(e34);
+        failures.fail_edge(e24);
+        let view = failures.view(&g);
+        let mut tree = shortest_path_tree(&g, &m, 0.into());
+        let stats = repair_after_failures(&mut tree, &view, &m, &[e34, e24]);
+        assert!(stats.nodes_touched >= 1);
+        assert!(!tree.reachable(4.into()));
+        assert_eq!(tree, shortest_path_tree(&view, &m, 0.into()));
+    }
+
+    #[test]
+    fn recovery_matches_rebuild_everywhere() {
+        let g = sample();
+        let m = model();
+        for s in g.nodes() {
+            for e in g.edge_ids() {
+                // Start from the failed tree, then recover e.
+                let failures = FailureSet::of_edge(e);
+                let mut tree = shortest_path_tree(&failures.view(&g), &m, s);
+                repair_after_recovery(&mut tree, &g, &m, e);
+                assert_eq!(
+                    tree,
+                    shortest_path_tree(&g, &m, s),
+                    "source {s}, recovered edge {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edge_failure_falls_back_to_twin() {
+        let mut g = Graph::new(2);
+        let cheap = g.add_edge(0, 1, 1).unwrap();
+        let pricey = g.add_edge(0, 1, 9).unwrap();
+        let m = model();
+        let mut tree = shortest_path_tree(&g, &m, 0.into());
+        assert_eq!(tree.parent_edge(1.into()), Some(cheap));
+        let failures = FailureSet::of_edge(cheap);
+        let view = failures.view(&g);
+        let stats = repair_after_failure(&mut tree, &view, &m, cheap);
+        assert_eq!(stats.nodes_touched, 1);
+        assert_eq!(tree.parent_edge(1.into()), Some(pricey));
+        assert_eq!(tree, shortest_path_tree(&view, &m, 0.into()));
+    }
+
+    #[test]
+    fn batch_failure_matches_rebuild_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = random_graph(40, 100, seed);
+            let m = CostModel::new(Metric::Weighted, seed ^ 0xABCD);
+            let mut rng = DetRng::seed_from_u64(seed.wrapping_mul(77));
+            let batch: Vec<EdgeId> = (0..5)
+                .map(|_| EdgeId::new(rng.gen_range(0..g.edge_count())))
+                .collect();
+            let mut failures = FailureSet::new();
+            for &e in &batch {
+                failures.fail_edge(e);
+            }
+            let view = failures.view(&g);
+            let mut tree = shortest_path_tree(&g, &m, 0.into());
+            repair_after_failures(&mut tree, &view, &m, &batch);
+            assert_eq!(tree, shortest_path_tree(&view, &m, 0.into()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn node_failure_as_incident_edges_matches_rebuild() {
+        let g = sample();
+        let m = model();
+        for dead in 1..5usize {
+            let mut failures = FailureSet::new();
+            failures.fail_node(dead.into());
+            let incident: Vec<EdgeId> = g.neighbors(dead.into()).map(|h| h.edge).collect();
+            let view = failures.view(&g);
+            let mut tree = shortest_path_tree(&g, &m, 0.into());
+            repair_after_failures(&mut tree, &view, &m, &incident);
+            assert_eq!(
+                tree,
+                shortest_path_tree(&view, &m, 0.into()),
+                "failed node {dead}"
+            );
+            assert!(!tree.reachable(dead.into()));
+        }
+    }
+
+    #[test]
+    fn dynamic_spt_tracks_random_churn() {
+        for seed in 0..4u64 {
+            let g = random_graph(30, 70, seed);
+            let m = CostModel::new(Metric::Weighted, seed + 1);
+            let mut spt = DynamicSpt::new(&g, &m, 0.into());
+            let mut rng = DetRng::seed_from_u64(seed ^ 0x5EED);
+            for step in 0..60 {
+                let e = EdgeId::new(rng.gen_range(0..g.edge_count()));
+                if spt.failures().edge_failed(e) {
+                    spt.recover_edge(e);
+                } else {
+                    spt.fail_edge(e);
+                }
+                let rebuilt = shortest_path_tree(&spt.failures().view(&g), &m, 0.into());
+                assert_eq!(spt.tree(), &rebuilt, "seed {seed}, step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_events_are_noops() {
+        let g = sample();
+        let m = model();
+        let e = g.find_edge(0.into(), 2.into()).unwrap();
+        let mut spt = DynamicSpt::new(&g, &m, 0.into());
+        assert_eq!(spt.recover_edge(e).nodes_touched, 0); // not failed
+        let first = spt.fail_edge(e);
+        assert!(first.nodes_touched > 0);
+        assert_eq!(spt.fail_edge(e).nodes_touched, 0); // already failed
+        let back = spt.recover_edge(e);
+        assert_eq!(back.nodes_touched, first.nodes_touched);
+        assert_eq!(spt.tree(), &shortest_path_tree(&g, &m, 0.into()));
+    }
+
+    #[test]
+    fn with_failures_starts_from_failed_state() {
+        let g = sample();
+        let m = model();
+        let e = g.find_edge(0.into(), 2.into()).unwrap();
+        let mut spt = DynamicSpt::with_failures(&g, &m, 0.into(), FailureSet::of_edge(e));
+        assert_eq!(
+            spt.tree(),
+            &shortest_path_tree(&FailureSet::of_edge(e).view(&g), &m, 0.into())
+        );
+        spt.recover_edge(e);
+        assert_eq!(spt.tree(), &shortest_path_tree(&g, &m, 0.into()));
+    }
+}

@@ -43,6 +43,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The full paper-to-code map (theorems, figures, tables -> modules and
+//! tests) is in `docs/PAPER_MAP.md` at the repository root;
+//! `docs/ARCHITECTURE.md` shows how the crates fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +57,7 @@ mod counting;
 mod cuts;
 mod digraph;
 mod dijkstra;
+pub mod dynamic;
 mod error;
 mod graph;
 mod ids;
@@ -70,6 +75,10 @@ pub use counting::{count_shortest_paths, max_shortest_path_multiplicity};
 pub use cuts::{cut_elements, CutElements};
 pub use digraph::{ArcId, ArcRecord, DiGraph};
 pub use dijkstra::{distance, shortest_path, shortest_path_avoiding, shortest_path_tree};
+pub use dynamic::{
+    repair_after_failure, repair_after_failures, repair_after_recoveries, repair_after_recovery,
+    DynamicSpt, RepairStats,
+};
 pub use error::{GraphError, PathError};
 pub use graph::{DegreeStats, EdgeRecord, Graph, HalfEdge};
 pub use ids::{EdgeId, NodeId};

@@ -2,8 +2,8 @@
 
 use crate::{EdgeId, Graph, NodeId, Path, PathCost};
 
-const NO_EDGE: u32 = u32::MAX;
-const NO_NODE: u32 = u32::MAX;
+pub(crate) const NO_EDGE: u32 = u32::MAX;
+pub(crate) const NO_NODE: u32 = u32::MAX;
 
 /// A single-source shortest-path tree over some topology, produced by
 /// [`shortest_path_tree`](crate::shortest_path_tree).
@@ -27,14 +27,14 @@ const NO_NODE: u32 = u32::MAX;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShortestPathTree {
     source: NodeId,
-    dist: Vec<u128>,
-    base_dist: Vec<u64>,
-    hops: Vec<u32>,
-    parent_edge: Vec<u32>,
-    parent_node: Vec<u32>,
+    pub(crate) dist: Vec<u128>,
+    pub(crate) base_dist: Vec<u64>,
+    pub(crate) hops: Vec<u32>,
+    pub(crate) parent_edge: Vec<u32>,
+    pub(crate) parent_node: Vec<u32>,
 }
 
 impl ShortestPathTree {
@@ -72,6 +72,17 @@ impl ShortestPathTree {
                 self.parent_edge[i] = NO_EDGE;
             }
         }
+    }
+
+    /// Resets `v` to the unreachable sentinel state (crate-internal; used
+    /// by the [`dynamic`](crate::dynamic) repair engine to detach a
+    /// subtree before re-attaching it).
+    pub(crate) fn clear_node(&mut self, i: usize) {
+        self.dist[i] = u128::MAX;
+        self.base_dist[i] = u64::MAX;
+        self.hops[i] = u32::MAX;
+        self.parent_edge[i] = NO_EDGE;
+        self.parent_node[i] = NO_NODE;
     }
 
     /// The tree's source node.

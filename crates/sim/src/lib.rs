@@ -18,14 +18,20 @@
 //! Dijkstra), and per-scheme [`outage`] windows with packet-loss
 //! estimates. See `examples/restoration_latency.rs` for the headline
 //! comparison.
+//!
+//! The full paper-to-code map (theorems, figures, tables -> modules and
+//! tests) is in `docs/PAPER_MAP.md` at the repository root;
+//! `docs/ARCHITECTURE.md` shows how the crates fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod flow;
 mod model;
 mod outage;
 
+pub use churn::{churn_sequence, churn_under, ChurnEvent, ChurnEventReport, ChurnSummary};
 pub use flow::{simulate_flow, FlowConfig, FlowReport};
 pub use model::{flood_timeline, FloodTimeline, LatencyModel};
 pub use outage::{outage, outage_summary, outage_under, OutageReport, OutageSummary, Scheme};

@@ -1,4 +1,7 @@
 //! The paper's adversarial constructions and standard graph shapes.
+//!
+//! See `docs/PAPER_MAP.md` (repository root) for the full map from the
+//! paper's results to modules and tests.
 
 use rbpc_graph::{ArcId, DiGraph, EdgeId, Graph, NodeId};
 

@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1"}
+BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1 spt_repair"}
 BENCH_TOLERANCE=${BENCH_TOLERANCE:-0.75}
 BENCH_OUT=${BENCH_OUT:-BENCH_rbpc.json}
 BASELINE=${BASELINE:-bench/baseline.json}
@@ -50,6 +50,12 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
+# The headline claim of the dynamic-SPT engine: a single-edge repair on
+# the 5000-node power-law graph beats a full rebuild by at least 5x.
+# bench-gate skips the rule (with a note) when spt_repair wasn't run.
+SPT_SPEEDUP="spt_repair/powerlaw_5000/repair_single_edge,spt_repair/powerlaw_5000/full_tree,5.0"
+
 echo "== bench-gate --baseline $BASELINE --current $BENCH_OUT --tolerance $BENCH_TOLERANCE"
 cargo run -q -p rbpc-bench --bin bench-gate --release -- \
-    --baseline "$BASELINE" --current "$BENCH_OUT" --tolerance "$BENCH_TOLERANCE"
+    --baseline "$BASELINE" --current "$BENCH_OUT" --tolerance "$BENCH_TOLERANCE" \
+    --speedup "$SPT_SPEEDUP"

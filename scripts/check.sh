@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+echo "== cargo doc --workspace (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== cargo test -p rbpc-core --no-default-features (obs compiled out)"
 cargo test -p rbpc-core --no-default-features -q
 

@@ -1,0 +1,83 @@
+//! Property test for the dynamic-SPT engine: across random failure /
+//! recovery sequences on every suite topology family, the incrementally
+//! repaired tree must stay **bit-identical** to a full Dijkstra rebuild
+//! over the failed view — same perturbed distances, same parents, same hop
+//! counts. Uses the in-tree [`DetRng`], so it runs in offline builds
+//! (unlike the proptest-gated suites).
+
+use mpls_rbpc::graph::{shortest_path_tree, CostModel, DetRng, DynamicSpt, Graph, Metric, NodeId};
+use mpls_rbpc::sim::{churn_sequence, ChurnEvent};
+use mpls_rbpc::topo::{gnm_connected, internet_like_scaled, isp_topology, IspParams};
+
+/// Replays `events` through a [`DynamicSpt`] rooted at `source`, asserting
+/// after every single event that the repaired tree equals a from-scratch
+/// rebuild over the current failure view.
+fn assert_repair_tracks_rebuild(name: &str, graph: &Graph, seed: u64, source: usize) {
+    let model = CostModel::new(Metric::Weighted, seed);
+    let events = churn_sequence(graph, 40, 4, seed);
+    let mut spt = DynamicSpt::new(graph, &model, NodeId::new(source));
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            ChurnEvent::Fail(e) => spt.fail_edge(e),
+            ChurnEvent::Recover(e) => spt.recover_edge(e),
+        };
+        let want = shortest_path_tree(&spt.failures().view(graph), &model, NodeId::new(source));
+        assert_eq!(
+            spt.tree(),
+            &want,
+            "{name}: repaired tree diverged from rebuild after event {i} ({ev:?}), \
+             seed {seed}, source {source}"
+        );
+    }
+}
+
+#[test]
+fn repair_equals_rebuild_on_isp() {
+    let graph = isp_topology(IspParams::default(), 11).graph;
+    let far = graph.node_count() - 1;
+    for seed in [1, 2, 3] {
+        assert_repair_tracks_rebuild("isp", &graph, seed, 0);
+        assert_repair_tracks_rebuild("isp", &graph, seed, far);
+    }
+}
+
+#[test]
+fn repair_equals_rebuild_on_gnm_1000() {
+    let graph = gnm_connected(1_000, 3_000, 20, 12);
+    assert_repair_tracks_rebuild("gnm_1000", &graph, 4, 0);
+    assert_repair_tracks_rebuild("gnm_1000", &graph, 5, 500);
+}
+
+#[test]
+fn repair_equals_rebuild_on_power_law() {
+    let graph = internet_like_scaled(1_200, 13);
+    assert_repair_tracks_rebuild("powerlaw_1200", &graph, 6, 0);
+    assert_repair_tracks_rebuild("powerlaw_1200", &graph, 7, 600);
+}
+
+/// Beyond the sim's churn generator: adversarial sequences that fail and
+/// recover the *same* few edges repeatedly (the generator spreads events
+/// over the whole edge set, so repeated flaps of one edge are rare there).
+#[test]
+fn repeated_flaps_of_tree_edges_stay_exact() {
+    let graph = isp_topology(IspParams::default(), 21).graph;
+    let model = CostModel::new(Metric::Weighted, 21);
+    let source = NodeId::new(0);
+    let base = shortest_path_tree(&graph, &model, source);
+    // Flap edges that are actually on the tree — the interesting case.
+    let tree_edges: Vec<_> = (0..graph.node_count())
+        .filter_map(|i| base.parent_edge(NodeId::new(i)))
+        .collect();
+    let mut rng = DetRng::seed_from_u64(99);
+    let mut spt = DynamicSpt::new(&graph, &model, source);
+    for step in 0..120 {
+        let e = tree_edges[rng.gen_range(0..tree_edges.len())];
+        if spt.failures().edge_failed(e) {
+            spt.recover_edge(e);
+        } else {
+            spt.fail_edge(e);
+        }
+        let want = shortest_path_tree(&spt.failures().view(&graph), &model, source);
+        assert_eq!(spt.tree(), &want, "flap step {step} on edge {e:?}");
+    }
+}
