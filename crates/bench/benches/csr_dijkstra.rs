@@ -1,0 +1,46 @@
+//! Micro-bench: the CSR graph core against the `Vec<Vec>` adjacency
+//! substrate measured in `dijkstra.rs` — same topologies, same rows, so
+//! bench-gate can assert the flat layout's speedup directly
+//! (`csr_dijkstra/powerlaw_5000/full_tree` vs
+//! `dijkstra/powerlaw_5000/full_tree`).
+
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
+use rbpc_graph::{CostModel, CsrGraph, DijkstraScratch, FailureMask, Metric, NodeId};
+use rbpc_topo::{gnm_connected, internet_like_scaled};
+use std::hint::black_box;
+
+fn bench_csr_dijkstra(c: &mut Criterion) {
+    let isp = rbpc_bench::isp_graph();
+    let power = internet_like_scaled(5_000, rbpc_bench::SEED);
+    let random = gnm_connected(1_000, 3_000, 20, rbpc_bench::SEED);
+    let model = CostModel::new(Metric::Weighted, rbpc_bench::SEED);
+
+    let mut g = c.benchmark_group("csr_dijkstra");
+    for (name, graph) in [
+        ("isp_200", &isp),
+        ("powerlaw_5000", &power),
+        ("gnm_1000", &random),
+    ] {
+        let csr = CsrGraph::new(graph, &model);
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        let t = NodeId::new(graph.node_count() - 1);
+        g.bench_function(format!("{name}/full_tree"), |b| {
+            b.iter(|| black_box(&csr).full_tree(NodeId::new(0), &mut scratch))
+        });
+        g.bench_function(format!("{name}/point_to_point"), |b| {
+            b.iter(|| black_box(&csr).point_to_point(NodeId::new(0), t, None, &mut scratch))
+        });
+        let mut mask = FailureMask::new(csr.node_count(), csr.edge_count());
+        mask.fail_edge(rbpc_graph::EdgeId::new(0));
+        g.bench_function(format!("{name}/point_to_point_masked"), |b| {
+            b.iter(|| black_box(&csr).point_to_point(NodeId::new(0), t, Some(&mask), &mut scratch))
+        });
+        g.bench_function(format!("{name}/build"), |b| {
+            b.iter(|| CsrGraph::new(black_box(graph), &model))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_csr_dijkstra);
+criterion_main!(benches);

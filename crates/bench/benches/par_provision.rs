@@ -1,0 +1,30 @@
+//! Micro-bench: the parallel provisioning engine — dense all-pairs oracle
+//! builds and raw all-sources SPT batches at 1 vs 8 threads. On an
+//! 8-core runner bench-gate asserts `threads_8` beats `threads_1` by ≥3×
+//! (the rule is skipped on smaller boxes, where these rows aren't run).
+
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
+use rbpc_core::DenseBasePaths;
+use rbpc_graph::{par_all_sources_csr, CostModel, CsrGraph, Metric, NodeId};
+use std::hint::black_box;
+
+fn bench_par_provision(c: &mut Criterion) {
+    let isp = rbpc_bench::isp_graph();
+    let model = CostModel::new(Metric::Weighted, rbpc_bench::SEED);
+    let csr = CsrGraph::new(&isp, &model);
+    let sources: Vec<NodeId> = (0..isp.node_count()).map(NodeId::new).collect();
+
+    let mut g = c.benchmark_group("par_provision");
+    for threads in [1usize, 8] {
+        g.bench_function(format!("isp_200/threads_{threads}"), |b| {
+            b.iter(|| DenseBasePaths::build_with_threads(black_box(isp.clone()), model, threads))
+        });
+        g.bench_function(format!("isp_200/all_sources/threads_{threads}"), |b| {
+            b.iter(|| par_all_sources_csr(black_box(&csr), None, &sources, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_provision);
+criterion_main!(benches);

@@ -21,8 +21,9 @@ fn usage() -> &'static str {
      \x20 --baseline FILE   committed JSONL baseline (bench/baseline.json)\n\
      \x20 --current FILE    fresh JSONL results (BENCH_rbpc.json)\n\
      \x20 --tolerance X     allowed relative median growth (default 0.75)\n\
-     \x20 --speedup SPEC    require current[SLOW].median / current[FAST].median\n\
-     \x20                   >= RATIO; comma-separated since bench names\n\
+     \x20 --speedup SPEC    require current[SLOW].min / current[FAST].min\n\
+     \x20                   >= RATIO (best samples — robust to runner\n\
+     \x20                   noise); comma-separated since bench names\n\
      \x20                   contain `/`. Repeatable. Skipped (with a note)\n\
      \x20                   when either benchmark is absent from --current."
 }

@@ -20,21 +20,31 @@ pub struct GateEntry {
     pub median_ns: f64,
     /// 95th-percentile ns/iteration.
     pub p95_ns: f64,
+    /// Fastest sample, ns/iteration. Scheduler noise only ever *adds*
+    /// time, so the minimum is the most stable estimator of a
+    /// benchmark's true cost — speedup rules compare minima for that
+    /// reason. Falls back to the median when a results file predates
+    /// the field.
+    pub min_ns: f64,
 }
 
 /// A required speedup between two benchmarks of the *current* run: `fast`
-/// must have a median at least `min_ratio` times smaller than `slow`'s.
+/// must have a best (minimum) sample at least `min_ratio` times smaller
+/// than `slow`'s.
 ///
 /// This guards claims of the form "incremental repair beats a full rebuild
 /// by ≥ 5×" — a property the plain regression check cannot express, since
-/// both sides could slow down in lockstep and still pass.
+/// both sides could slow down in lockstep and still pass. Minima rather
+/// than medians: the ratio of two noisy medians on a shared runner swings
+/// far more than the ratio of two minima, and a flaky gate is worse than
+/// a slightly optimistic one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupRule {
     /// Name of the benchmark expected to be faster.
     pub fast: String,
     /// Name of the benchmark it is measured against.
     pub slow: String,
-    /// Minimum required `slow.median / fast.median`.
+    /// Minimum required `slow.min / fast.min`.
     pub min_ratio: f64,
 }
 
@@ -72,9 +82,9 @@ impl SpeedupRule {
 pub struct SpeedupCheck {
     /// The rule that was checked.
     pub rule: SpeedupRule,
-    /// Achieved `slow.median / fast.median`, or `None` when either
-    /// benchmark is absent from the current results (skipped, not failed,
-    /// so partial bench runs don't flake the gate).
+    /// Achieved `slow.min / fast.min`, or `None` when either benchmark
+    /// is absent from the current results (skipped, not failed, so
+    /// partial bench runs don't flake the gate).
     pub ratio: Option<f64>,
 }
 
@@ -158,7 +168,7 @@ impl GateReport {
                     let verdict = if s.passed() { "ok" } else { "TOO SLOW" };
                     let _ = writeln!(
                         out,
-                        "speedup {} vs {}: {:.2}x (need >= {:.2}x)  {verdict}",
+                        "speedup {} vs {} (best samples): {:.2}x (need >= {:.2}x)  {verdict}",
                         s.rule.fast, s.rule.slow, r, s.rule.min_ratio
                     );
                 }
@@ -210,9 +220,11 @@ pub fn parse_results(jsonl: &str) -> Result<Vec<GateEntry>, String> {
                 .as_f64()
                 .ok_or_else(|| format!("line {}: `{key}` is not a number", i + 1))
         };
+        let median_ns = num("median_ns")?;
         let entry = GateEntry {
-            median_ns: num("median_ns")?,
+            median_ns,
             p95_ns: num("p95_ns")?,
+            min_ns: num("min_ns").unwrap_or(median_ns),
             name: name.clone(),
         };
         by_name.insert(name, entry);
@@ -229,9 +241,10 @@ pub fn compare(baseline: &[GateEntry], current: &[GateEntry], tolerance: f64) ->
 }
 
 /// [`compare`], plus [`SpeedupRule`]s evaluated over the *current* results:
-/// each rule requires `current[slow].median / current[fast].median >=
-/// min_ratio`. A rule whose benchmarks are absent from the current run is
-/// reported as skipped and passes vacuously.
+/// each rule requires `current[slow].min / current[fast].min >= min_ratio`
+/// (minima, not medians — see [`SpeedupRule`]). A rule whose benchmarks
+/// are absent from the current run is reported as skipped and passes
+/// vacuously.
 pub fn compare_with_speedups(
     baseline: &[GateEntry],
     current: &[GateEntry],
@@ -271,7 +284,7 @@ pub fn compare_with_speedups(
         .iter()
         .map(|rule| {
             let ratio = match (cur.get(rule.fast.as_str()), cur.get(rule.slow.as_str())) {
-                (Some(f), Some(s)) if f.median_ns > 0.0 => Some(s.median_ns / f.median_ns),
+                (Some(f), Some(s)) if f.min_ns > 0.0 => Some(s.min_ns / f.min_ns),
                 _ => None,
             };
             SpeedupCheck {
@@ -296,8 +309,10 @@ mod tests {
     fn entry(name: &str, median: f64) -> String {
         format!(
             "{{\"bench\":\"{name}\",\"median_ns\":{median},\"p95_ns\":{},\
-             \"min_ns\":1,\"max_ns\":9,\"samples\":20,\"iters\":8}}",
-            median * 1.2
+             \"min_ns\":{},\"max_ns\":{},\"samples\":20,\"iters\":8}}",
+            median * 1.2,
+            median * 0.9,
+            median * 1.5
         )
     }
 
@@ -309,6 +324,13 @@ mod tests {
         assert_eq!(entries[0].name, "g/a");
         assert!((entries[1].median_ns - 250.5).abs() < 1e-9);
         assert!((entries[1].p95_ns - 300.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_falls_back_to_median_without_min() {
+        let entries =
+            parse_results("{\"bench\":\"g/a\",\"median_ns\":120.0,\"p95_ns\":150.0}\n").unwrap();
+        assert!((entries[0].min_ns - 120.0).abs() < 1e-9);
     }
 
     #[test]

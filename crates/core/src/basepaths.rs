@@ -19,13 +19,46 @@
 //! given `(metric, seed)`.
 
 use rbpc_graph::{
-    repair_after_failures, shortest_path_tree, CostModel, EdgeId, FailureSet, Graph, NodeId, Path,
-    PathCost, ShortestPathTree,
+    par_all_sources, repair_after_failures, shortest_path_tree, CostModel, EdgeId, FailureSet,
+    Graph, NodeId, ParStats, Path, PathCost, ShortestPathTree,
 };
 use rbpc_obs::{obs_count, obs_record, obs_span, obs_trace};
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// The caches guarded here are always left consistent between operations
+/// (a panicked holder can at worst have skipped an insert), so continuing
+/// past poison is safe and keeps one crashed experiment thread from
+/// wedging every other one.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Default worker-thread count for batch provisioning: the machine's
+/// available parallelism, or 1 if that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Records a provisioning batch's [`ParStats`] into the obs registry.
+fn record_par_stats(stats: &ParStats) {
+    obs_count!("core.provision.chunk_claims", stats.total_chunks_claimed());
+    obs_count!(
+        "core.provision.scratch_reuses",
+        stats.total_scratch_reuses()
+    );
+    for &settled in &stats.settled {
+        obs_record!("core.provision.settled_per_thread", settled);
+    }
+    // Silence unused-variable lint when the obs feature is off.
+    let _ = stats;
+}
 
 /// Repairs a clone of `base` to reflect `failures`, via
 /// [`repair_after_failures`] — the shared fast path behind
@@ -174,11 +207,23 @@ pub struct DenseBasePaths {
 }
 
 impl DenseBasePaths {
-    /// Computes every source's tree up front.
+    /// Computes every source's tree up front, on
+    /// [`default_threads`] worker threads.
+    ///
+    /// The trees are bit-identical for every thread count (padded costs
+    /// make them canonical), so parallel provisioning is an invisible
+    /// speedup — see [`rbpc_graph::par_all_sources`].
     pub fn build(graph: Graph, model: CostModel) -> Self {
-        let trees = (0..graph.node_count())
-            .map(|s| shortest_path_tree(&graph, &model, NodeId::new(s)))
-            .collect();
+        Self::build_with_threads(graph, model, default_threads())
+    }
+
+    /// [`DenseBasePaths::build`] on an explicit number of worker threads
+    /// (the eval binary's `--threads` flag lands here). `0` means 1.
+    pub fn build_with_threads(graph: Graph, model: CostModel, threads: usize) -> Self {
+        let _span = obs_span!("core.provision.build.ns");
+        let sources: Vec<NodeId> = graph.nodes().collect();
+        let (trees, stats) = par_all_sources(&graph, &model, &sources, threads);
+        record_par_stats(&stats);
         DenseBasePaths {
             graph,
             model,
@@ -278,12 +323,12 @@ impl LazyBasePaths {
 
     /// Number of trees currently cached (for tests and monitoring).
     pub fn cached_trees(&self) -> usize {
-        self.cache.lock().unwrap().map.len()
+        lock_unpoisoned(&self.cache).map.len()
     }
 
     fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
         let key = source.index() as u32;
-        if let Some(t) = self.cache.lock().unwrap().map.get(&key) {
+        if let Some(t) = lock_unpoisoned(&self.cache).map.get(&key) {
             obs_count!("core.basepaths.cache_hit");
             return Arc::clone(t);
         }
@@ -292,8 +337,12 @@ impl LazyBasePaths {
         // but the result is identical either way.
         let _t = obs_trace!("spt.build", cat: "lookup", source = source.index());
         let computed = Arc::new(shortest_path_tree(&self.graph, &self.model, source));
-        let mut cache = self.cache.lock().unwrap();
+        let mut cache = lock_unpoisoned(&self.cache);
         if let Some(t) = cache.map.get(&key) {
+            // A racing thread built this tree while we were computing it:
+            // our Dijkstra was duplicated work. Keep theirs (identical
+            // contents, and it is already in FIFO order) and count it.
+            obs_count!("core.basepaths.duplicate_spt");
             return Arc::clone(t);
         }
         while cache.map.len() >= self.capacity {
@@ -526,6 +575,50 @@ mod tests {
                     .as_ref()
             );
         }
+    }
+
+    #[test]
+    fn dense_build_is_thread_count_invariant() {
+        let g = gnm_connected(30, 70, 9, 3);
+        let seq = DenseBasePaths::build_with_threads(g.clone(), model(), 1);
+        for threads in [2usize, 4, 8] {
+            let par = DenseBasePaths::build_with_threads(g.clone(), model(), threads);
+            for s in g.nodes() {
+                assert_eq!(seq.spt(s), par.spt(s), "threads = {threads}, source {s}");
+            }
+        }
+        // `build` (auto thread count) must agree too.
+        let auto = DenseBasePaths::build(g.clone(), model());
+        for s in g.nodes() {
+            assert_eq!(seq.spt(s), auto.spt(s));
+        }
+    }
+
+    #[test]
+    fn lazy_stress_never_over_caches() {
+        // Many threads hammer a few sources through an ample cache; racing
+        // misses may duplicate Dijkstra work, but the cache must never hold
+        // more than one tree per source (and never exceed its capacity).
+        let g = gnm_connected(16, 40, 6, 8);
+        let n = g.node_count();
+        let lazy = LazyBasePaths::with_capacity(g.clone(), model(), 2 * n);
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let lazy = &lazy;
+                scope.spawn(move || {
+                    for round in 0..50usize {
+                        let s = (worker + round) % 4; // heavy collision on 4 sources
+                        let t = (worker * 5 + round) % 16;
+                        let _ = lazy.base_dist(s.into(), t.into());
+                    }
+                });
+            }
+        });
+        assert!(
+            lazy.cached_trees() <= n,
+            "cache holds {} trees for an {n}-node graph",
+            lazy.cached_trees()
+        );
     }
 
     #[test]

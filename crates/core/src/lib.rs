@@ -80,7 +80,7 @@ pub mod provision;
 pub mod restore;
 pub mod theory;
 
-pub use basepaths::{BasePathOracle, DenseBasePaths, LazyBasePaths};
+pub use basepaths::{default_threads, BasePathOracle, DenseBasePaths, LazyBasePaths};
 pub use churn::ChurnDriver;
 pub use decompose::{greedy_decompose, optimal_decompose, Concatenation, Segment, SegmentKind};
 pub use error::RestoreError;

@@ -212,20 +212,111 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
         let mut updates = Vec::new();
         let mut unrestorable = Vec::new();
         for (s, t) in pairs {
-            let Some(original) = self.oracle.base_path(s, t) else {
-                continue;
-            };
-            if !original.contains_edge(link) {
-                continue;
-            }
-            match self.restore(s, t, &failures) {
-                Ok(r) => updates.push(FecUpdate {
-                    source: s,
-                    dest: t,
-                    restoration: r,
-                }),
-                Err(_) => unrestorable.push((s, t)),
-            }
+            self.plan_pair(link, &failures, s, t, &mut updates, &mut unrestorable);
+        }
+        FailoverPlan {
+            link,
+            updates,
+            unrestorable,
+        }
+    }
+
+    /// One pair's contribution to a failover plan (shared by the
+    /// sequential and parallel builders).
+    fn plan_pair(
+        &self,
+        link: EdgeId,
+        failures: &FailureSet,
+        s: NodeId,
+        t: NodeId,
+        updates: &mut Vec<FecUpdate>,
+        unrestorable: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        let Some(original) = self.oracle.base_path(s, t) else {
+            return;
+        };
+        if !original.contains_edge(link) {
+            return;
+        }
+        match self.restore(s, t, failures) {
+            Ok(r) => updates.push(FecUpdate {
+                source: s,
+                dest: t,
+                restoration: r,
+            }),
+            Err(_) => unrestorable.push((s, t)),
+        }
+    }
+}
+
+/// One chunk's share of a parallel failover plan: the chunk index (for
+/// the input-order merge), its FEC updates, and its unrestorable pairs.
+type PlanPart = (usize, Vec<FecUpdate>, Vec<(NodeId, NodeId)>);
+
+impl<'a, O: BasePathOracle + Sync> Restorer<'a, O> {
+    /// [`Restorer::failover_plan`] on `threads` worker threads.
+    ///
+    /// Pairs are cut into chunks claimed through an atomic index (as in
+    /// [`rbpc_graph::par_all_sources`]); each worker restores its chunks
+    /// independently and the chunk results are concatenated in input
+    /// order, so the plan — updates, unrestorable list, and their order —
+    /// is identical to the sequential builder for every thread count.
+    pub fn failover_plan_par(
+        &self,
+        link: EdgeId,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> FailoverPlan {
+        let threads = threads.max(1);
+        if threads == 1 || pairs.len() < 2 {
+            return self.failover_plan(link, pairs.iter().copied());
+        }
+        let failures = FailureSet::of_edge(link);
+        let chunk = pairs.len().div_ceil(threads * 4).max(1);
+        let chunks: Vec<&[(NodeId, NodeId)]> = pairs.chunks(chunk).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut parts: Vec<PlanPart> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(chunk_pairs) = chunks.get(i) else {
+                                break;
+                            };
+                            let mut updates = Vec::new();
+                            let mut unrestorable = Vec::new();
+                            for &(s, t) in *chunk_pairs {
+                                self.plan_pair(
+                                    link,
+                                    &failures,
+                                    s,
+                                    t,
+                                    &mut updates,
+                                    &mut unrestorable,
+                                );
+                            }
+                            mine.push((i, updates, unrestorable));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        parts.sort_unstable_by_key(|(i, _, _)| *i);
+        let mut updates = Vec::new();
+        let mut unrestorable = Vec::new();
+        for (_, mut u, mut r) in parts {
+            updates.append(&mut u);
+            unrestorable.append(&mut r);
         }
         FailoverPlan {
             link,
@@ -429,6 +520,24 @@ mod tests {
             via_subtree += destinations_through_edge(&o, s, link).len();
         }
         assert_eq!(via_subtree, plan.updates.len());
+    }
+
+    #[test]
+    fn parallel_plan_is_identical_to_sequential() {
+        let g = gnm_connected(25, 55, 7, 4);
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        let pairs: Vec<_> = (0..25)
+            .flat_map(|s| (0..25).map(move |t| (NodeId::new(s), NodeId::new(t))))
+            .filter(|(s, t)| s != t)
+            .collect();
+        for link in g.edge_ids().take(5) {
+            let seq = r.failover_plan(link, pairs.iter().copied());
+            for threads in [1usize, 2, 8] {
+                let par = r.failover_plan_par(link, &pairs, threads);
+                assert_eq!(par, seq, "link {link}, threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
 };
 use rbpc_graph::FailureSet;
-use rbpc_sim::{churn_sequence, churn_under, outage_summary, outage_under, LatencyModel, Scheme};
+use rbpc_sim::{
+    churn_sequence, churn_under_threads, outage_summary_threads, outage_under, LatencyModel, Scheme,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -67,6 +69,11 @@ fn usage() -> &'static str {
      \x20 churn     failure/recovery sequence, restorations per event\n\
      \x20 trace     inject a K-link failure and print per-LSP span trees\n\
      \x20 all       every artifact above except `churn` and `trace`\n\
+     \n\
+     provisioning:\n\
+     \x20 --threads N       worker threads for dense oracle provisioning and\n\
+     \x20                   per-link failover planning (default: all cores);\n\
+     \x20                   results are identical for every thread count\n\
      \n\
      churn & tracing:\n\
      \x20 --trace-out FILE  write Chrome trace_event JSON of every\n\
@@ -248,7 +255,7 @@ fn main() -> ExitCode {
         for class in FailureClass::all() {
             for case in &suite {
                 eprintln!("#   table2: {} / {}", case.name, class.label());
-                let oracle = case.oracle(args.seed);
+                let oracle = case.oracle_threads(args.seed, args.threads);
                 let pairs = sample_pairs(&case.graph, case.samples, args.seed);
                 rows.push(table2_block(
                     &case.name,
@@ -289,7 +296,7 @@ fn main() -> ExitCode {
     let run_f10 = || {
         println!("== Figure 10: local RBPC stretch (weighted ISP) ==");
         let case = &suite[0];
-        let oracle = case.oracle(args.seed);
+        let oracle = case.oracle_threads(args.seed, args.threads);
         let pairs = sample_pairs(&case.graph, case.samples, args.seed);
         let fig = figure10(&oracle, &pairs, args.threads);
         println!("{}", rbpc_eval::figure10::render(&fig));
@@ -302,13 +309,13 @@ fn main() -> ExitCode {
     let run_latency = || {
         println!("== Extension: restoration latency per scheme (weighted ISP) ==");
         let case = &suite[0];
-        let oracle = case.oracle(args.seed);
+        let oracle = case.oracle_threads(args.seed, args.threads);
         let pairs = sample_pairs(&case.graph, case.samples, args.seed);
         let model = LatencyModel::default();
         let mut csv = rbpc_eval::Csv::new();
         csv.row(["scheme", "events", "unrestorable", "mean_us", "max_us"]);
         for scheme in Scheme::all() {
-            let s = outage_summary(&oracle, &model, &pairs, scheme);
+            let s = outage_summary_threads(&oracle, &model, &pairs, scheme, args.threads);
             println!(
                 "{:<18} mean outage {:>8.1} ms   max {:>8.1} ms   ({} events, {} unrestorable)",
                 format!("{:?}", s.scheme),
@@ -340,13 +347,14 @@ fn main() -> ExitCode {
             args.seed,
         )
         .graph;
-        let small_oracle = rbpc_eval::AnyOracle::for_graph(
+        let small_oracle = rbpc_eval::AnyOracle::for_graph_threads(
             small.clone(),
             rbpc_graph::CostModel::new(rbpc_graph::Metric::Weighted, args.seed),
+            args.threads,
         );
         let footprint = rbpc_eval::provisioning_footprint(&small_oracle);
         let case = &suite[0];
-        let oracle = case.oracle(args.seed);
+        let oracle = case.oracle_threads(args.seed, args.threads);
         let pairs = sample_pairs(&case.graph, case.samples.min(60), args.seed);
         let ksp = rbpc_eval::ksp_comparison(&oracle, &pairs, &[1, 2, 3, 4]);
         let agreement = rbpc_eval::decomposition_agreement(&oracle, &pairs);
@@ -363,7 +371,7 @@ fn main() -> ExitCode {
             args.events, suite[0].name, args.failures
         );
         let case = &suite[0];
-        let oracle = case.oracle(args.seed);
+        let oracle = case.oracle_threads(args.seed, args.threads);
         let pairs = sample_pairs(&case.graph, case.samples, args.seed);
         let model = LatencyModel::default();
         let events = churn_sequence(&case.graph, args.events, args.failures, args.seed);
@@ -380,7 +388,7 @@ fn main() -> ExitCode {
             "max_outage_us",
         ]);
         for scheme in Scheme::all() {
-            let s = churn_under(&oracle, &model, &pairs, &events, scheme);
+            let s = churn_under_threads(&oracle, &model, &pairs, &events, scheme, args.threads);
             println!(
                 "{:<18} {:>3} fail / {:>3} recover   {:>4} disrupted   {:>4} restored   \
                  {:>3} unrestorable   {:>4} reverted   mean outage {:>8.1} ms   max {:>8.1} ms",
@@ -419,7 +427,7 @@ fn main() -> ExitCode {
             args.failures, suite[0].name
         );
         let case = &suite[0];
-        let oracle = case.oracle(args.seed);
+        let oracle = case.oracle_threads(args.seed, args.threads);
         let pairs = sample_pairs(&case.graph, case.samples, args.seed);
         let model = LatencyModel::default();
         // Fail the middle link of the first K distinct sampled LSPs, so the

@@ -31,9 +31,20 @@ pub struct NetworkCase {
 }
 
 impl NetworkCase {
-    /// Builds the right oracle for this network's size.
+    /// Builds the right oracle for this network's size, provisioning on
+    /// the machine's available parallelism.
     pub fn oracle(&self, seed: u64) -> AnyOracle {
         AnyOracle::for_graph(self.graph.clone(), CostModel::new(self.metric, seed))
+    }
+
+    /// [`NetworkCase::oracle`] with an explicit provisioning thread count
+    /// (the `--threads` flag of `rbpc-eval`).
+    pub fn oracle_threads(&self, seed: u64, threads: usize) -> AnyOracle {
+        AnyOracle::for_graph_threads(
+            self.graph.clone(),
+            CostModel::new(self.metric, seed),
+            threads,
+        )
     }
 }
 
@@ -99,10 +110,18 @@ pub enum AnyOracle {
 
 impl AnyOracle {
     /// Picks dense for graphs up to [`DENSE_ORACLE_MAX_NODES`] nodes,
-    /// lazy beyond.
+    /// lazy beyond. Dense provisioning runs on the machine's available
+    /// parallelism; results are thread-count-invariant (canonical trees).
     pub fn for_graph(graph: Graph, model: CostModel) -> Self {
+        Self::for_graph_threads(graph, model, rbpc_core::default_threads())
+    }
+
+    /// [`AnyOracle::for_graph`] with an explicit provisioning thread
+    /// count for the dense case (the lazy oracle computes on demand and
+    /// ignores it).
+    pub fn for_graph_threads(graph: Graph, model: CostModel, threads: usize) -> Self {
         if graph.node_count() <= DENSE_ORACLE_MAX_NODES {
-            AnyOracle::Dense(DenseBasePaths::build(graph, model))
+            AnyOracle::Dense(DenseBasePaths::build_with_threads(graph, model, threads))
         } else {
             AnyOracle::Lazy(LazyBasePaths::new(graph, model))
         }

@@ -1,0 +1,776 @@
+//! Compressed-sparse-row graph core and scratch-arena Dijkstra.
+//!
+//! The general-purpose [`Graph`] stores adjacency as `Vec<Vec<(NodeId,
+//! EdgeId)>>` — one heap allocation per node — and every Dijkstra call
+//! re-derives perturbed edge costs via `splitmix64` and allocates five
+//! fresh working arrays. That is fine for one restoration, but the RBPC
+//! provisioning phase runs *n* Dijkstras (one per source), and the eval
+//! suites run thousands more. This module is the batch-friendly form of the
+//! same computation:
+//!
+//! * [`CsrGraph`] — adjacency flattened into an `offsets` array plus one
+//!   packed 32-byte record per half-edge (neighbor, edge id, and the
+//!   perturbed `u128` cost of a fixed [`CostModel`] **precomputed**), so
+//!   the relaxation inner loop streams one contiguous block per node with
+//!   no hashing and no mixing;
+//! * [`FailureMask`] — a bitset mirror of [`FailureSet`] so the masked
+//!   traversal tests a bit instead of probing two `HashSet`s per half-edge;
+//! * [`DijkstraScratch`] — a reusable arena holding one 48-byte working
+//!   record per node (so a relaxation touches one cache line, not six
+//!   parallel arrays) plus a heap of 16-byte node-packed keys, with
+//!   epoch-stamped visited marks so resetting between runs is O(1).
+//!
+//! Determinism: the perturbed costs make shortest paths unique (see
+//! [`CostModel`]), so the tree produced by [`CsrGraph::full_tree`] is
+//! **bit-identical** to [`shortest_path_tree`](crate::shortest_path_tree)
+//! over the same graph, model, and failures — regardless of traversal
+//! order, scratch reuse, or which thread ran it. The property test
+//! `tests/csr_parallel.rs` at the repository root enforces this.
+
+use crate::spt::{NO_EDGE, NO_NODE};
+use crate::{CostModel, EdgeId, FailureSet, Graph, NodeId, Path, ShortestPathTree};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A [`Graph`] + [`CostModel`] frozen into flat CSR arrays for batch
+/// shortest-path computation.
+///
+/// Built once with [`CsrGraph::new`]; all subsequent queries are
+/// allocation-free when a [`DijkstraScratch`] is reused.
+///
+/// ```
+/// use rbpc_graph::{csr::{CsrGraph, DijkstraScratch}, CostModel, Graph, Metric};
+/// # fn main() -> Result<(), rbpc_graph::GraphError> {
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 2)?;
+/// g.add_edge(1, 2, 2)?;
+/// g.add_edge(0, 2, 10)?;
+/// let model = CostModel::new(Metric::Weighted, 0);
+/// let csr = CsrGraph::new(&g, &model);
+/// let mut scratch = DijkstraScratch::new(csr.node_count());
+/// let spt = csr.full_tree(0.into(), &mut scratch);
+/// assert_eq!(spt.base_dist(2.into()), Some(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    n: usize,
+    m: usize,
+    /// `offsets[u] .. offsets[u + 1]` indexes the half-edges of node `u`.
+    offsets: Vec<u32>,
+    /// Packed half-edge records: one node's adjacency is one contiguous
+    /// 32-bytes-per-edge block (rather than four parallel arrays), so
+    /// scanning it streams a single cache-line run.
+    half: Vec<HalfEdge>,
+    model: CostModel,
+}
+
+/// One half-edge of the packed adjacency: precomputed perturbed and base
+/// weights plus the neighbor and undirected edge id. Exactly 32 bytes.
+#[derive(Debug, Clone, Copy)]
+struct HalfEdge {
+    /// Precomputed perturbed weight under the frozen [`CostModel`].
+    weight: u128,
+    /// Precomputed base (original-metric) weight.
+    base: u64,
+    /// Neighbor node of this half-edge.
+    target: u32,
+    /// Undirected edge id of this half-edge.
+    edge: u32,
+}
+
+/// Low-bit mask covering every legal node id (`MAX_NODES` is a power of
+/// two, so ids fit in `MAX_NODES - 1`).
+const NODE_MASK: u128 = (CostModel::MAX_NODES - 1) as u128;
+
+/// Packs a node id into the low bits of its perturbed distance, making a
+/// 16-byte heap entry instead of a 32-byte `(dist, node)` pair.
+///
+/// The packing overwrites the low 20 perturbation bits, so pop order can
+/// differ from exact-distance order only between keys equal in the top
+/// 108 bits — i.e. distances within `2^20` of each other. Every edge
+/// weight is at least `1 << 64` (zero base weights are rejected at
+/// construction), so no path through a node popped later can improve a
+/// node popped earlier: the relaxation would add `>= 2^64`, dwarfing the
+/// `< 2^21` key skew. Settle *order* may therefore differ from the
+/// sequential implementation, but every settled distance — and hence the
+/// tree — is bit-identical.
+#[inline]
+fn heap_key(dist: u128, node: u32) -> u128 {
+    (dist & !NODE_MASK) | node as u128
+}
+
+impl CsrGraph {
+    /// Flattens `graph` under `model`, precomputing perturbed costs.
+    ///
+    /// Half-edges keep the insertion order of [`Graph::neighbors`], so
+    /// traversal order matches the `Vec<Vec>` path exactly (not that
+    /// correctness needs it — perturbed costs are unique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph exceeds [`CostModel::MAX_NODES`] nodes.
+    pub fn new(graph: &Graph, model: &CostModel) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        assert!(
+            n <= CostModel::MAX_NODES,
+            "graphs are limited to {} nodes (padding overflow)",
+            CostModel::MAX_NODES
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut half = Vec::with_capacity(2 * m);
+        offsets.push(0);
+        for u in graph.nodes() {
+            for h in graph.neighbors(u) {
+                half.push(HalfEdge {
+                    weight: model.perturbed_weight(graph, h.edge),
+                    base: model.base_weight(graph, h.edge),
+                    target: h.to.index() as u32,
+                    edge: h.edge.index() as u32,
+                });
+            }
+            offsets.push(half.len() as u32);
+        }
+        CsrGraph {
+            n,
+            m,
+            offsets,
+            half,
+            model: *model,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// The cost model the weights were precomputed under.
+    #[inline]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Computes the full shortest-path tree from `source`, reusing
+    /// `scratch`. Bit-identical to
+    /// [`shortest_path_tree`](crate::shortest_path_tree) on the source
+    /// graph and model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn full_tree(&self, source: NodeId, scratch: &mut DijkstraScratch) -> ShortestPathTree {
+        self.full_tree_masked(source, None, scratch)
+    }
+
+    /// [`CsrGraph::full_tree`] with an optional failure mask applied —
+    /// the CSR analogue of running over a
+    /// [`FailureView`](crate::FailureView).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `mask` was built for
+    /// different graph dimensions.
+    pub fn full_tree_masked(
+        &self,
+        source: NodeId,
+        mask: Option<&FailureMask>,
+        scratch: &mut DijkstraScratch,
+    ) -> ShortestPathTree {
+        assert!(source.index() < self.n, "source {source} out of range");
+        if let Some(m) = mask {
+            m.check_dims(self.n, self.m);
+        }
+        if mask.is_some_and(|m| m.node_failed(source)) {
+            return ShortestPathTree::unreachable(source, self.n);
+        }
+        // Monomorphize the hot loop per mask-ness: the unmasked copy
+        // compiles the predicate away entirely.
+        match mask {
+            Some(m) => self.tree_inner(source, scratch, |e, v| m.half_edge_masked(e, v)),
+            None => self.tree_inner(source, scratch, |_, _| false),
+        }
+    }
+
+    /// The full-tree hot loop, generic over the half-edge mask predicate.
+    ///
+    /// Runs Dijkstra entirely inside the scratch arena — one record per
+    /// node, so a relaxation touches a single cache line instead of six
+    /// parallel arrays — then harvests the tree with one sequential pass:
+    /// each output element is written exactly once (settled value or
+    /// unreachable sentinel), no sentinel prefill, no random-order
+    /// settling.
+    fn tree_inner<F: Fn(u32, u32) -> bool>(
+        &self,
+        source: NodeId,
+        scratch: &mut DijkstraScratch,
+        masked: F,
+    ) -> ShortestPathTree {
+        scratch.begin(self.n);
+        // Even stamp = touched this run, odd stamp = settled this run.
+        let ep = scratch.epoch;
+        let ep_done = ep + 1;
+        let DijkstraScratch {
+            nodes,
+            heap,
+            settled_total,
+            ..
+        } = scratch;
+        let s = source.index();
+        nodes[s] = NodeRec {
+            dist: 0,
+            base: 0,
+            stamp: ep,
+            hops: 0,
+            parent_node: NO_NODE,
+            parent_edge: NO_EDGE,
+        };
+        heap.push(Reverse(heap_key(0, s as u32)));
+
+        while let Some(Reverse(key)) = heap.pop() {
+            let u = (key & NODE_MASK) as usize;
+            if nodes[u].stamp == ep_done {
+                continue;
+            }
+            nodes[u].stamp = ep_done;
+            *settled_total += 1;
+            let (d, ub, uh) = (nodes[u].dist, nodes[u].base, nodes[u].hops);
+
+            let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            for he in &self.half[lo..hi] {
+                let vt = he.target;
+                let rec = &mut nodes[vt as usize];
+                if rec.stamp == ep_done || masked(he.edge, vt) {
+                    continue;
+                }
+                let nd = d + he.weight;
+                if rec.stamp != ep || nd < rec.dist {
+                    *rec = NodeRec {
+                        dist: nd,
+                        base: ub + he.base,
+                        stamp: ep,
+                        hops: uh + 1,
+                        parent_node: u as u32,
+                        parent_edge: he.edge,
+                    };
+                    heap.push(Reverse(heap_key(nd, vt)));
+                }
+            }
+        }
+
+        // Harvest: after the loop every touched node is settled, so the
+        // odd stamp alone separates reached from unreachable.
+        let n = self.n;
+        let mut dist = Vec::with_capacity(n);
+        let mut base_dist = Vec::with_capacity(n);
+        let mut hops = Vec::with_capacity(n);
+        let mut parent_edge = Vec::with_capacity(n);
+        let mut parent_node = Vec::with_capacity(n);
+        for rec in &nodes[..n] {
+            if rec.stamp == ep_done {
+                dist.push(rec.dist);
+                base_dist.push(rec.base);
+                hops.push(rec.hops);
+                parent_edge.push(rec.parent_edge);
+                parent_node.push(rec.parent_node);
+            } else {
+                dist.push(u128::MAX);
+                base_dist.push(u64::MAX);
+                hops.push(u32::MAX);
+                parent_edge.push(NO_EDGE);
+                parent_node.push(NO_NODE);
+            }
+        }
+        ShortestPathTree::from_arrays(source, dist, base_dist, hops, parent_edge, parent_node)
+    }
+
+    /// Single-pair shortest path with early exit once `t` settles, reusing
+    /// `scratch`. Returns the same unique path as
+    /// [`shortest_path`](crate::shortest_path), or `None` if disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn point_to_point(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        mask: Option<&FailureMask>,
+        scratch: &mut DijkstraScratch,
+    ) -> Option<Path> {
+        assert!(s.index() < self.n, "source {s} out of range");
+        assert!(t.index() < self.n, "target {t} out of range");
+        if let Some(m) = mask {
+            m.check_dims(self.n, self.m);
+            if m.node_failed(s) || m.node_failed(t) {
+                return None;
+            }
+        }
+        if s == t {
+            return Some(Path::trivial(s));
+        }
+        match mask {
+            Some(m) => self.point_to_point_inner(s, t, scratch, |e, v| m.half_edge_masked(e, v)),
+            None => self.point_to_point_inner(s, t, scratch, |_, _| false),
+        }
+    }
+
+    /// The point-to-point hot loop, generic over the half-edge mask
+    /// predicate (see [`CsrGraph::tree_into`]).
+    fn point_to_point_inner<F: Fn(u32, u32) -> bool>(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        scratch: &mut DijkstraScratch,
+        masked: F,
+    ) -> Option<Path> {
+        scratch.begin(self.n);
+        let ep = scratch.epoch;
+        let ep_done = ep + 1;
+        let DijkstraScratch {
+            nodes: recs,
+            heap,
+            settled_total,
+            ..
+        } = scratch;
+        let si = s.index();
+        recs[si] = NodeRec {
+            dist: 0,
+            base: 0,
+            stamp: ep,
+            hops: 0,
+            parent_node: NO_NODE,
+            parent_edge: NO_EDGE,
+        };
+        heap.push(Reverse(heap_key(0, si as u32)));
+
+        while let Some(Reverse(key)) = heap.pop() {
+            let u = (key & NODE_MASK) as usize;
+            if recs[u].stamp == ep_done {
+                continue;
+            }
+            let d = recs[u].dist;
+            recs[u].stamp = ep_done;
+            *settled_total += 1;
+            if u == t.index() {
+                let mut nodes = vec![t];
+                let mut edges = Vec::new();
+                let mut at = t.index();
+                while recs[at].parent_node != NO_NODE {
+                    edges.push(EdgeId::new(recs[at].parent_edge as usize));
+                    let pn = recs[at].parent_node as usize;
+                    nodes.push(NodeId::new(pn));
+                    at = pn;
+                }
+                nodes.reverse();
+                edges.reverse();
+                heap.clear();
+                return Some(Path::from_parts_unchecked(nodes, edges));
+            }
+            let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            for he in &self.half[lo..hi] {
+                let vt = he.target;
+                let rec = &mut recs[vt as usize];
+                if rec.stamp == ep_done || masked(he.edge, vt) {
+                    continue;
+                }
+                let nd = d + he.weight;
+                if rec.stamp != ep || nd < rec.dist {
+                    rec.dist = nd;
+                    rec.stamp = ep;
+                    rec.parent_node = u as u32;
+                    rec.parent_edge = he.edge;
+                    heap.push(Reverse(heap_key(nd, vt)));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Bitset mirror of a [`FailureSet`] sized to one [`CsrGraph`]: the masked
+/// traversal tests one bit per half-edge instead of probing hash sets.
+///
+/// A failed node masks itself and (by the endpoint check in the traversal)
+/// every incident half-edge, matching [`FailureView`](crate::FailureView)
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct FailureMask {
+    n: usize,
+    m: usize,
+    edges: Vec<u64>,
+    nodes: Vec<u64>,
+}
+
+#[inline]
+fn bit_get(words: &[u64], i: u32) -> bool {
+    words[(i >> 6) as usize] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: u32) {
+    words[(i >> 6) as usize] |= 1u64 << (i & 63);
+}
+
+impl FailureMask {
+    /// An all-clear mask for a graph with `nodes` nodes and `edges` edges.
+    pub fn new(nodes: usize, edges: usize) -> Self {
+        FailureMask {
+            n: nodes,
+            m: edges,
+            edges: vec![0; edges.div_ceil(64)],
+            nodes: vec![0; nodes.div_ceil(64)],
+        }
+    }
+
+    /// Builds the mask equivalent of `set` for `csr`'s dimensions.
+    pub fn from_set(csr: &CsrGraph, set: &FailureSet) -> Self {
+        let mut mask = FailureMask::new(csr.node_count(), csr.edge_count());
+        for e in set.failed_edges() {
+            mask.fail_edge(e);
+        }
+        for v in set.failed_nodes() {
+            mask.fail_node(v);
+        }
+        mask
+    }
+
+    /// Marks an edge as failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn fail_edge(&mut self, e: EdgeId) {
+        assert!(e.index() < self.m, "edge {e} out of range");
+        bit_set(&mut self.edges, e.index() as u32);
+    }
+
+    /// Marks a node (and implicitly its incident edges) as failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn fail_node(&mut self, v: NodeId) {
+        assert!(v.index() < self.n, "node {v} out of range");
+        bit_set(&mut self.nodes, v.index() as u32);
+    }
+
+    /// Whether this node is failed.
+    #[inline]
+    pub fn node_failed(&self, v: NodeId) -> bool {
+        bit_get(&self.nodes, v.index() as u32)
+    }
+
+    /// Whether this edge is explicitly failed (node failures not considered).
+    #[inline]
+    pub fn edge_failed(&self, e: EdgeId) -> bool {
+        bit_get(&self.edges, e.index() as u32)
+    }
+
+    /// Traversal predicate: half-edge `edge → to` is unusable. The
+    /// traversing endpoint is known alive (Dijkstra never enters a failed
+    /// node), so checking `to` covers both endpoints.
+    #[inline]
+    fn half_edge_masked(&self, edge: u32, to: u32) -> bool {
+        bit_get(&self.edges, edge) || bit_get(&self.nodes, to)
+    }
+
+    fn check_dims(&self, n: usize, m: usize) {
+        assert!(
+            self.n == n && self.m == m,
+            "failure mask built for {}x{} applied to a {n}x{m} graph",
+            self.n,
+            self.m
+        );
+    }
+}
+
+/// Per-node Dijkstra working record. Everything a relaxation reads or
+/// writes for node `v` lives in this one 48-byte struct, so visiting a
+/// node costs roughly one cache line instead of six parallel-array
+/// accesses (the array-of-structs layout is what makes the CSR engine
+/// faster than the general path, which is memory-bound on exactly those
+/// scattered accesses).
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
+    dist: u128,
+    base: u64,
+    /// Merged epoch stamp: `== epoch` ⇔ touched (`dist` valid this run),
+    /// `== epoch + 1` ⇔ settled this run, anything else stale.
+    stamp: u32,
+    hops: u32,
+    parent_node: u32,
+    parent_edge: u32,
+}
+
+const EMPTY_REC: NodeRec = NodeRec {
+    dist: 0,
+    base: 0,
+    stamp: 0,
+    hops: 0,
+    parent_node: 0,
+    parent_edge: 0,
+};
+
+/// Reusable Dijkstra working memory: one record per node plus the heap,
+/// with epoch-stamped visited marks, so a fresh run only clears the heap
+/// and bumps an epoch — O(1) — instead of refilling O(n) arrays.
+///
+/// One scratch serves any number of runs over graphs up to its capacity
+/// (it grows on demand). Not `Sync`: use one per thread (see
+/// [`par_all_sources`](crate::par::par_all_sources)).
+#[derive(Debug, Clone)]
+pub struct DijkstraScratch {
+    /// Current run stamp, always even; steps by 2 per run.
+    epoch: u32,
+    nodes: Vec<NodeRec>,
+    heap: BinaryHeap<Reverse<u128>>,
+    runs: u64,
+    settled_total: u64,
+}
+
+impl DijkstraScratch {
+    /// A scratch arena with capacity for `n`-node graphs (grows on demand).
+    pub fn new(n: usize) -> Self {
+        DijkstraScratch {
+            epoch: 0,
+            nodes: vec![EMPTY_REC; n],
+            heap: BinaryHeap::new(),
+            runs: 0,
+            settled_total: 0,
+        }
+    }
+
+    /// Prepares for a run over an `n`-node graph: bumps the epoch (handling
+    /// wrap-around), grows buffers if needed, clears the heap.
+    fn begin(&mut self, n: usize) {
+        if self.nodes.len() < n {
+            self.nodes.resize(n, EMPTY_REC);
+        }
+        self.epoch = self.epoch.wrapping_add(2);
+        if self.epoch == 0 {
+            // u32 wrapped after ~2 billion runs: old stamps could collide.
+            self.nodes.iter_mut().for_each(|r| r.stamp = 0);
+            self.epoch = 2;
+        }
+        self.heap.clear();
+        self.runs += 1;
+    }
+
+    /// Number of runs served so far (reuses = `runs() - 1` for the first
+    /// allocation).
+    #[inline]
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total nodes settled across all runs (perf accounting).
+    #[inline]
+    pub fn settled_total(&self) -> u64 {
+        self.settled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shortest_path, shortest_path_tree, DetRng, Metric};
+
+    fn sample() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 10).unwrap();
+        g.add_edge(0, 2, 3).unwrap();
+        g.add_edge(2, 1, 4).unwrap();
+        g.add_edge(1, 3, 2).unwrap();
+        g.add_edge(2, 3, 8).unwrap();
+        g.add_edge(3, 4, 7).unwrap();
+        g.add_edge(2, 4, 20).unwrap();
+        g
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+        let mut g = Graph::new(n);
+        let mut rng = DetRng::seed_from_u64(seed);
+        while g.edge_count() < m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let w = rng.gen_range(1..=50u32);
+                g.add_edge(a, b, w).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn full_tree_matches_sequential() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 17);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        for s in g.nodes() {
+            let want = shortest_path_tree(&g, &model, s);
+            let got = csr.full_tree(s, &mut scratch);
+            assert_eq!(got, want, "tree from {s}");
+        }
+        assert_eq!(scratch.runs(), 5);
+        assert!(scratch.settled_total() >= 25);
+    }
+
+    #[test]
+    fn full_tree_matches_sequential_random_reused_scratch() {
+        let model = CostModel::new(Metric::Unweighted, 3);
+        let mut scratch = DijkstraScratch::new(0);
+        for seed in 0..4u64 {
+            let g = random_graph(40, 90, seed);
+            let csr = CsrGraph::new(&g, &model);
+            for s in g.nodes() {
+                let want = shortest_path_tree(&g, &model, s);
+                let got = csr.full_tree(s, &mut scratch);
+                assert_eq!(got, want, "seed {seed} source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_tree_matches_failure_view() {
+        let g = random_graph(30, 70, 9);
+        let model = CostModel::new(Metric::Weighted, 5);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        let mut rng = DetRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let mut set = FailureSet::new();
+            for _ in 0..3 {
+                set.fail_edge(EdgeId::new(rng.gen_range(0..g.edge_count())));
+            }
+            set.fail_node(NodeId::new(rng.gen_range(0..g.node_count())));
+            let mask = FailureMask::from_set(&csr, &set);
+            let view = set.view(&g);
+            for s in g.nodes() {
+                let want = shortest_path_tree(&view, &model, s);
+                let got = csr.full_tree_masked(s, Some(&mask), &mut scratch);
+                assert_eq!(got, want, "masked tree from {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_source_is_all_unreachable() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 1);
+        let csr = CsrGraph::new(&g, &model);
+        let mut mask = FailureMask::new(csr.node_count(), csr.edge_count());
+        mask.fail_node(0.into());
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        let t = csr.full_tree_masked(0.into(), Some(&mask), &mut scratch);
+        for v in g.nodes() {
+            assert!(!t.reachable(v));
+        }
+        assert_eq!(
+            csr.point_to_point(0.into(), 4.into(), Some(&mask), &mut scratch),
+            None
+        );
+        assert_eq!(
+            csr.point_to_point(4.into(), 0.into(), Some(&mask), &mut scratch),
+            None
+        );
+    }
+
+    #[test]
+    fn point_to_point_matches_sequential() {
+        let g = random_graph(30, 70, 11);
+        let model = CostModel::new(Metric::Weighted, 23);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let want = shortest_path(&g, &model, s, t);
+                let got = csr.point_to_point(s, t, None, &mut scratch);
+                assert_eq!(got, want, "{s} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_trivial_and_masked() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 17);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        let p = csr
+            .point_to_point(2.into(), 2.into(), None, &mut scratch)
+            .unwrap();
+        assert!(p.is_trivial());
+        // Fail 0-2; path to 2 must go 0-1-2 = 14, as in the dijkstra tests.
+        let e = g.find_edge(0.into(), 2.into()).unwrap();
+        let set = FailureSet::of_edge(e);
+        let mask = FailureMask::from_set(&csr, &set);
+        let p = csr
+            .point_to_point(0.into(), 2.into(), Some(&mask), &mut scratch)
+            .unwrap();
+        assert_eq!(p.cost(&g, &model).base, 14);
+        assert!(!p.contains_edge(e));
+    }
+
+    #[test]
+    fn mask_mirrors_failure_set() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 17);
+        let csr = CsrGraph::new(&g, &model);
+        let mut set = FailureSet::new();
+        set.fail_edge(EdgeId::new(3));
+        set.fail_node(NodeId::new(4));
+        let mask = FailureMask::from_set(&csr, &set);
+        for e in g.edge_ids() {
+            assert_eq!(mask.edge_failed(e), set.edge_failed(e), "edge {e}");
+        }
+        for v in g.nodes() {
+            assert_eq!(mask.node_failed(v), set.node_failed(v), "node {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let g = sample();
+        let csr = CsrGraph::new(&g, &CostModel::new(Metric::Weighted, 0));
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        let _ = csr.full_tree(99.into(), &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "applied to a")]
+    fn wrong_dims_mask_panics() {
+        let g = sample();
+        let csr = CsrGraph::new(&g, &CostModel::new(Metric::Weighted, 0));
+        let mask = FailureMask::new(2, 1);
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        let _ = csr.full_tree_masked(0.into(), Some(&mask), &mut scratch);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 17);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        // Force the epoch to the wrap boundary and verify runs stay correct.
+        scratch.epoch = u32::MAX - 1;
+        let want = shortest_path_tree(&g, &model, 0.into());
+        for _ in 0..4 {
+            let got = csr.full_tree(0.into(), &mut scratch);
+            assert_eq!(got, want);
+        }
+        assert!(scratch.epoch >= 1);
+    }
+}

@@ -54,6 +54,7 @@
 mod bfs;
 mod cost;
 mod counting;
+pub mod csr;
 mod cuts;
 mod digraph;
 mod dijkstra;
@@ -61,6 +62,7 @@ pub mod dynamic;
 mod error;
 mod graph;
 mod ids;
+pub mod par;
 mod path;
 mod rng;
 mod spt;
@@ -72,19 +74,22 @@ mod yen;
 pub use bfs::{bfs_distances, connected_components, is_connected, ComponentLabels};
 pub use cost::{splitmix64, CostModel, Metric, PathCost};
 pub use counting::{count_shortest_paths, max_shortest_path_multiplicity};
+pub use csr::{CsrGraph, DijkstraScratch, FailureMask};
 pub use cuts::{cut_elements, CutElements};
 pub use digraph::{ArcId, ArcRecord, DiGraph};
 pub use dijkstra::{distance, shortest_path, shortest_path_avoiding, shortest_path_tree};
 pub use dynamic::{
-    repair_after_failure, repair_after_failures, repair_after_recoveries, repair_after_recovery,
-    DynamicSpt, RepairStats,
+    repair_after_failure, repair_after_failures, repair_after_failures_with,
+    repair_after_recoveries, repair_after_recoveries_with, repair_after_recovery, DynamicSpt,
+    RepairScratch, RepairStats,
 };
 pub use error::{GraphError, PathError};
 pub use graph::{DegreeStats, EdgeRecord, Graph, HalfEdge};
 pub use ids::{EdgeId, NodeId};
+pub use par::{par_all_sources, par_all_sources_csr, ParStats};
 pub use path::Path;
 pub use rng::{DetRng, SampleRange};
-pub use spt::ShortestPathTree;
+pub use spt::{FlatChildren, ShortestPathTree};
 pub use subgraph::{extract_subgraph, Subgraph};
 pub use unionfind::UnionFind;
 pub use view::{FailureSet, FailureView, Topology};

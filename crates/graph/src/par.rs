@@ -1,0 +1,285 @@
+//! Std-only parallel batch Dijkstra: the RBPC provisioning fan-out.
+//!
+//! Provisioning computes one shortest-path tree per source — *n*
+//! independent Dijkstras. This module runs them on a `std::thread::scope`
+//! work pool: sources are cut into fixed chunks, worker threads claim
+//! chunks through a single `AtomicUsize` (lock-free stealing, so an
+//! unlucky thread that draws the expensive sources does not serialize the
+//! batch), and each thread reuses one [`DijkstraScratch`] across all the
+//! trees it computes.
+//!
+//! # Determinism
+//!
+//! Results are written into an output slot pre-assigned per source
+//! (`result[i]` is the tree of `sources[i]`), so the merge is a no-op and
+//! the output order never depends on scheduling. The tree *contents* are
+//! scheduling-independent too: perturbed costs make every shortest path
+//! unique (see [`CostModel`]), so any thread computing the tree of source
+//! `s` produces bit-identical arrays. `par_all_sources` with 1, 2, or 64
+//! threads returns byte-for-byte the same `Vec<ShortestPathTree>` as the
+//! sequential [`shortest_path_tree`](crate::shortest_path_tree) loop —
+//! enforced by `tests/csr_parallel.rs` at the repository root.
+//!
+//! This crate forbids `unsafe`, so output pre-slicing uses a `Mutex`
+//! hand-off: each chunk's `&mut` output slice sits in a `Mutex<Option<…>>`
+//! claimed exactly once by the thread that wins its index. The mutexes are
+//! uncontended by construction (the atomic hands each index to one
+//! thread), so the cost is one lock per chunk, not per tree.
+
+use crate::csr::{CsrGraph, DijkstraScratch, FailureMask};
+use crate::{CostModel, Graph, NodeId, ShortestPathTree};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Per-thread accounting from a [`par_all_sources`] run, for obs counters
+/// at the call site (`rbpc-graph` itself carries no instrumentation).
+#[derive(Debug, Clone, Default)]
+pub struct ParStats {
+    /// Worker threads used (1 means the run was inline, no spawning).
+    pub threads: usize,
+    /// Number of chunks the source list was cut into.
+    pub chunks: usize,
+    /// Sources per chunk (last chunk may be smaller).
+    pub chunk_size: usize,
+    /// Chunks claimed by each thread — the "steal" distribution.
+    pub chunk_claims: Vec<u64>,
+    /// Nodes settled by each thread across all its Dijkstra runs.
+    pub settled: Vec<u64>,
+    /// Dijkstra runs each thread served from its one scratch arena.
+    pub scratch_runs: Vec<u64>,
+}
+
+impl ParStats {
+    /// Total chunks claimed (equals [`ParStats::chunks`] after a full run).
+    pub fn total_chunks_claimed(&self) -> u64 {
+        self.chunk_claims.iter().sum()
+    }
+
+    /// Total nodes settled across all threads.
+    pub fn total_settled(&self) -> u64 {
+        self.settled.iter().sum()
+    }
+
+    /// Scratch reuses: runs beyond the first per allocated arena.
+    pub fn total_scratch_reuses(&self) -> u64 {
+        self.scratch_runs.iter().map(|&r| r.saturating_sub(1)).sum()
+    }
+}
+
+/// Deterministic chunk size: small enough to balance, large enough that
+/// the per-chunk mutex hand-off is noise.
+fn chunk_size_for(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1) * 4).max(1)
+}
+
+/// Computes the shortest-path trees of `sources` over `graph` under
+/// `model` on `threads` worker threads.
+///
+/// Builds a [`CsrGraph`] once and fans out; `result[i]` is the tree of
+/// `sources[i]`, bit-identical to
+/// [`shortest_path_tree`](crate::shortest_path_tree)`(graph, model,
+/// sources[i])` for every thread count. `threads == 0` is treated as 1;
+/// with 1 thread the batch runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if any source is out of range or the graph exceeds
+/// [`CostModel::MAX_NODES`] nodes.
+pub fn par_all_sources(
+    graph: &Graph,
+    model: &CostModel,
+    sources: &[NodeId],
+    threads: usize,
+) -> (Vec<ShortestPathTree>, ParStats) {
+    let csr = CsrGraph::new(graph, model);
+    par_all_sources_csr(&csr, None, sources, threads)
+}
+
+/// [`par_all_sources`] over a prebuilt [`CsrGraph`], with an optional
+/// failure mask applied to every tree.
+///
+/// Use this form to amortize the CSR build across batches, or to
+/// provision under a failure scenario.
+///
+/// # Panics
+///
+/// Panics if any source is out of range, or `mask` was built for
+/// different graph dimensions.
+pub fn par_all_sources_csr(
+    csr: &CsrGraph,
+    mask: Option<&FailureMask>,
+    sources: &[NodeId],
+    threads: usize,
+) -> (Vec<ShortestPathTree>, ParStats) {
+    let threads = threads.max(1);
+    let chunk = chunk_size_for(sources.len(), threads);
+    let mut stats = ParStats {
+        threads,
+        chunks: sources.len().div_ceil(chunk),
+        chunk_size: chunk,
+        ..ParStats::default()
+    };
+
+    if threads == 1 {
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        let trees: Vec<ShortestPathTree> = sources
+            .iter()
+            .map(|&s| csr.full_tree_masked(s, mask, &mut scratch))
+            .collect();
+        stats.chunk_claims.push(stats.chunks as u64);
+        stats.settled.push(scratch.settled_total());
+        stats.scratch_runs.push(scratch.runs());
+        return (trees, stats);
+    }
+
+    let mut out: Vec<Option<ShortestPathTree>> = Vec::new();
+    out.resize_with(sources.len(), || None);
+    {
+        // Pre-slice the output per chunk. Each Mutex is locked exactly
+        // once, by the thread whose fetch_add claimed that index.
+        type Job<'a> = (&'a mut [Option<ShortestPathTree>], &'a [NodeId]);
+        let jobs: Vec<Mutex<Option<Job<'_>>>> = out
+            .chunks_mut(chunk)
+            .zip(sources.chunks(chunk))
+            .map(|job| Mutex::new(Some(job)))
+            .collect();
+        let next = AtomicUsize::new(0);
+
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = DijkstraScratch::new(csr.node_count());
+                        let mut claims = 0u64;
+                        loop {
+                            let j = next.fetch_add(1, Ordering::Relaxed);
+                            if j >= jobs.len() {
+                                break;
+                            }
+                            claims += 1;
+                            let job = jobs[j]
+                                .lock()
+                                .unwrap_or_else(|poison| poison.into_inner())
+                                .take();
+                            let Some((slots, srcs)) = job else { continue };
+                            for (slot, &src) in slots.iter_mut().zip(srcs) {
+                                *slot = Some(csr.full_tree_masked(src, mask, &mut scratch));
+                            }
+                        }
+                        (claims, scratch.runs(), scratch.settled_total())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok((claims, runs, settled)) => {
+                        stats.chunk_claims.push(claims);
+                        stats.scratch_runs.push(runs);
+                        stats.settled.push(settled);
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+    }
+    let trees = out
+        .into_iter()
+        .map(|slot| slot.expect("every chunk is claimed exactly once"))
+        .collect();
+    (trees, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shortest_path_tree, DetRng, FailureSet, Metric};
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+        let mut g = Graph::new(n);
+        let mut rng = DetRng::seed_from_u64(seed);
+        while g.edge_count() < m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                g.add_edge(a, b, rng.gen_range(1..=20u32)).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn matches_sequential_across_thread_counts() {
+        let g = random_graph(60, 150, 2);
+        let model = CostModel::new(Metric::Weighted, 7);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let want: Vec<ShortestPathTree> = sources
+            .iter()
+            .map(|&s| shortest_path_tree(&g, &model, s))
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let (got, stats) = par_all_sources(&g, &model, &sources, threads);
+            assert_eq!(got, want, "threads = {threads}");
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.total_chunks_claimed(), stats.chunks as u64);
+            assert_eq!(stats.scratch_runs.iter().sum::<u64>(), 60);
+            assert!(stats.total_settled() > 0);
+        }
+    }
+
+    #[test]
+    fn masked_batch_matches_sequential_view() {
+        let g = random_graph(40, 90, 5);
+        let model = CostModel::new(Metric::Unweighted, 13);
+        let mut set = FailureSet::new();
+        set.fail_edge(crate::EdgeId::new(0));
+        set.fail_edge(crate::EdgeId::new(17));
+        set.fail_node(NodeId::new(3));
+        let view = set.view(&g);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let want: Vec<ShortestPathTree> = sources
+            .iter()
+            .map(|&s| shortest_path_tree(&view, &model, s))
+            .collect();
+        let csr = CsrGraph::new(&g, &model);
+        let mask = FailureMask::from_set(&csr, &set);
+        for threads in [1usize, 4] {
+            let (got, _) = par_all_sources_csr(&csr, Some(&mask), &sources, threads);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_subset_sources() {
+        let g = random_graph(10, 20, 1);
+        let model = CostModel::new(Metric::Weighted, 1);
+        let (trees, stats) = par_all_sources(&g, &model, &[], 4);
+        assert!(trees.is_empty());
+        assert_eq!(stats.chunks, 0);
+        let subset = [NodeId::new(3), NodeId::new(7), NodeId::new(3)];
+        let (trees, _) = par_all_sources(&g, &model, &subset, 2);
+        assert_eq!(trees.len(), 3);
+        assert_eq!(trees[0], trees[2]);
+        assert_eq!(trees[1].source(), NodeId::new(7));
+    }
+
+    #[test]
+    fn zero_threads_is_one() {
+        let g = random_graph(12, 25, 9);
+        let model = CostModel::new(Metric::Weighted, 3);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let (a, stats) = par_all_sources(&g, &model, &sources, 0);
+        let (b, _) = par_all_sources(&g, &model, &sources, 1);
+        assert_eq!(a, b);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.total_scratch_reuses(), 11);
+    }
+
+    #[test]
+    fn chunk_size_is_deterministic() {
+        assert_eq!(chunk_size_for(0, 4), 1);
+        assert_eq!(chunk_size_for(100, 4), 7);
+        assert_eq!(chunk_size_for(100, 1), 25);
+        assert_eq!(chunk_size_for(3, 8), 1);
+    }
+}

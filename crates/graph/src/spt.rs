@@ -50,6 +50,27 @@ impl ShortestPathTree {
         }
     }
 
+    /// Assembles a tree from prefilled per-node arrays (crate-internal;
+    /// the CSR engine harvests its scratch arena in one sequential pass
+    /// instead of settling nodes one at a time).
+    pub(crate) fn from_arrays(
+        source: NodeId,
+        dist: Vec<u128>,
+        base_dist: Vec<u64>,
+        hops: Vec<u32>,
+        parent_edge: Vec<u32>,
+        parent_node: Vec<u32>,
+    ) -> Self {
+        ShortestPathTree {
+            source,
+            dist,
+            base_dist,
+            hops,
+            parent_edge,
+            parent_node,
+        }
+    }
+
     pub(crate) fn settle(
         &mut self,
         v: NodeId,
@@ -194,6 +215,10 @@ impl ShortestPathTree {
 
     /// Enumerates, for every node, its tree children. Useful for computing
     /// which destinations route through a given edge.
+    ///
+    /// Allocates one `Vec` per node; batch callers should prefer the flat
+    /// [`children_flat`](Self::children_flat) form, which allocates twice
+    /// regardless of `n`.
     pub fn children(&self) -> Vec<Vec<NodeId>> {
         let mut out = vec![Vec::new(); self.dist.len()];
         for i in 0..self.dist.len() {
@@ -204,19 +229,65 @@ impl ShortestPathTree {
         out
     }
 
+    /// Fills `offsets`/`kids` with the CSR form of the children relation
+    /// (counts → prefix sums → fill), reusing `cursor` as working memory.
+    /// All three buffers are cleared first, so scratch reuse is safe.
+    pub(crate) fn fill_children_csr(
+        &self,
+        offsets: &mut Vec<u32>,
+        kids: &mut Vec<u32>,
+        cursor: &mut Vec<u32>,
+    ) {
+        let n = self.dist.len();
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        for i in 0..n {
+            let p = self.parent_node[i];
+            if p != NO_NODE {
+                offsets[p as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        kids.clear();
+        kids.resize(offsets[n] as usize, 0);
+        cursor.clear();
+        cursor.extend_from_slice(&offsets[..n]);
+        for i in 0..n {
+            let p = self.parent_node[i];
+            if p != NO_NODE {
+                kids[cursor[p as usize] as usize] = i as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+    }
+
+    /// The children relation in flat CSR form: two allocations total
+    /// (offsets + one id array) instead of the `Vec`-per-node layout of
+    /// [`children`](Self::children). Preferred for batch traversals such
+    /// as subtree walks and the [`dynamic`](crate::dynamic) repair engine.
+    pub fn children_flat(&self) -> FlatChildren {
+        let mut offsets = Vec::new();
+        let mut kids = Vec::new();
+        let mut cursor = Vec::new();
+        self.fill_children_csr(&mut offsets, &mut kids, &mut cursor);
+        FlatChildren { offsets, kids }
+    }
+
     /// All nodes whose tree path traverses the tree edge entering `below`
     /// (i.e. the subtree rooted at `below`). Linear in subtree size after a
-    /// `children()` precomputation, or linear in `n` standalone.
+    /// `children_flat()` precomputation, or linear in `n` standalone.
     pub fn subtree(&self, below: NodeId) -> Vec<NodeId> {
         if !self.reachable(below) {
             return Vec::new();
         }
-        let children = self.children();
+        let children = self.children_flat();
         let mut stack = vec![below];
         let mut out = Vec::new();
         while let Some(v) = stack.pop() {
             out.push(v);
-            stack.extend(children[v.index()].iter().copied());
+            stack.extend(children.of(v));
         }
         out
     }
@@ -230,6 +301,58 @@ impl ShortestPathTree {
     /// validate compatibility by node count.
     pub fn compatible_with(&self, graph: &Graph) -> bool {
         graph.node_count() == self.dist.len()
+    }
+}
+
+/// The children relation of a [`ShortestPathTree`] in compressed-sparse-row
+/// form: `offsets[v] .. offsets[v + 1]` indexes the children of node `v` in
+/// one flat id array. Produced by
+/// [`ShortestPathTree::children_flat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatChildren {
+    offsets: Vec<u32>,
+    kids: Vec<u32>,
+}
+
+impl FlatChildren {
+    /// The tree children of `v`, as a borrowed slice of raw node indices
+    /// converted on iteration; see [`FlatChildren::of`] for typed access.
+    #[inline]
+    fn raw_of(&self, v: NodeId) -> &[u32] {
+        let i = v.index();
+        &self.kids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The tree children of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn of(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.raw_of(v).iter().map(|&i| NodeId::new(i as usize))
+    }
+
+    /// Number of children of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn count_of(&self, v: NodeId) -> usize {
+        self.raw_of(v).len()
+    }
+
+    /// Number of nodes the relation covers.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of parent→child tree edges.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.kids.len()
     }
 }
 
@@ -318,6 +441,26 @@ mod tests {
         let iso = g2.add_node();
         let t2 = spt(&g2, 0);
         assert!(t2.subtree(iso).is_empty());
+    }
+
+    #[test]
+    fn children_flat_matches_children() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(0, 2, 1).unwrap();
+        g.add_edge(1, 3, 1).unwrap();
+        g.add_edge(1, 4, 1).unwrap();
+        let _iso = g.add_node(); // node 6: isolated
+        let t = spt(&g, 0);
+        let nested = t.children();
+        let flat = t.children_flat();
+        assert_eq!(flat.node_count(), g.node_count());
+        assert_eq!(flat.total(), nested.iter().map(Vec::len).sum::<usize>());
+        for v in g.nodes() {
+            let got: Vec<NodeId> = flat.of(v).collect();
+            assert_eq!(got, nested[v.index()], "children of {v}");
+            assert_eq!(flat.count_of(v), nested[v.index()].len());
+        }
     }
 
     #[test]

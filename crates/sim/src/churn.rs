@@ -127,6 +127,17 @@ pub struct ChurnSummary {
     pub per_event: Vec<ChurnEventReport>,
 }
 
+/// One chunk's tally of a failure event's disruptions (merged with sums
+/// and maxima, so chunk order cannot affect the summary).
+#[derive(Debug, Clone, Copy, Default)]
+struct FailTally {
+    disrupted: usize,
+    restored: usize,
+    unrestorable: usize,
+    total_us: u64,
+    max_us: u64,
+}
+
 /// Drives `scheme` through `events`, maintaining the live failure set and
 /// evaluating restorations after every event.
 ///
@@ -141,12 +152,32 @@ pub struct ChurnSummary {
 /// so per-LSP `outage` spans nest beneath it in a trace export; counters
 /// `sim.churn.*` and the `sim.churn.outage_us` histogram aggregate per
 /// scheme.
-pub fn churn_under<O: BasePathOracle>(
+pub fn churn_under<O: BasePathOracle + Sync>(
     oracle: &O,
     model: &LatencyModel,
     pairs: &[(NodeId, NodeId)],
     events: &[ChurnEvent],
     scheme: Scheme,
+) -> ChurnSummary {
+    churn_under_threads(oracle, model, pairs, events, scheme, 1)
+}
+
+/// [`churn_under`] with the per-event pair sweeps fanned out over up to
+/// `threads` worker threads.
+///
+/// The event *sequence* is inherently serial (each event mutates the live
+/// failure set), but within one event every tracked pair is independent:
+/// a failure's per-LSP outages and a recovery's reversion checks read only
+/// the oracle and the frozen failure set. Per-chunk tallies fold with sums
+/// and maxima, so the summary — including every [`ChurnEventReport`] — is
+/// **bit-identical** to the sequential drive for any thread count.
+pub fn churn_under_threads<O: BasePathOracle + Sync>(
+    oracle: &O,
+    model: &LatencyModel,
+    pairs: &[(NodeId, NodeId)],
+    events: &[ChurnEvent],
+    scheme: Scheme,
+    threads: usize,
 ) -> ChurnSummary {
     let mut live = FailureSet::new();
     let mut down = 0usize;
@@ -188,30 +219,42 @@ pub fn churn_under<O: BasePathOracle>(
                 live.fail_edge(e);
                 down += 1;
                 let mut event_total = 0u64;
-                for &(s, t) in pairs {
-                    let Some(base) = oracle.base_path(s, t) else {
-                        continue;
-                    };
-                    if !base.contains_edge(e) {
-                        continue;
-                    }
-                    report.disrupted += 1;
-                    match outage_under(oracle, model, s, t, e, &live, scheme) {
-                        Ok(r) => {
-                            report.restored += 1;
-                            event_total += r.restored_at_us;
-                            report.max_outage_us = report.max_outage_us.max(r.restored_at_us);
-                            obs_record!(
-                                "sim.churn.outage_us",
-                                label: scheme.name(),
-                                r.restored_at_us
-                            );
+                let live = &live;
+                let tallies = crate::par::map_chunks(pairs, threads, |chunk| {
+                    let mut tally = FailTally::default();
+                    for &(s, t) in chunk {
+                        let Some(base) = oracle.base_path(s, t) else {
+                            continue;
+                        };
+                        if !base.contains_edge(e) {
+                            continue;
                         }
-                        Err(_) => {
-                            report.unrestorable += 1;
-                            obs_count!("sim.churn.unrestorable", label: scheme.name(), 1u64);
+                        tally.disrupted += 1;
+                        match outage_under(oracle, model, s, t, e, live, scheme) {
+                            Ok(r) => {
+                                tally.restored += 1;
+                                tally.total_us += r.restored_at_us;
+                                tally.max_us = tally.max_us.max(r.restored_at_us);
+                                obs_record!(
+                                    "sim.churn.outage_us",
+                                    label: scheme.name(),
+                                    r.restored_at_us
+                                );
+                            }
+                            Err(_) => {
+                                tally.unrestorable += 1;
+                                obs_count!("sim.churn.unrestorable", label: scheme.name(), 1u64);
+                            }
                         }
                     }
+                    tally
+                });
+                for tally in &tallies {
+                    report.disrupted += tally.disrupted;
+                    report.restored += tally.restored;
+                    report.unrestorable += tally.unrestorable;
+                    event_total += tally.total_us;
+                    report.max_outage_us = report.max_outage_us.max(tally.max_us);
                 }
                 if report.restored > 0 {
                     report.mean_outage_us = event_total as f64 / report.restored as f64;
@@ -223,14 +266,19 @@ pub fn churn_under<O: BasePathOracle>(
                 summary.recover_events += 1;
                 live.restore_edge(e);
                 down = down.saturating_sub(1);
-                for &(s, t) in pairs {
-                    let Some(base) = oracle.base_path(s, t) else {
-                        continue;
-                    };
-                    if base.contains_edge(e) && base.edges().iter().all(|&b| !live.edge_failed(b)) {
-                        report.reverted += 1;
-                    }
-                }
+                let live = &live;
+                let reverted = crate::par::map_chunks(pairs, threads, |chunk| {
+                    chunk
+                        .iter()
+                        .filter(|&&(s, t)| {
+                            oracle.base_path(s, t).is_some_and(|base| {
+                                base.contains_edge(e)
+                                    && base.edges().iter().all(|&b| !live.edge_failed(b))
+                            })
+                        })
+                        .count()
+                });
+                report.reverted = reverted.iter().sum();
                 obs_count!("sim.churn.reverted", label: scheme.name(), report.reverted);
             }
         }
@@ -347,6 +395,21 @@ mod tests {
         assert_eq!(s.reverted, s.disrupted);
         assert_eq!(s.per_event[0].concurrent_down, 1);
         assert_eq!(s.per_event[1].concurrent_down, 0);
+    }
+
+    #[test]
+    fn churn_is_thread_count_invariant() {
+        let o = oracle(3);
+        let m = LatencyModel::default();
+        let p = pairs(24);
+        let events = churn_sequence(o.graph(), 40, 3, 17);
+        for scheme in [Scheme::Hybrid, Scheme::SourceRbpc] {
+            let sequential = churn_under(&o, &m, &p, &events, scheme);
+            for threads in [2, 8] {
+                let par = churn_under_threads(&o, &m, &p, &events, scheme, threads);
+                assert_eq!(par, sequential, "{scheme:?} at {threads} threads");
+            }
+        }
     }
 
     #[test]

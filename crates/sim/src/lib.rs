@@ -30,8 +30,14 @@ mod churn;
 mod flow;
 mod model;
 mod outage;
+mod par;
 
-pub use churn::{churn_sequence, churn_under, ChurnEvent, ChurnEventReport, ChurnSummary};
+pub use churn::{
+    churn_sequence, churn_under, churn_under_threads, ChurnEvent, ChurnEventReport, ChurnSummary,
+};
 pub use flow::{simulate_flow, FlowConfig, FlowReport};
 pub use model::{flood_timeline, FloodTimeline, LatencyModel};
-pub use outage::{outage, outage_summary, outage_under, OutageReport, OutageSummary, Scheme};
+pub use outage::{
+    outage, outage_summary, outage_summary_threads, outage_under, OutageReport, OutageSummary,
+    Scheme,
+};

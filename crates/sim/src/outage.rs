@@ -282,28 +282,104 @@ pub fn outage_summary<O: BasePathOracle>(
     pairs: &[(NodeId, NodeId)],
     scheme: Scheme,
 ) -> OutageSummary {
+    outage_summary_fold(oracle, model, pairs, scheme)
+}
+
+/// [`outage_summary`], sweeping the sampled pairs on up to `threads`
+/// worker threads.
+///
+/// Each pair's single-link outages are independent, and the summary only
+/// folds sums and maxima, so the result is **bit-identical** to the
+/// sequential sweep for every thread count (the `--threads` flag of
+/// `rbpc-eval latency`).
+pub fn outage_summary_threads<O: BasePathOracle + Sync>(
+    oracle: &O,
+    model: &LatencyModel,
+    pairs: &[(NodeId, NodeId)],
+    scheme: Scheme,
+    threads: usize,
+) -> OutageSummary {
+    let per_chunk = crate::par::map_chunks(pairs, threads, |chunk| {
+        outage_accum(oracle, model, chunk, scheme)
+    });
     let mut events = 0usize;
     let mut unrestorable = 0usize;
     let mut total = 0u64;
     let mut max = 0u64;
+    for s in &per_chunk {
+        events += s.events;
+        unrestorable += s.unrestorable;
+        total += s.total_us;
+        max = max.max(s.max_us);
+    }
+    finish_summary(scheme, events, unrestorable, total, max)
+}
+
+/// One chunk's worth of [`outage_summary`] accumulation, before the mean
+/// is taken (so chunks can merge exactly).
+struct OutageAccum {
+    events: usize,
+    unrestorable: usize,
+    total_us: u64,
+    max_us: u64,
+}
+
+fn outage_accum<O: BasePathOracle>(
+    oracle: &O,
+    model: &LatencyModel,
+    pairs: &[(NodeId, NodeId)],
+    scheme: Scheme,
+) -> OutageAccum {
+    let mut acc = OutageAccum {
+        events: 0,
+        unrestorable: 0,
+        total_us: 0,
+        max_us: 0,
+    };
     for &(s, t) in pairs {
         let Some(base) = oracle.base_path(s, t) else {
             continue;
         };
         for &e in base.edges() {
-            events += 1;
+            acc.events += 1;
             match outage(oracle, model, s, t, e, scheme) {
                 Ok(r) => {
-                    total += r.restored_at_us;
-                    max = max.max(r.restored_at_us);
+                    acc.total_us += r.restored_at_us;
+                    acc.max_us = acc.max_us.max(r.restored_at_us);
                 }
                 Err(_) => {
-                    unrestorable += 1;
+                    acc.unrestorable += 1;
                     obs_count!("sim.outage.unrestorable", label: scheme.name(), 1u64);
                 }
             }
         }
     }
+    acc
+}
+
+fn outage_summary_fold<O: BasePathOracle>(
+    oracle: &O,
+    model: &LatencyModel,
+    pairs: &[(NodeId, NodeId)],
+    scheme: Scheme,
+) -> OutageSummary {
+    let acc = outage_accum(oracle, model, pairs, scheme);
+    finish_summary(
+        scheme,
+        acc.events,
+        acc.unrestorable,
+        acc.total_us,
+        acc.max_us,
+    )
+}
+
+fn finish_summary(
+    scheme: Scheme,
+    events: usize,
+    unrestorable: usize,
+    total: u64,
+    max: u64,
+) -> OutageSummary {
     let restorable = events - unrestorable;
     OutageSummary {
         scheme,
@@ -420,6 +496,20 @@ mod tests {
         let local = outage_summary(&o, &m, &pairs, Scheme::LocalEndRoute);
         let re = outage_summary(&o, &m, &pairs, Scheme::Reestablish);
         assert!(local.mean_us < re.mean_us);
+    }
+
+    #[test]
+    fn summary_is_thread_count_invariant() {
+        let o = oracle(11);
+        let m = LatencyModel::default();
+        let pairs: Vec<_> = (1..12).map(|t| (NodeId::new(0), NodeId::new(t))).collect();
+        for scheme in Scheme::all() {
+            let sequential = outage_summary(&o, &m, &pairs, scheme);
+            for threads in [1, 2, 8] {
+                let par = outage_summary_threads(&o, &m, &pairs, scheme, threads);
+                assert_eq!(par, sequential, "{scheme:?} at {threads} threads");
+            }
+        }
     }
 
     #[test]

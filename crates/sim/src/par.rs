@@ -1,0 +1,88 @@
+//! Private chunk-stealing helper for the sweep entry points.
+//!
+//! The simulation sweeps ([`outage_summary_threads`](crate::outage_summary_threads),
+//! [`churn_under_threads`](crate::churn_under_threads)) fan independent
+//! per-pair work out over std threads. Workers claim fixed-size chunks via
+//! an `AtomicUsize`, and per-chunk results come back in **chunk order**, so
+//! any order-sensitive merge stays deterministic; the sweeps themselves
+//! only fold commutative sums and maxima, which makes them bit-identical
+//! for every thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `work` to fixed-size chunks of `items` on up to `threads`
+/// worker threads and returns the per-chunk results in chunk order.
+///
+/// `threads == 0` is treated as 1; with one thread (or fewer than two
+/// items) everything runs inline on the caller's thread as a single chunk.
+pub(crate) fn map_chunks<T, R>(
+    items: &[T],
+    threads: usize,
+    work: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || items.len() < 2 {
+        return vec![work(items)];
+    }
+    let chunk = items.len().div_ceil(threads * 4).max(1);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(chunk) = chunks.get(i) else { break };
+                let result = work(chunk);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(result);
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .expect("every chunk is claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_results_come_back_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 8] {
+            let sums = map_chunks(&items, threads, |chunk| chunk.iter().sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), 4950, "threads {threads}");
+        }
+        // Chunk order: concatenating the chunks reproduces the input.
+        let echoed = map_chunks(&items, 4, <[usize]>::to_vec);
+        assert_eq!(echoed.concat(), items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(map_chunks::<u8, usize>(&[], 8, <[u8]>::len).is_empty());
+        assert_eq!(map_chunks(&[7u8], 8, <[u8]>::len), vec![1]);
+    }
+}

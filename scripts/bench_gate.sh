@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1 spt_repair"}
+BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1 spt_repair csr_dijkstra par_provision"}
 BENCH_TOLERANCE=${BENCH_TOLERANCE:-0.75}
 BENCH_OUT=${BENCH_OUT:-BENCH_rbpc.json}
 BASELINE=${BASELINE:-bench/baseline.json}
@@ -55,7 +55,22 @@ fi
 # bench-gate skips the rule (with a note) when spt_repair wasn't run.
 SPT_SPEEDUP="spt_repair/powerlaw_5000/repair_single_edge,spt_repair/powerlaw_5000/full_tree,5.0"
 
+# The CSR core's claim: a flat-array full tree on the 5000-node power-law
+# graph beats the Vec<Vec> adjacency by at least 1.3x.
+CSR_SPEEDUP="csr_dijkstra/powerlaw_5000/full_tree,dijkstra/powerlaw_5000/full_tree,1.3"
+
+# The parallel engine's claim: an 8-thread dense-oracle build beats the
+# 1-thread one by at least 3x. Only meaningful with 8+ real cores, so the
+# rule is gated on nproc (bench-gate would skip it anyway if the rows
+# were absent, but on a small box the rows exist and the ratio is ~1).
+PAR_SPEEDUP=()
+if [[ "$(nproc)" -ge 8 ]]; then
+    PAR_SPEEDUP=(--speedup "par_provision/isp_200/threads_8,par_provision/isp_200/threads_1,3.0")
+else
+    echo "note: <8 cores ($(nproc)) — skipping the par_provision 8-thread speedup rule"
+fi
+
 echo "== bench-gate --baseline $BASELINE --current $BENCH_OUT --tolerance $BENCH_TOLERANCE"
 cargo run -q -p rbpc-bench --bin bench-gate --release -- \
     --baseline "$BASELINE" --current "$BENCH_OUT" --tolerance "$BENCH_TOLERANCE" \
-    --speedup "$SPT_SPEEDUP"
+    --speedup "$SPT_SPEEDUP" --speedup "$CSR_SPEEDUP" "${PAR_SPEEDUP[@]}"

@@ -23,6 +23,9 @@ cargo test -p rbpc-core --no-default-features -q
 echo "== cargo build --workspace --no-default-features (tracing compiled out)"
 cargo build --workspace --no-default-features -q
 
+echo "== CSR / parallel determinism property test (release, 2-thread runs included)"
+cargo test --release --test csr_parallel -q
+
 if [[ "${SKIP_BENCH_GATE:-0}" = "1" ]]; then
     echo "== bench gate skipped (SKIP_BENCH_GATE=1)"
 else

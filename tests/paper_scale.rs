@@ -45,3 +45,35 @@ fn paper_scale_internet_bypasses() {
     // Majority of links bypassable within 3 hops, as in the paper.
     assert!(h.fraction_at_most(3) > 0.5, "{}", h.fraction_at_most(3));
 }
+
+/// Reduced, non-ignored variant of the Internet one-link block: the same
+/// pipeline (suite → oracle → sampled pairs → Table 2 block) on a
+/// quarter-scale power-law graph, so release CI exercises the paper-scale
+/// code path on every run. Debug builds skip it — unoptimized Dijkstra
+/// over thousands of nodes takes minutes.
+#[cfg(not(debug_assertions))]
+#[test]
+fn reduced_internet_one_link_block() {
+    use mpls_rbpc::eval::{AnyOracle, NetworkCase};
+    use mpls_rbpc::graph::Metric;
+
+    let case = NetworkCase {
+        name: "Internet (reduced)".into(),
+        graph: mpls_rbpc::topo::internet_like_scaled(10_000, 1),
+        metric: Metric::Unweighted,
+        samples: 40,
+    };
+    let oracle = case.oracle_threads(1, 2);
+    assert!(matches!(oracle, AnyOracle::Lazy(_)));
+    let pairs = sample_pairs(&case.graph, case.samples, 1);
+    let row = table2_block(&case.name, &oracle, FailureClass::OneLink, &pairs, 2);
+    assert!(row.events > 0);
+    // The paper's qualitative claim holds already at this scale: two base
+    // paths per restoration on average, small length stretch.
+    assert!(
+        (1.8..=2.4).contains(&row.avg_pc_length),
+        "{}",
+        row.avg_pc_length
+    );
+    assert!((1.0..=1.3).contains(&row.length_sf), "{}", row.length_sf);
+}
