@@ -7,6 +7,9 @@
 //! per target at quick scale so `cargo bench` completes in minutes; run
 //! `rbpc-eval --scale paper` for the full-size numbers.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod crit;
 pub mod gate;
 

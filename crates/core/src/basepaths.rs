@@ -23,7 +23,7 @@ use rbpc_graph::{
     Graph, NodeId, ParStats, Path, PathCost, ShortestPathTree,
 };
 use rbpc_obs::{obs_count, obs_record, obs_span, obs_trace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -293,7 +293,7 @@ pub struct LazyBasePaths {
 
 #[derive(Debug, Default)]
 struct LazyCache {
-    map: HashMap<u32, Arc<ShortestPathTree>>,
+    map: BTreeMap<u32, Arc<ShortestPathTree>>,
     order: VecDeque<u32>,
 }
 

@@ -121,7 +121,7 @@ impl<'a, O: BasePathOracle> ChurnDriver<'a, O> {
                 let lsp = self
                     .domain
                     .lsp_for_pair(s, t)
-                    .expect("tracked pairs are provisioned");
+                    .expect("invariant: tracked pairs are provisioned");
                 self.domain.net_mut().set_fec_via_lsps(s, t, &[lsp])?;
             }
         }
@@ -147,6 +147,8 @@ impl<'a, O: BasePathOracle> ChurnDriver<'a, O> {
                     let trace = self
                         .domain
                         .forward(s, t, &self.failures)
+                        // Documented panic: verify() is a test/validation
+                        // harness entry point. lint:allow(panic)
                         .unwrap_or_else(|e| panic!("{s}->{t} undeliverable: {e}"));
                     assert_eq!(
                         trace.route(),

@@ -97,6 +97,58 @@ impl Concatenation {
             .count()
     }
 
+    /// Theorem 1 certificate: for `k` *edge* failures on an unweighted
+    /// metric, the restoration path splits into at most `k + 1` base
+    /// paths with no raw edges — the label stack is at most `k + 1` deep.
+    pub fn within_theorem1(&self, k: usize) -> bool {
+        self.raw_edge_count() == 0 && self.len() <= k + 1
+    }
+
+    /// Theorem 2 certificate: for `k` *edge* failures on a weighted
+    /// metric, at most `k + 1` base paths interleaved with at most `k`
+    /// raw edges — at most `2k + 1` segments in total. (Theorem 1's bound
+    /// implies this one, so it holds for both metrics; see
+    /// [`ShortestPathCover::within_theorem2`](crate::theory::ShortestPathCover::within_theorem2)
+    /// for the same convention on covers.)
+    pub fn within_theorem2(&self, k: usize) -> bool {
+        self.len() <= 2 * k + 1 && self.raw_edge_count() <= k
+    }
+
+    /// Validates this concatenation as a label stack for a restoration
+    /// under `k` equivalent edge failures: segments must be contiguous
+    /// (each starts where the previous ended) and the Theorem 2 bound
+    /// must hold. Node failures void the theorems (the paper's star
+    /// example makes the stack unboundedly deep), so callers must pass
+    /// the *edge-failure* `k` and only for edge-only failure sets.
+    ///
+    /// O(len); intended for `debug_assert!` and the validation harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_bounds(&self, k: usize) -> Result<(), String> {
+        for w in self.segments.windows(2) {
+            if w[0].target() != w[1].source() {
+                return Err(format!(
+                    "segment ending at {} is followed by one starting at {}",
+                    w[0].target(),
+                    w[1].source()
+                ));
+            }
+        }
+        if !self.within_theorem2(k) {
+            return Err(format!(
+                "{} segments ({} raw edges) exceed the Theorem 2 bound of \
+                 {} segments ({} raw edges) for k = {k}",
+                self.len(),
+                self.raw_edge_count(),
+                2 * k + 1,
+                k
+            ));
+        }
+        Ok(())
+    }
+
     /// Reassembles the full restoration path.
     ///
     /// Returns `None` for an empty concatenation (no endpoints to name).
@@ -106,7 +158,7 @@ impl Concatenation {
         for seg in iter {
             path = path
                 .concat(&seg.path)
-                .expect("segments are contiguous by construction");
+                .expect("invariant: segments are contiguous by construction");
         }
         Some(path)
     }
@@ -205,7 +257,9 @@ pub fn optimal_decompose<O: BasePathOracle>(
     queue.push_back(s);
 
     'bfs: while let Some(u) = queue.pop_front() {
-        let du = dist.perturbed_dist(u).expect("queued nodes are reachable");
+        let du = dist
+            .perturbed_dist(u)
+            .expect("invariant: queued nodes are reachable");
         // Jump 1: surviving raw edges that advance along a shortest path.
         for h in view.live_neighbors(u) {
             let v = h.to;
@@ -219,7 +273,8 @@ pub fn optimal_decompose<O: BasePathOracle>(
             if du + model.perturbed_weight(graph, h.edge) != dv {
                 continue;
             }
-            let path = Path::from_edges(graph, u, &[h.edge]).expect("edge is a walk");
+            let path = Path::from_edges(graph, u, &[h.edge])
+                .expect("invariant: a single live edge is a walk");
             let kind = if oracle.is_base_path(&path) {
                 SegmentKind::BasePath
             } else {
@@ -258,7 +313,7 @@ pub fn optimal_decompose<O: BasePathOracle>(
             }
             let path = oracle
                 .base_path(u, v)
-                .expect("cost_to succeeded, so the path exists");
+                .expect("invariant: cost_to succeeded, so the path exists");
             let intact = path.edges().iter().all(|&e| view.edge_alive(e))
                 && path.nodes().iter().all(|&x| view.node_alive(x));
             if !intact {
@@ -284,13 +339,16 @@ pub fn optimal_decompose<O: BasePathOracle>(
     if !seen[t.index()] {
         // Reachable by distance but BFS missed it — cannot happen, since
         // single surviving shortest-path edges are always valid jumps.
+        // lint:allow(panic)
         unreachable!("jump BFS must reach every node the distance tree reaches");
     }
     // Reconstruct.
     let mut segments = Vec::new();
     let mut at = t;
     while at != s {
-        let (p, seg) = prev[at.index()].clone().expect("reached nodes have prev");
+        let (p, seg) = prev[at.index()]
+            .clone()
+            .expect("invariant: reached nodes have prev");
         segments.push(seg);
         at = p;
     }

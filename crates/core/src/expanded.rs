@@ -69,7 +69,7 @@ impl ExpandedConcatenation {
         for seg in iter {
             path = path
                 .concat(&seg.path)
-                .expect("segments are contiguous by construction");
+                .expect("invariant: segments are contiguous by construction");
         }
         Some(path)
     }

@@ -124,7 +124,9 @@ pub fn hybrid_restore<O: BasePathOracle>(
     obs_trace_attr!(trace, stack_depth = source.concatenation.len());
     let interim_cost = local.end_to_end.cost(oracle.graph(), oracle.cost_model());
     // The notification travels back along the (surviving) LSP prefix.
-    let flood_hops = lsp_path.position_of(local.r1).expect("r1 lies on the LSP") as u32;
+    let flood_hops = lsp_path
+        .position_of(local.r1)
+        .expect("invariant: r1 lies on the LSP") as u32;
     Ok(HybridRestoration {
         local,
         variant,

@@ -65,7 +65,7 @@
 //! `docs/ARCHITECTURE.md` shows how the crates fit together.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baseline;
 pub mod basepaths;

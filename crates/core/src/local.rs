@@ -105,7 +105,7 @@ pub fn end_route<O: BasePathOracle>(
     let end_to_end = lsp_path
         .subpath(0, pos)
         .concat(&detour)
-        .expect("detour starts at r1");
+        .expect("invariant: detour starts at r1");
     Ok(LocalRestoration {
         r1,
         concatenation,
@@ -161,9 +161,9 @@ pub fn edge_bypass<O: BasePathOracle>(
     let end_to_end = lsp_path
         .subpath(0, pos)
         .concat(&bypass)
-        .expect("bypass starts at r1")
+        .expect("invariant: bypass starts at r1")
         .concat(&tail)
-        .expect("bypass ends at the far endpoint");
+        .expect("invariant: bypass ends at the far endpoint");
     Ok(LocalRestoration {
         r1,
         concatenation,

@@ -9,7 +9,7 @@ use crate::{Concatenation, LocalRestoration, Restoration, SegmentKind};
 use rbpc_graph::{EdgeId, FailureSet, NodeId};
 use rbpc_mpls::{ForwardError, ForwardTrace, Label, LspId, MplsError, MplsNetwork, SinkTreeId};
 use rbpc_obs::{obs_count, obs_span};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::BasePathOracle;
 
@@ -32,9 +32,11 @@ pub struct TableReport {
 #[derive(Debug)]
 pub struct ProvisionedDomain {
     net: MplsNetwork,
-    by_pair: HashMap<(NodeId, NodeId), LspId>,
-    by_edge: HashMap<(EdgeId, NodeId), LspId>,
-    sink_by_dest: HashMap<NodeId, SinkTreeId>,
+    // Ordered maps: provisioning sweeps and table dumps must visit LSPs
+    // in the same order on every run, independent of any hasher.
+    by_pair: BTreeMap<(NodeId, NodeId), LspId>,
+    by_edge: BTreeMap<(EdgeId, NodeId), LspId>,
+    sink_by_dest: BTreeMap<NodeId, SinkTreeId>,
 }
 
 impl ProvisionedDomain {
@@ -42,9 +44,9 @@ impl ProvisionedDomain {
     pub fn new<O: BasePathOracle>(oracle: &O) -> Self {
         ProvisionedDomain {
             net: MplsNetwork::new(oracle.graph().clone()),
-            by_pair: HashMap::new(),
-            by_edge: HashMap::new(),
-            sink_by_dest: HashMap::new(),
+            by_pair: BTreeMap::new(),
+            by_edge: BTreeMap::new(),
+            sink_by_dest: BTreeMap::new(),
         }
     }
 

@@ -116,6 +116,21 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
             failed_edges = failures.failed_edge_count(),
         );
         let result = self.restore_inner(s, t, failures);
+        // Machine-check the paper's bound on every debug-build restore:
+        // for edge-only failure sets the concatenation must satisfy
+        // Theorem 2 (node failures make the stack depth unbounded — see
+        // the star construction — so they are exempt).
+        #[cfg(debug_assertions)]
+        if let Ok(r) = &result {
+            if failures.failed_node_count() == 0 {
+                debug_assert_eq!(
+                    r.concatenation
+                        .validate_bounds(failures.failed_edge_count()),
+                    Ok(()),
+                    "restoration {s} -> {t} violates the Theorem 2 stack bound"
+                );
+            }
+        }
         match &result {
             Ok(r) => {
                 obs_count!("core.restore.ok");

@@ -66,9 +66,11 @@ pub fn min_shortest_path_cover<O: BasePathOracle>(oracle: &O, path: &Path) -> Sh
     let edges = path.edges();
     // Prefix sums of base costs along the path.
     let mut prefix = Vec::with_capacity(edges.len() + 1);
-    prefix.push(0u64);
+    let mut acc = 0u64;
+    prefix.push(acc);
     for &e in edges {
-        prefix.push(prefix.last().unwrap() + model.base_weight(graph, e));
+        acc += model.base_weight(graph, e);
+        prefix.push(acc);
     }
 
     let mut cover = ShortestPathCover {

@@ -1,7 +1,7 @@
 //! `rbpc-eval` — regenerate the RBPC paper's tables and figures.
 //!
 //! ```text
-//! rbpc-eval <table1|table2|table3|figure10|latency|ablation|trace|all>
+//! rbpc-eval <table1|table2|table3|figure10|latency|ablation|trace|validate|all>
 //!           [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]
 //!           [--topology FILE --metric weighted|unweighted]
 //!           [--metrics-out FILE] [--events-out FILE]
@@ -25,12 +25,22 @@
 //! multi-failure scenario (`--failures K`, default 2) into the first suite
 //! network and prints one human-readable span tree per affected LSP and
 //! scheme, with the critical path marked `*`.
+//!
+//! Validation: the `validate` command runs the runtime half of the
+//! `rbpc-lint` invariant layer over every suite network — CSR structural
+//! invariants ([`CsrGraph::validate`]), shortest-path-tree optimality and
+//! uniqueness ([`CsrGraph::validate_tree`], healthy and under random
+//! failure masks), and the Theorem 1/2 label-stack bounds on real
+//! restorations (`Concatenation::validate_bounds`) — and exits non-zero
+//! if any invariant is violated.
 
-use rbpc_core::BasePathOracle;
+use rbpc_core::{BasePathOracle, Restorer};
 use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
 };
-use rbpc_graph::FailureSet;
+use rbpc_graph::{
+    CostModel, CsrGraph, DetRng, DijkstraScratch, EdgeId, FailureMask, FailureSet, NodeId,
+};
 use rbpc_sim::{
     churn_sequence, churn_under_threads, outage_summary_threads, outage_under, LatencyModel, Scheme,
 };
@@ -53,7 +63,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|all>\n\
+    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|validate|all>\n\
      \x20         [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]\n\
      \x20         [--topology FILE --metric weighted|unweighted]\n\
      \x20         [--metrics-out FILE] [--events-out FILE]\n\
@@ -68,7 +78,9 @@ fn usage() -> &'static str {
      \x20 ablation  provisioning footprint, k-SP comparison, coverage\n\
      \x20 churn     failure/recovery sequence, restorations per event\n\
      \x20 trace     inject a K-link failure and print per-LSP span trees\n\
-     \x20 all       every artifact above except `churn` and `trace`\n\
+     \x20 validate  machine-check structural invariants and theory bounds\n\
+     \x20           on every suite network (non-zero exit on violation)\n\
+     \x20 all       every artifact above except `churn`, `trace`, `validate`\n\
      \n\
      provisioning:\n\
      \x20 --threads N       worker threads for dense oracle provisioning and\n\
@@ -478,6 +490,118 @@ fn main() -> ExitCode {
         }
     };
 
+    // Runtime half of the rbpc-lint invariant layer: every structural
+    // validator, run over the real suite networks in a release build
+    // (where the `debug_assert!` wiring compiles out). Returns the number
+    // of violations; the caller turns that into a non-zero exit.
+    let run_validate = || -> usize {
+        println!("== Validate: structural invariants & theory bounds ==");
+        let mut total_checks = 0usize;
+        let mut violations: Vec<String> = Vec::new();
+        for case in &suite {
+            eprintln!("#   validate: {}", case.name);
+            let mut checks = 0usize;
+            let before = violations.len();
+            let model = CostModel::new(case.metric, args.seed);
+            let csr = CsrGraph::new(&case.graph, &model);
+            checks += 1;
+            if let Err(e) = csr.validate() {
+                violations.push(format!("{}: CSR: {e}", case.name));
+            }
+
+            // Shortest-path trees: healthy, then under random failure
+            // masks (edges only, and edges plus one node).
+            let pairs = sample_pairs(&case.graph, case.samples, args.seed);
+            let mut sources: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            sources.truncate(8);
+            let mut scratch = DijkstraScratch::new(case.graph.node_count());
+            for &s in &sources {
+                let tree = csr.full_tree(s, &mut scratch);
+                checks += 1;
+                if let Err(e) = csr.validate_tree(&tree, None) {
+                    violations.push(format!("{}: tree from {s}: {e}", case.name));
+                }
+            }
+            let mut rng = DetRng::seed_from_u64(args.seed ^ 0x5EED);
+            for round in 0..3usize {
+                let mut set = FailureSet::new();
+                for _ in 0..3 {
+                    set.fail_edge(EdgeId::new(rng.gen_range(0..case.graph.edge_count())));
+                }
+                if round == 2 && case.graph.node_count() > 2 {
+                    set.fail_node(NodeId::new(
+                        1 + rng.gen_range(0..case.graph.node_count() - 1),
+                    ));
+                }
+                let mask = FailureMask::from_set(&csr, &set);
+                for &s in &sources {
+                    if set.node_failed(s) {
+                        continue;
+                    }
+                    let tree = csr.full_tree_masked(s, Some(&mask), &mut scratch);
+                    checks += 1;
+                    if let Err(e) = csr.validate_tree(&tree, Some(&mask)) {
+                        violations.push(format!(
+                            "{}: masked tree from {s} (round {round}): {e}",
+                            case.name
+                        ));
+                    }
+                }
+            }
+
+            // Theorem 1/2 label-stack bounds on real restorations: fail
+            // one, then two, links of each sampled pair's base path.
+            let oracle = case.oracle_threads(args.seed, args.threads);
+            let restorer = Restorer::new(&oracle);
+            for &(s, t) in &pairs {
+                let Some(path) = oracle.base_path(s, t) else {
+                    continue;
+                };
+                let edges = path.edges().to_vec();
+                for k in 1..=2usize.min(edges.len()) {
+                    let mut set = FailureSet::new();
+                    for i in 0..k {
+                        set.fail_edge(edges[(i + 1) * edges.len() / (k + 1)]);
+                    }
+                    let Ok(r) = restorer.restore(s, t, &set) else {
+                        continue; // disconnected pairs carry no bound
+                    };
+                    checks += 1;
+                    if let Err(e) = r.concatenation.validate_bounds(set.failed_edge_count()) {
+                        violations.push(format!("{}: restore {s} -> {t}: {e}", case.name));
+                    }
+                }
+            }
+
+            println!(
+                "{:<22} {:>6} checks   {} violations",
+                case.name,
+                checks,
+                violations.len() - before
+            );
+            total_checks += checks;
+        }
+        println!();
+        for v in &violations {
+            println!("VIOLATION: {v}");
+        }
+        if violations.is_empty() {
+            println!(
+                "validate: OK — {total_checks} checks across {} networks, all invariants hold",
+                suite.len()
+            );
+        } else {
+            println!(
+                "validate: FAILED — {} of {total_checks} checks violated",
+                violations.len()
+            );
+        }
+        violations.len()
+    };
+
+    let mut validate_violations = 0usize;
     match args.command.as_str() {
         "table1" => run_t1(),
         "table2" => run_t2(),
@@ -487,6 +611,7 @@ fn main() -> ExitCode {
         "ablation" => run_ablation(),
         "churn" => run_churn(),
         "trace" => run_trace(),
+        "validate" => validate_violations = run_validate(),
         "all" => {
             run_t1();
             run_t2();
@@ -502,6 +627,9 @@ fn main() -> ExitCode {
         }
     }
     finish_observability(&args, drained_spans.into_inner());
+    if validate_violations > 0 {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

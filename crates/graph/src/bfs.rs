@@ -22,7 +22,7 @@ pub fn bfs_distances<T: Topology>(topo: &T, source: NodeId) -> Vec<Option<u32>> 
     let mut q = VecDeque::new();
     q.push_back(source);
     while let Some(u) = q.pop_front() {
-        let du = dist[u.index()].expect("queued nodes have distances");
+        let du = dist[u.index()].expect("invariant: queued nodes have distances");
         for h in topo.live_neighbors(u) {
             if dist[h.to.index()].is_none() {
                 dist[h.to.index()] = Some(du + 1);

@@ -14,7 +14,7 @@
 //!   the relaxation inner loop streams one contiguous block per node with
 //!   no hashing and no mixing;
 //! * [`FailureMask`] — a bitset mirror of [`FailureSet`] so the masked
-//!   traversal tests a bit instead of probing two `HashSet`s per half-edge;
+//!   traversal tests a bit instead of probing two ordered sets per half-edge;
 //! * [`DijkstraScratch`] — a reusable arena holding one 48-byte working
 //!   record per node (so a relaxation touches one cache line, not six
 //!   parallel arrays) plus a heap of 16-byte node-packed keys, with
@@ -158,6 +158,205 @@ impl CsrGraph {
     #[inline]
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// Structural self-check of the CSR arrays: offsets are monotone and
+    /// cover exactly `2m` half-edges, every half-edge is in range, every
+    /// undirected edge id appears exactly twice with mirrored endpoints
+    /// and identical weights, and every perturbed weight carries its base
+    /// weight in the high 64 bits (hence is at least `2^64` — the padding
+    /// discipline Theorem 3's uniqueness argument and the packed
+    /// packed heap keys both rely on).
+    ///
+    /// O(n + m); intended for `debug_assert!` and the validation
+    /// harnesses (`rbpc-eval validate`, `tests/csr_parallel.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let (n, m) = (self.n, self.m);
+        if self.offsets.len() != n + 1 {
+            return Err(format!(
+                "offsets has length {}, expected {}",
+                self.offsets.len(),
+                n + 1
+            ));
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".to_string());
+        }
+        if let Some(u) = (0..n).find(|&u| self.offsets[u] > self.offsets[u + 1]) {
+            return Err(format!("offsets decrease at node {u}"));
+        }
+        if self.offsets[n] as usize != self.half.len() || self.half.len() != 2 * m {
+            return Err(format!(
+                "half-edge count {} does not cover offsets end {} = 2m = {}",
+                self.half.len(),
+                self.offsets[n],
+                2 * m
+            ));
+        }
+        // (from, to, weight, base) per appearance of each undirected edge.
+        let mut twins: Vec<Vec<(u32, u32, u128, u64)>> = vec![Vec::new(); m];
+        for u in 0..n {
+            let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            for he in &self.half[lo..hi] {
+                if he.target as usize >= n {
+                    return Err(format!(
+                        "half-edge of {u} targets out-of-range {}",
+                        he.target
+                    ));
+                }
+                if he.edge as usize >= m {
+                    return Err(format!(
+                        "half-edge of {u} names out-of-range edge {}",
+                        he.edge
+                    ));
+                }
+                if he.base == 0 {
+                    return Err(format!("edge {} has zero base weight", he.edge));
+                }
+                if he.weight >> 64 != he.base as u128 {
+                    return Err(format!(
+                        "edge {} perturbed weight does not carry its base weight \
+                         in the high 64 bits (so it is not >= 2^64-padded)",
+                        he.edge
+                    ));
+                }
+                twins[he.edge as usize].push((u as u32, he.target, he.weight, he.base));
+            }
+        }
+        for (e, t) in twins.iter().enumerate() {
+            if t.len() != 2 {
+                return Err(format!("edge {e} has {} half-edges, expected 2", t.len()));
+            }
+            let ((f1, t1, w1, b1), (f2, t2, w2, b2)) = (t[0], t[1]);
+            if t1 != f2 || t2 != f1 {
+                return Err(format!("edge {e} half-edges do not mirror each other"));
+            }
+            if w1 != w2 || b1 != b2 {
+                return Err(format!("edge {e} half-edges disagree on weight"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full consistency check of a tree against this graph (and optional
+    /// mask): structure (via
+    /// [`ShortestPathTree::validate_structure`]), parent edges that really
+    /// exist unmasked with exactly matching distance sums, failed nodes
+    /// unreachable, no live edge left relaxable (optimality), and — the
+    /// perturbation discipline's signature — **no ties**: any live edge
+    /// that exactly achieves a node's distance must *be* that node's
+    /// parent edge, otherwise two distinct shortest paths coexist and
+    /// Theorem 3's uniqueness is broken.
+    ///
+    /// O(n + m); intended for `debug_assert!` and the validation
+    /// harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_tree(
+        &self,
+        tree: &ShortestPathTree,
+        mask: Option<&FailureMask>,
+    ) -> Result<(), String> {
+        tree.validate_structure()?;
+        if tree.node_count() != self.n {
+            return Err(format!(
+                "tree covers {} nodes, graph has {}",
+                tree.node_count(),
+                self.n
+            ));
+        }
+        if let Some(msk) = mask {
+            if msk.n != self.n || msk.m != self.m {
+                return Err("failure mask dimensions do not match the graph".to_string());
+            }
+        }
+        let masked = |e: u32, v: u32| mask.is_some_and(|m| m.half_edge_masked(e, v));
+        let node_dead = |v: usize| mask.is_some_and(|m| m.node_failed(NodeId::new(v)));
+        let src = tree.source().index();
+        if node_dead(src) {
+            if let Some(v) = (0..self.n).find(|&v| tree.reachable(NodeId::new(v))) {
+                return Err(format!("source {src} failed but node {v} is reachable"));
+            }
+            return Ok(());
+        }
+        if !tree.reachable(tree.source()) {
+            return Err(format!("live source {src} is unreachable in its own tree"));
+        }
+        for u in 0..self.n {
+            if node_dead(u) {
+                if tree.reachable(NodeId::new(u)) {
+                    return Err(format!("failed node {u} is reachable"));
+                }
+                continue;
+            }
+            if !tree.reachable(NodeId::new(u)) {
+                continue;
+            }
+            let du = tree.dist[u];
+            let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            for he in &self.half[lo..hi] {
+                let v = he.target as usize;
+                if masked(he.edge, he.target) {
+                    continue;
+                }
+                if !tree.reachable(NodeId::new(v)) {
+                    return Err(format!(
+                        "edge {} reaches node {v} from settled {u}, yet {v} is unreachable",
+                        he.edge
+                    ));
+                }
+                let nd = du + he.weight;
+                let dv = tree.dist[v];
+                if nd < dv {
+                    return Err(format!(
+                        "edge {} from {u} improves node {v}: tree is not optimal",
+                        he.edge
+                    ));
+                }
+                if nd == dv && (tree.parent_node[v] != u as u32 || tree.parent_edge[v] != he.edge) {
+                    return Err(format!(
+                        "edge {} from {u} ties node {v}'s distance without being its \
+                         parent edge: perturbed shortest paths are not unique",
+                        he.edge
+                    ));
+                }
+            }
+        }
+        // Parent edges must exist in the adjacency, unmasked, with sums
+        // that match exactly (not just non-improving).
+        for v in 0..self.n {
+            if !tree.reachable(NodeId::new(v)) || v == src {
+                continue;
+            }
+            let (pe, pu) = (tree.parent_edge[v], tree.parent_node[v] as usize);
+            if masked(pe, v as u32) {
+                return Err(format!("node {v}'s parent edge {pe} is masked"));
+            }
+            let (lo, hi) = (self.offsets[pu] as usize, self.offsets[pu + 1] as usize);
+            let Some(he) = self.half[lo..hi]
+                .iter()
+                .find(|he| he.edge == pe && he.target as usize == v)
+            else {
+                return Err(format!(
+                    "node {v}'s parent edge {pe} does not exist from parent {pu}"
+                ));
+            };
+            if tree.dist[v] != tree.dist[pu] + he.weight
+                || tree.base_dist[v] != tree.base_dist[pu] + he.base
+                || tree.hops[v] != tree.hops[pu] + 1
+            {
+                return Err(format!(
+                    "node {v}'s distances are not parent {pu}'s plus edge {pe}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Computes the full shortest-path tree from `source`, reusing
@@ -756,6 +955,82 @@ mod tests {
         let mask = FailureMask::new(2, 1);
         let mut scratch = DijkstraScratch::new(csr.node_count());
         let _ = csr.full_tree_masked(0.into(), Some(&mask), &mut scratch);
+    }
+
+    #[test]
+    fn validate_accepts_real_graphs_and_trees() {
+        let g = random_graph(30, 70, 5);
+        let model = CostModel::new(Metric::Weighted, 13);
+        let csr = CsrGraph::new(&g, &model);
+        assert_eq!(csr.validate(), Ok(()));
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        let mut set = FailureSet::new();
+        set.fail_edge(EdgeId::new(4));
+        set.fail_node(NodeId::new(7));
+        let mask = FailureMask::from_set(&csr, &set);
+        for s in g.nodes() {
+            let t = csr.full_tree(s, &mut scratch);
+            assert_eq!(csr.validate_tree(&t, None), Ok(()), "unmasked from {s}");
+            let tm = csr.full_tree_masked(s, Some(&mask), &mut scratch);
+            assert_eq!(
+                csr.validate_tree(&tm, Some(&mask)),
+                Ok(()),
+                "masked from {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_graph() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 17);
+        let mut csr = CsrGraph::new(&g, &model);
+        // Strip the base weight out of one perturbed weight: no longer
+        // 2^64-padded.
+        csr.half[0].weight &= (1u128 << 64) - 1;
+        assert!(csr.validate().unwrap_err().contains("high 64 bits"));
+        let mut csr = CsrGraph::new(&g, &model);
+        csr.half[0].target = 99;
+        assert!(csr.validate().unwrap_err().contains("out-of-range"));
+        let mut csr = CsrGraph::new(&g, &model);
+        csr.offsets[1] = csr.offsets[2] + 1;
+        assert!(csr.validate().is_err());
+    }
+
+    #[test]
+    fn validate_tree_rejects_tampering() {
+        let g = sample();
+        let model = CostModel::new(Metric::Weighted, 17);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(g.node_count());
+        let good = csr.full_tree(0.into(), &mut scratch);
+
+        // An inflated distance leaves a relaxable edge (not optimal).
+        let mut t = good.clone();
+        t.dist[4] += 1u128 << 64;
+        t.base_dist[4] += 1;
+        assert!(csr.validate_tree(&t, None).is_err());
+
+        // Rerouting a node to a non-tree parent breaks the distance sum.
+        let mut t = good.clone();
+        t.parent_node[4] = 2;
+        t.parent_edge[4] = 6; // edge 2-4 exists but is not on the tree path
+        assert!(csr.validate_tree(&t, None).is_err());
+
+        // A structural hole: reachable node whose parent link is cleared.
+        let mut t = good.clone();
+        t.parent_edge[3] = NO_EDGE;
+        t.parent_node[3] = NO_NODE;
+        assert!(t.validate_structure().is_err());
+        assert!(csr.validate_tree(&t, None).is_err());
+
+        // A masked tree must not use the masked edge.
+        let mut set = FailureSet::new();
+        set.fail_edge(EdgeId::new(1)); // 0-2
+        let mask = FailureMask::from_set(&csr, &set);
+        assert!(csr.validate_tree(&good, Some(&mask)).is_err());
+        let masked = csr.full_tree_masked(0.into(), Some(&mask), &mut scratch);
+        assert_eq!(csr.validate_tree(&masked, Some(&mask)), Ok(()));
     }
 
     #[test]

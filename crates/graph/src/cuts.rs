@@ -90,7 +90,9 @@ pub fn cut_elements<T: Topology>(topo: &T) -> CutElements {
                 }
                 None => {
                     // Done with u: propagate lowpoint to the parent.
-                    let finished = stack.pop().expect("frame exists");
+                    let finished = stack
+                        .pop()
+                        .expect("invariant: loop runs only while the stack is nonempty");
                     let u = finished.node;
                     if u == root {
                         if finished.children >= 2 {
@@ -98,11 +100,15 @@ pub fn cut_elements<T: Topology>(topo: &T) -> CutElements {
                         }
                         continue;
                     }
-                    let parent = stack.last().expect("non-root has a parent");
+                    let parent = stack.last().expect("invariant: non-root has a parent");
                     let p = parent.node;
                     low[p.index()] = low[p.index()].min(low[u.index()]);
                     if low[u.index()] > disc[p.index()] {
-                        bridges.push(finished.parent_edge.expect("non-root has a parent edge"));
+                        bridges.push(
+                            finished
+                                .parent_edge
+                                .expect("invariant: non-root has a parent edge"),
+                        );
                     }
                     if low[u.index()] >= disc[p.index()] && p != root {
                         is_ap[p.index()] = true;

@@ -220,7 +220,7 @@ impl DiGraph {
         let mut path = vec![t];
         let mut at = t;
         while at != s {
-            at = parent[at.index()].expect("reachable nodes have parents");
+            at = parent[at.index()].expect("invariant: reachable nodes have parents");
             path.push(at);
         }
         path.reverse();
@@ -258,7 +258,7 @@ impl DiGraph {
                 .filter(|&(to, _)| to == w[1])
                 .map(|(_, a)| u64::from(self.arc(a).weight))
                 .min()
-                .expect("path must be a walk in the digraph");
+                .expect("invariant: path is a walk in the digraph");
             step.push(weight);
         }
         let mut pieces = 0;

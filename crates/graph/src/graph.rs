@@ -282,9 +282,11 @@ impl Graph {
         if self.is_empty() {
             return None;
         }
-        let degs = self.adj.iter().map(Vec::len);
-        let min = degs.clone().min().unwrap();
-        let max = degs.max().unwrap();
+        let (min, max) = self
+            .adj
+            .iter()
+            .map(Vec::len)
+            .fold((usize::MAX, 0), |(lo, hi), d| (lo.min(d), hi.max(d)));
         let avg = 2.0 * self.edge_count() as f64 / self.node_count() as f64;
         Some(DegreeStats { min, max, avg })
     }

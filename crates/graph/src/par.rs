@@ -185,7 +185,7 @@ pub fn par_all_sources_csr(
     }
     let trees = out
         .into_iter()
-        .map(|slot| slot.expect("every chunk is claimed exactly once"))
+        .map(|slot| slot.expect("invariant: every chunk is claimed exactly once"))
         .collect();
     (trees, stats)
 }

@@ -123,7 +123,7 @@ impl Path {
     /// Last node of the path.
     #[inline]
     pub fn target(&self) -> NodeId {
-        *self.nodes.last().expect("paths are nonempty")
+        *self.nodes.last().expect("invariant: paths are nonempty")
     }
 
     /// Number of edges (hops). Zero for a trivial path.

@@ -61,14 +61,16 @@ impl ShortestPathTree {
         parent_edge: Vec<u32>,
         parent_node: Vec<u32>,
     ) -> Self {
-        ShortestPathTree {
+        let tree = ShortestPathTree {
             source,
             dist,
             base_dist,
             hops,
             parent_edge,
             parent_node,
-        }
+        };
+        debug_assert_eq!(tree.validate_structure(), Ok(()));
+        tree
     }
 
     pub(crate) fn settle(
@@ -202,7 +204,7 @@ impl ShortestPathTree {
         while let Some(pe) = self.parent_edge(at) {
             let pn = self
                 .parent_node(at)
-                .expect("parent edge implies parent node");
+                .expect("invariant: parent edge implies parent node");
             edges.push(pe);
             nodes.push(pn);
             at = pn;
@@ -290,6 +292,103 @@ impl ShortestPathTree {
             stack.extend(children.of(v));
         }
         out
+    }
+
+    /// Structural self-check: array lengths agree, the reachable/sentinel
+    /// state of every node is all-or-nothing across the five arrays, the
+    /// source is the unique root, and every parent link is consistent
+    /// (hops grow by exactly one, perturbed distance strictly increases —
+    /// which also proves the parent relation is acyclic).
+    ///
+    /// Graph-free (no weights available here): edge-level consistency and
+    /// the uniqueness-under-perturbation property are checked by
+    /// [`CsrGraph::validate_tree`](crate::csr::CsrGraph::validate_tree).
+    /// O(n); intended for `debug_assert!` and the validation harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_structure(&self) -> Result<(), String> {
+        let n = self.dist.len();
+        for (name, len) in [
+            ("base_dist", self.base_dist.len()),
+            ("hops", self.hops.len()),
+            ("parent_edge", self.parent_edge.len()),
+            ("parent_node", self.parent_node.len()),
+        ] {
+            if len != n {
+                return Err(format!("{name} has length {len}, dist has {n}"));
+            }
+        }
+        let si = self.source.index();
+        if si >= n {
+            return Err(format!("source {} out of range for {n} nodes", self.source));
+        }
+        if self.dist[si] == u128::MAX {
+            // The all-unreachable skeleton (failed source): nothing may be
+            // reachable, and the per-node sentinel check below finishes.
+            if let Some(v) = (0..n).find(|&v| self.dist[v] != u128::MAX) {
+                return Err(format!(
+                    "source {} is unreachable but node {v} is reachable",
+                    self.source
+                ));
+            }
+        } else if self.dist[si] != 0
+            || self.base_dist[si] != 0
+            || self.hops[si] != 0
+            || self.parent_edge[si] != NO_EDGE
+            || self.parent_node[si] != NO_NODE
+        {
+            return Err(format!(
+                "source {} must have zero distances and no parent",
+                self.source
+            ));
+        }
+        for v in 0..n {
+            let reached = self.dist[v] != u128::MAX;
+            let sentinels = [
+                self.base_dist[v] == u64::MAX,
+                self.hops[v] == u32::MAX,
+                self.parent_edge[v] == NO_EDGE && self.parent_node[v] == NO_NODE,
+            ];
+            if !reached {
+                if sentinels.iter().any(|&s| !s) {
+                    return Err(format!("unreachable node {v} has non-sentinel fields"));
+                }
+                continue;
+            }
+            if v == si {
+                continue;
+            }
+            let (pe, pn) = (self.parent_edge[v], self.parent_node[v]);
+            if pe == NO_EDGE || pn == NO_NODE {
+                return Err(format!("reachable non-source node {v} has no parent"));
+            }
+            let p = pn as usize;
+            if p >= n {
+                return Err(format!("node {v} has out-of-range parent {p}"));
+            }
+            if self.dist[p] == u128::MAX {
+                return Err(format!("node {v}'s parent {p} is unreachable"));
+            }
+            if self.hops[v] != self.hops[p].wrapping_add(1) {
+                return Err(format!(
+                    "node {v} has {} hops but parent {p} has {}",
+                    self.hops[v], self.hops[p]
+                ));
+            }
+            if self.dist[v] <= self.dist[p] {
+                return Err(format!(
+                    "node {v}'s perturbed distance does not exceed its parent {p}'s"
+                ));
+            }
+            if self.base_dist[v] < self.base_dist[p] {
+                return Err(format!(
+                    "node {v}'s base distance is below its parent {p}'s"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Memory-relevant size in bytes (for cache budgeting).

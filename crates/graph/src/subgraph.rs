@@ -74,7 +74,7 @@ pub fn extract_subgraph(
         if keep(e, rec) {
             let id = sub
                 .add_edge(rec.u, rec.v, rec.weight)
-                .expect("edge valid in parent, valid in subgraph");
+                .expect("invariant: edge valid in parent, valid in subgraph");
             from_parent[e.index()] = Some(id);
             to_parent.push(e);
         }

@@ -6,7 +6,7 @@
 //! every shortest-path routine in this crate runs over any [`Topology`].
 
 use crate::{EdgeId, Graph, HalfEdge, NodeId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A view of a network: the underlying graph plus liveness of each element.
 ///
@@ -125,8 +125,11 @@ impl<T: Topology> Topology for &T {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FailureSet {
-    edges: HashSet<EdgeId>,
-    nodes: HashSet<NodeId>,
+    // Ordered sets: `failed_edges`/`failed_nodes` feed deterministic
+    // output (restoration order, trace events), so iteration order must
+    // not depend on a hasher.
+    edges: BTreeSet<EdgeId>,
+    nodes: BTreeSet<NodeId>,
 }
 
 impl FailureSet {
@@ -207,12 +210,12 @@ impl FailureSet {
         self.nodes.len()
     }
 
-    /// Iterates over explicitly failed edges (order unspecified).
+    /// Iterates over explicitly failed edges in ascending id order.
     pub fn failed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.edges.iter().copied()
     }
 
-    /// Iterates over failed nodes (order unspecified).
+    /// Iterates over failed nodes in ascending id order.
     pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes.iter().copied()
     }
@@ -220,7 +223,7 @@ impl FailureSet {
     /// The paper's `k`: total failed elements, counting a node failure as
     /// the failure of all its incident edges in `graph`.
     pub fn equivalent_edge_failures(&self, graph: &Graph) -> usize {
-        let mut failed: HashSet<EdgeId> = self.edges.clone();
+        let mut failed: BTreeSet<EdgeId> = self.edges.clone();
         for &v in &self.nodes {
             for h in graph.neighbors(v) {
                 failed.insert(h.edge);

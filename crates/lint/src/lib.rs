@@ -1,0 +1,318 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! rbpc-lint: a std-only, dependency-free analyzer for the RBPC workspace.
+//!
+//! RBPC's central promises — bit-identical parallel provisioning, unique
+//! ε-perturbed shortest paths, concatenation bounds from Theorems 1/2 —
+//! rest on source-level disciplines the compiler does not enforce: no
+//! hash-order iteration in algorithm code, no wall-clock reads outside
+//! the measurement crates, no panics in restoration paths, balanced
+//! feature gates. This crate machine-checks those disciplines with a
+//! lightweight line scanner (see [`scan`]) and five rules (see [`rules`]),
+//! and `scripts/check.sh` runs it as a hard gate before clippy.
+//!
+//! Escape hatches, in order of preference:
+//! 1. fix the code;
+//! 2. a `// lint:allow(<rule>)` comment on (or right above) the line,
+//!    next to a justification;
+//! 3. a `<rule> <path>` line in `crates/lint/lint-allow.txt` for whole
+//!    files that are legitimately exempt.
+//!
+//! The runtime half of the story — `CsrGraph::validate`,
+//! `ShortestPathTree::validate_structure`, `Concatenation::validate_bounds`
+//! — lives with the types it checks in rbpc-graph / rbpc-core and is
+//! exercised by `debug_assert!`s, the csr_parallel suite, and
+//! `rbpc-eval validate`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod rules;
+pub mod scan;
+
+use scan::{FileKind, SourceFile};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`rules::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A workspace member crate: manifest facts plus scanned sources.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name from `[package] name`.
+    pub name: String,
+    /// Workspace-relative crate directory (`"."` for the root package).
+    pub dir: String,
+    /// Keys of the `[features]` table.
+    pub features: BTreeSet<String>,
+    /// Scanned `.rs` files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Index into `files` of `src/lib.rs` (or `src/main.rs`), if present.
+    pub root_file: Option<usize>,
+}
+
+/// The loaded workspace: all member crates plus the root package.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Member crates sorted by directory, root package last.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root` (must contain a `Cargo.toml`
+    /// with a `[workspace]` table): every `crates/*` member with a
+    /// manifest, plus the root package itself if the root manifest also
+    /// declares `[package]`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+        if !manifest.contains("[workspace]") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a workspace root", root.display()),
+            ));
+        }
+        let mut crates = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut members: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        members.sort();
+        for dir in members {
+            crates.push(load_crate(root, &dir)?);
+        }
+        if manifest.contains("[package]") {
+            crates.push(load_crate(root, root)?);
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            crates,
+        })
+    }
+
+    /// Runs all rules and the allowlist filter; findings come back sorted
+    /// by path, line, rule.
+    pub fn check(&self, allow: &Allowlist) -> Vec<Finding> {
+        let mut out = Vec::new();
+        rules::run_all(self, &mut out);
+        out.retain(|f| !allow.is_allowed(f.rule, &f.path));
+        out.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+        out.dedup();
+        out
+    }
+
+    /// Total number of scanned source files.
+    pub fn file_count(&self) -> usize {
+        self.crates.iter().map(|c| c.files.len()).sum()
+    }
+}
+
+/// Reads one crate: manifest name/features plus every `.rs` under `src/`
+/// (library code) and `tests/`, `benches/`, `examples/` (test code).
+/// `fixtures/` subtrees are skipped — they hold seeded violations for the
+/// lint's own tests and are not part of the build.
+fn load_crate(ws_root: &Path, dir: &Path) -> io::Result<CrateInfo> {
+    let manifest = fs::read_to_string(dir.join("Cargo.toml"))?;
+    let name = manifest_package_name(&manifest).unwrap_or_else(|| "<unnamed>".to_string());
+    let features = manifest_features(&manifest);
+    let rel_dir = rel_path(ws_root, dir);
+
+    let mut files = Vec::new();
+    for (sub, kind) in [
+        ("src", FileKind::Lib),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Test),
+        ("examples", FileKind::Test),
+    ] {
+        let base = dir.join(sub);
+        if base.is_dir() {
+            walk_rs(&base, &mut |path| {
+                let text = fs::read_to_string(path)?;
+                files.push(SourceFile::scan(&rel_path(ws_root, path), kind, &text));
+                Ok(())
+            })?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let root_file = files
+        .iter()
+        .position(|f| f.path.ends_with("src/lib.rs"))
+        .or_else(|| files.iter().position(|f| f.path.ends_with("src/main.rs")));
+    Ok(CrateInfo {
+        name,
+        dir: rel_dir,
+        features,
+        files,
+        root_file,
+    })
+}
+
+/// Recursively visits `.rs` files under `dir` in sorted order, skipping
+/// `fixtures/` and `target/` subtrees.
+fn walk_rs(dir: &Path, visit: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n == "fixtures" || n == "target");
+            if !skip {
+                walk_rs(&path, visit)?;
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            visit(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated (falls back to the full path).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let p = path.strip_prefix(root).unwrap_or(path);
+    let s = p.to_string_lossy().replace('\\', "/");
+    if s.is_empty() {
+        ".".to_string()
+    } else {
+        s
+    }
+}
+
+/// Extracts `[package] name = "…"` with a minimal section-aware scan.
+fn manifest_package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = t.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+                let rest = rest.strip_prefix('"')?;
+                return Some(rest[..rest.find('"')?].to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Keys of the `[features]` table (empty set if absent).
+fn manifest_features(manifest: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_features = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_features = t == "[features]";
+            continue;
+        }
+        if in_features && !t.is_empty() && !t.starts_with('#') {
+            if let Some(eq) = t.find('=') {
+                let key = t[..eq].trim().trim_matches('"');
+                if !key.is_empty() {
+                    out.insert(key.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// File-level exemptions loaded from `crates/lint/lint-allow.txt`.
+///
+/// Each non-comment line is `<rule> <workspace-relative-path>`; a rule of
+/// `*` exempts the path from every rule.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format; unknown rule names are kept verbatim
+    /// (they simply never match).
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let (rule, path) = l.split_once(char::is_whitespace)?;
+                Some((rule.to_string(), path.trim().to_string()))
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Loads `crates/lint/lint-allow.txt` under `root`, or an empty list
+    /// if the file does not exist.
+    pub fn load(root: &Path) -> Allowlist {
+        match fs::read_to_string(root.join("crates/lint/lint-allow.txt")) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// Whether `path` is exempt from `rule`.
+    pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, p)| p == path && (r == rule || r == "*"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parsing() {
+        let m = "[package]\nname = \"demo\"\n\n[features]\ndefault = [\"obs\"]\nobs = []\n";
+        assert_eq!(manifest_package_name(m).as_deref(), Some("demo"));
+        let f = manifest_features(m);
+        assert!(f.contains("default") && f.contains("obs"));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn allowlist_matches_rule_and_wildcard() {
+        let a = Allowlist::parse("# comment\npanic crates/x/src/lib.rs\n* crates/y/src/gen.rs\n");
+        assert!(a.is_allowed("panic", "crates/x/src/lib.rs"));
+        assert!(!a.is_allowed("wall-clock", "crates/x/src/lib.rs"));
+        assert!(a.is_allowed("wall-clock", "crates/y/src/gen.rs"));
+    }
+}

@@ -1,0 +1,90 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! `rbpc-lint` CLI: scan the workspace, print findings, exit non-zero if
+//! any rule fires. Run from anywhere inside the repo:
+//!
+//! ```text
+//! cargo run -p rbpc-lint            # lint the enclosing workspace
+//! cargo run -p rbpc-lint -- PATH   # lint the workspace rooted at PATH
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rbpc_lint::{rules, Allowlist, Workspace};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: rbpc-lint [WORKSPACE_ROOT]\n\nrules: {}",
+                    rules::RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => {
+                eprintln!("rbpc-lint: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rbpc-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("rbpc-lint: failed to load {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let allow = Allowlist::load(&root);
+    let findings = ws.check(&allow);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!(
+            "rbpc-lint: OK — {} files across {} crates, {} rules, 0 findings",
+            ws.file_count(),
+            ws.crates.len(),
+            rules::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "rbpc-lint: {} finding(s) in {} files across {} crates",
+            findings.len(),
+            ws.file_count(),
+            ws.crates.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        match dir.parent().map(Path::to_path_buf) {
+            Some(parent) => dir = parent,
+            None => return Err("no workspace Cargo.toml found above the current dir".into()),
+        }
+    }
+}

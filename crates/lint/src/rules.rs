@@ -1,0 +1,458 @@
+//! The five static rules.
+//!
+//! Every rule reports [`Finding`]s against workspace-relative paths and
+//! honors the `// lint:allow(<rule>)` escape hatch (checked by the caller
+//! via [`SourceFile::allowed`]); file-level exemptions live in
+//! `crates/lint/lint-allow.txt`.
+//!
+//! | rule | scope | what it catches |
+//! |------|-------|-----------------|
+//! | `hash-iteration` | rbpc-graph, rbpc-core | iterating a `HashMap`/`HashSet` (order feeds output) |
+//! | `wall-clock` | all but rbpc-obs, rbpc-bench | `Instant::now` / `SystemTime` in algorithm code |
+//! | `panic` | rbpc-core, rbpc-graph, rbpc-mpls | `unwrap()` / bare `expect()` / `panic!` family |
+//! | `crate-attrs` | every crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` |
+//! | `cfg-balance` | every crate | unpaired or undeclared `cfg(feature = …)` gates |
+
+use crate::scan::{FileKind, SourceFile};
+use crate::{CrateInfo, Finding, Workspace};
+
+/// Names of all rules, in the order they run.
+pub const RULES: &[&str] = &[
+    "hash-iteration",
+    "wall-clock",
+    "panic",
+    "crate-attrs",
+    "cfg-balance",
+];
+
+/// Crates whose algorithm output must be independent of hash order.
+const HASH_SCOPE: &[&str] = &["rbpc-graph", "rbpc-core"];
+/// Crates allowed to read the wall clock (measurement infrastructure).
+const WALL_CLOCK_EXEMPT: &[&str] = &["rbpc-obs", "rbpc-bench"];
+/// Crates whose non-test code must be panic-free.
+const PANIC_SCOPE: &[&str] = &["rbpc-core", "rbpc-graph", "rbpc-mpls"];
+
+/// Runs every rule over the workspace, appending to `out`.
+pub fn run_all(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if HASH_SCOPE.contains(&krate.name.as_str()) {
+            hash_iteration(krate, out);
+        }
+        if !WALL_CLOCK_EXEMPT.contains(&krate.name.as_str()) {
+            wall_clock(krate, out);
+        }
+        if PANIC_SCOPE.contains(&krate.name.as_str()) {
+            panic_freedom(krate, out);
+        }
+        crate_attrs(krate, out);
+        cfg_balance(krate, out);
+    }
+}
+
+/// Lines of `file` that rules should look at: library code outside
+/// `#[cfg(test)]`, with 1-based numbering.
+fn live_lines(file: &SourceFile) -> impl Iterator<Item = (usize, &crate::scan::Line)> {
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.in_test)
+        .map(|(i, l)| (i + 1, l))
+}
+
+/// Whether byte `i` in `s` starts `needle` at an identifier boundary on
+/// the left (the right side is the caller's business — needles end in
+/// punctuation).
+fn at_boundary(s: &str, i: usize, _needle: &str) -> bool {
+    i == 0
+        || !s.as_bytes()[i - 1].is_ascii_alphanumeric()
+            && s.as_bytes()[i - 1] != b'_'
+            && s.as_bytes()[i - 1] != b':'
+}
+
+/// All start offsets of `needle` in `s` at identifier boundaries.
+fn boundary_matches<'a>(s: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    s.match_indices(needle)
+        .map(|(i, _)| i)
+        .filter(move |&i| at_boundary(s, i, needle))
+}
+
+/// Whether `needle` occurs in `s` at an identifier boundary.
+fn has_boundary_match(s: &str, needle: &str) -> bool {
+    boundary_matches(s, needle).next().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// hash-iteration
+// ---------------------------------------------------------------------------
+
+/// Iteration-order-exposing methods on hash containers.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Determinism: a `HashMap`/`HashSet` may serve keyed lookups, but
+/// iterating one in algorithm code lets the hasher's order leak into
+/// output. The scanner builds a per-file table of identifiers bound to a
+/// hash container (via `: HashMap<…>` annotations and
+/// `= HashMap::new()`-style initializers) and flags order-exposing calls
+/// on them, plus `for … in` loops over them.
+fn hash_iteration(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    for file in &krate.files {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        // Pass 1: identifiers bound to a hash container anywhere in the file.
+        let mut bound: Vec<String> = Vec::new();
+        for (_, line) in live_lines(file) {
+            let s = &line.code_nostr;
+            for ty in ["HashMap", "HashSet"] {
+                for at in boundary_matches(s, ty) {
+                    if let Some(id) = binding_ident(&s[..at]) {
+                        if !bound.contains(&id) {
+                            bound.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        // Pass 2: order-exposing uses of those identifiers.
+        for (ln, line) in live_lines(file) {
+            if file.allowed("hash-iteration", ln) {
+                continue;
+            }
+            let s = &line.code_nostr;
+            for id in &bound {
+                let mut hit = ITER_METHODS
+                    .iter()
+                    .find(|m| has_boundary_match(s, &format!("{id}{m}")))
+                    .map(|m| format!("{id}{m}"));
+                if hit.is_none() && s.contains("for ") {
+                    for pre in ["in &mut ", "in &", "in "] {
+                        let pat = format!("{pre}{id}");
+                        let looped = s.match_indices(&pat).any(|(i, _)| {
+                            let open = i == 0
+                                || s.as_bytes()[i - 1] == b' '
+                                || s.as_bytes()[i - 1] == b'(';
+                            open && ident_ends_after(s, i + pat.len())
+                        });
+                        if looped {
+                            hit = Some(format!("for … in {id}"));
+                            break;
+                        }
+                    }
+                }
+                if let Some(what) = hit {
+                    out.push(Finding {
+                        rule: "hash-iteration",
+                        path: file.path.clone(),
+                        line: ln,
+                        message: format!(
+                            "`{what}` iterates a hash container ({id} is HashMap/HashSet); \
+                             order leaks into output — use BTreeMap/BTreeSet or sort keys first"
+                        ),
+                    });
+                    break; // one finding per line is enough
+                }
+            }
+        }
+    }
+}
+
+/// Whether the identifier ending at byte `end` is not continued (so `in m`
+/// does not match `in map2`).
+fn ident_ends_after(s: &str, end: usize) -> bool {
+    s.as_bytes()
+        .get(end)
+        .is_none_or(|&c| !c.is_ascii_alphanumeric() && c != b'_')
+}
+
+/// Given text preceding a `HashMap`/`HashSet` token, extracts the
+/// identifier being bound to it: handles `name: HashMap<…>` (fields,
+/// params, let-annotations) and `name = HashMap::new()` initializers.
+/// Returns `None` for return types, generic bounds, and turbofish uses.
+fn binding_ident(before: &str) -> Option<String> {
+    let t = before.trim_end();
+    let t = t.strip_suffix(':').or_else(|| t.strip_suffix('='))?;
+    // `=` also matches `==`, `+=` … — reject those.
+    let t = t.trim_end();
+    if t.ends_with(['=', '<', '>', '!', '+', '-', '*', '/', '&', '|']) {
+        return None;
+    }
+    let id: String = t
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    // Skip keywords that can precede `:`/`=` without naming a binding.
+    if ["mut", "ref", "pub", "in", "where", "dyn", "impl"].contains(&id.as_str()) {
+        return None;
+    }
+    Some(id)
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+/// Determinism: reading the wall clock in algorithm code makes runs
+/// unreproducible; timing belongs in rbpc-obs / rbpc-bench.
+fn wall_clock(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    for file in &krate.files {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (ln, line) in live_lines(file) {
+            if file.allowed("wall-clock", ln) {
+                continue;
+            }
+            let s = &line.code_nostr;
+            for pat in ["Instant::now", "SystemTime"] {
+                // Unlike the identifier rules, a `::`-qualified path
+                // (`std::time::Instant::now()`) must still match, so only
+                // a preceding identifier character defuses the pattern.
+                let hit = s.match_indices(pat).any(|(i, _)| {
+                    i == 0 || {
+                        let b = s.as_bytes()[i - 1];
+                        !b.is_ascii_alphanumeric() && b != b'_'
+                    }
+                });
+                if hit {
+                    out.push(Finding {
+                        rule: "wall-clock",
+                        path: file.path.clone(),
+                        line: ln,
+                        message: format!(
+                            "`{pat}` in algorithm code; wall-clock reads belong in \
+                             rbpc-obs/rbpc-bench (pass timings in, don't sample them here)"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic
+// ---------------------------------------------------------------------------
+
+/// Panic-freedom: restoration code must degrade, not abort. `unwrap()` is
+/// always flagged; `expect(…)` passes only with a message starting
+/// `invariant: ` (a documented proof obligation); the `panic!` macro
+/// family is flagged outright. `assert!`/`debug_assert!` are fine — they
+/// are the sanctioned way to state invariants.
+fn panic_freedom(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    for file in &krate.files {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (ln, line) in live_lines(file) {
+            if file.allowed("panic", ln) {
+                continue;
+            }
+            let s = &line.code_nostr;
+            let mut flag = |what: &str, hint: &str| {
+                out.push(Finding {
+                    rule: "panic",
+                    path: file.path.clone(),
+                    line: ln,
+                    message: format!("`{what}` in non-test code; {hint}"),
+                })
+            };
+            if s.contains(".unwrap()") {
+                flag(
+                    ".unwrap()",
+                    "return a typed error or use expect(\"invariant: …\") with a proof",
+                );
+                continue;
+            }
+            for mac in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+                if boundary_matches(s, mac).next().is_some() {
+                    flag(mac.trim_end_matches('('), "restoration code must not abort");
+                    break;
+                }
+            }
+            if s.contains(".expect(") {
+                // Detect via the blanked form (so a string mentioning
+                // `.expect(` can't trip it), but read the message from the
+                // string-preserving form; rustfmt may wrap the literal onto
+                // the next line. The two forms can differ in byte offsets
+                // (multi-byte chars blank to one space), so re-find here.
+                let at = line.code.find(".expect(").unwrap_or(0);
+                let after = line.code[at + ".expect(".len()..].trim_start();
+                let msg = if after.is_empty() {
+                    file.lines
+                        .get(ln) // ln is 1-based: this is the next line
+                        .map(|l| l.code.trim_start().to_string())
+                        .unwrap_or_default()
+                } else {
+                    after.to_string()
+                };
+                if !msg.starts_with("\"invariant: ") {
+                    flag(
+                        ".expect(…)",
+                        "message must start with \"invariant: \" and state why it cannot fail",
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// crate-attrs
+// ---------------------------------------------------------------------------
+
+/// Hygiene: every crate root must carry `#![forbid(unsafe_code)]` and
+/// `#![deny(missing_docs)]` so neither can regress silently.
+fn crate_attrs(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    let Some(root) = krate.root_file.map(|i| &krate.files[i]) else {
+        out.push(Finding {
+            rule: "crate-attrs",
+            path: format!("{}/Cargo.toml", krate.dir),
+            line: 1,
+            message: "crate has no src/lib.rs or src/main.rs to carry crate attributes".into(),
+        });
+        return;
+    };
+    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        let present = root.lines.iter().any(|l| l.code_nostr.contains(attr));
+        if !present && !root.lines.is_empty() {
+            out.push(Finding {
+                rule: "crate-attrs",
+                path: root.path.clone(),
+                line: 1,
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cfg-balance
+// ---------------------------------------------------------------------------
+
+/// Hygiene: every `#[cfg(feature = "x")]` in library code needs a
+/// `#[cfg(not(feature = "x"))]` twin (so `--no-default-features` swaps in
+/// a no-op instead of deleting the item), and every feature named in any
+/// cfg must be declared in the crate's `[features]` table.
+fn cfg_balance(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    for file in &krate.files {
+        // (feature, positive count, negative count, first line)
+        let mut seen: Vec<(String, usize, usize, usize)> = Vec::new();
+        for (ln, line) in live_lines(file) {
+            if file.allowed("cfg-balance", ln) {
+                continue;
+            }
+            // Feature names are string literals, so parse the
+            // string-preserving form (comments are still stripped).
+            let s = &line.code;
+            for (feat, negated) in cfg_features(s) {
+                if !krate.features.contains(&feat) {
+                    out.push(Finding {
+                        rule: "cfg-balance",
+                        path: file.path.clone(),
+                        line: ln,
+                        message: format!(
+                            "cfg references feature \"{feat}\" which {} does not declare",
+                            krate.name
+                        ),
+                    });
+                }
+                // Balance is only meaningful for items compiled into the
+                // library; tests/benches pick one side by design, and
+                // `cfg_attr` is intrinsically optional.
+                if file.kind == FileKind::Lib && !s.contains("cfg_attr") {
+                    match seen.iter_mut().find(|(f, ..)| *f == feat) {
+                        Some(e) => {
+                            if negated {
+                                e.2 += 1
+                            } else {
+                                e.1 += 1
+                            }
+                        }
+                        None => seen.push((feat, usize::from(!negated), usize::from(negated), ln)),
+                    }
+                }
+            }
+        }
+        for (feat, pos, neg, ln) in seen {
+            if pos != neg {
+                out.push(Finding {
+                    rule: "cfg-balance",
+                    path: file.path.clone(),
+                    line: ln,
+                    message: format!(
+                        "unbalanced gates for feature \"{feat}\": {pos}× cfg(feature) vs \
+                         {neg}× cfg(not(feature)) — a --no-default-features build diverges"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts `(feature_name, negated)` pairs from `#[cfg(...)]` /
+/// `#![cfg(...)]` / `#[cfg_attr(...)]` attributes on one line.
+fn cfg_features(s: &str) -> Vec<(String, bool)> {
+    let mut found = Vec::new();
+    if !s.contains("cfg(") && !s.contains("cfg_attr(") {
+        return found;
+    }
+    let mut rest = s;
+    while let Some(at) = rest.find("feature") {
+        let tail = rest[at + "feature".len()..].trim_start();
+        if let Some(tail) = tail.strip_prefix('=') {
+            let tail = tail.trim_start();
+            if let Some(tail) = tail.strip_prefix('"') {
+                if let Some(end) = tail.find('"') {
+                    let negated = rest[..at].contains("not(");
+                    found.push((tail[..end].to_string(), negated));
+                }
+            }
+        }
+        rest = &rest[at + "feature".len()..];
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_ident_extracts_fields_and_lets() {
+        assert_eq!(binding_ident("    by_pair: "), Some("by_pair".into()));
+        assert_eq!(binding_ident("let mut cache = "), Some("cache".into()));
+        assert_eq!(binding_ident("pub fn f() -> "), None);
+        assert_eq!(binding_ident("x == "), None);
+        assert_eq!(binding_ident("impl "), None);
+    }
+
+    #[test]
+    fn cfg_features_parses_both_polarities() {
+        assert_eq!(
+            cfg_features("#[cfg(feature = \"obs\")]"),
+            vec![("obs".into(), false)]
+        );
+        assert_eq!(
+            cfg_features("#[cfg(not(feature = \"obs\"))]"),
+            vec![("obs".into(), true)]
+        );
+        assert!(cfg_features("let feature = 3;").is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! Source model: turning a `.rs` file into analyzable lines.
+//!
+//! The analyzer deliberately avoids a real Rust parser — it must stay
+//! dependency-free and robust to code it cannot fully understand. Instead
+//! each file is run through a character-level state machine that tracks
+//! comments (line, nested block), string literals (plain, raw, byte),
+//! and char literals, producing per line:
+//!
+//! * `code` — the line with comments removed but string contents kept
+//!   (rules that inspect message literals, like the `panic` rule's
+//!   `expect("invariant: …")` exemption, read this);
+//! * `code_nostr` — comments removed **and** string/char contents blanked
+//!   (structural rules match against this so a string mentioning
+//!   `HashMap.iter()` cannot trip them);
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item, found
+//!   by brace tracking from the attribute;
+//! * `allows` — rule names granted by a `// lint:allow(rule, …)` escape
+//!   hatch on this line (an allow also covers the following line, so it
+//!   can sit above the offending statement).
+
+/// How a file participates in the build — test-ish targets are exempt from
+/// the behavioral rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of the crate's library or binary (`src/**`).
+    Lib,
+    /// Integration tests, benches, examples — panic/determinism rules do
+    /// not apply.
+    Test,
+}
+
+/// One analyzed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The original text.
+    pub raw: String,
+    /// Comments stripped, string contents preserved.
+    pub code: String,
+    /// Comments stripped and string/char contents blanked with spaces.
+    pub code_nostr: String,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Rules explicitly allowed on this line via `lint:allow(...)`.
+    pub allows: Vec<String>,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Library or test-ish target.
+    pub kind: FileKind,
+    /// The analyzed lines, in order.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state carried across characters (and lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lex {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    Str,
+    /// Raw string with `n` `#` marks: ends at `"` followed by `n` `#`.
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Scans `text` into a [`SourceFile`]. `path` is stored verbatim.
+    pub fn scan(path: &str, kind: FileKind, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut lex = Lex::Code;
+        for raw in text.lines() {
+            let (code, code_nostr, next) = strip_line(raw, lex);
+            lex = next;
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                code_nostr,
+                in_test: false,
+                allows: parse_allows(raw),
+            });
+        }
+        mark_test_regions(&mut lines);
+        SourceFile {
+            path: path.to_string(),
+            kind,
+            lines,
+        }
+    }
+
+    /// Whether `rule` is allowed on 1-based line `line` (an allow on the
+    /// preceding line also counts).
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        let hit = |i: usize| {
+            self.lines
+                .get(i)
+                .is_some_and(|l| l.allows.iter().any(|a| a == rule))
+        };
+        hit(line.wrapping_sub(1)) || (line >= 2 && hit(line - 2))
+    }
+}
+
+/// Extracts rule names from a `lint:allow(a, b)` marker, if any.
+fn parse_allows(raw: &str) -> Vec<String> {
+    let Some(at) = raw.find("lint:allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw[at + "lint:allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Strips comments (and, for the second output, string contents) from one
+/// line, starting in lexer state `lex`; returns both forms plus the state
+/// at end of line.
+fn strip_line(raw: &str, mut lex: Lex) -> (String, String, Lex) {
+    let b = raw.as_bytes();
+    let mut code = String::with_capacity(raw.len());
+    let mut nostr = String::with_capacity(raw.len());
+    let mut i = 0;
+    // Pushes a char to both outputs, blanking it in `nostr` if `blank`.
+    macro_rules! put {
+        ($c:expr, $blank:expr) => {{
+            code.push($c);
+            nostr.push(if $blank { ' ' } else { $c });
+        }};
+    }
+    while i < b.len() {
+        let c = b[i] as char;
+        match lex {
+            Lex::Block(depth) => {
+                if c == '*' && b.get(i + 1) == Some(&b'/') {
+                    lex = if depth == 1 {
+                        Lex::Code
+                    } else {
+                        Lex::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&b'*') {
+                    lex = Lex::Block(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Lex::Str => {
+                if c == '\\' {
+                    put!('\\', true);
+                    if let Some(&n) = b.get(i + 1) {
+                        put!(n as char, true);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    put!('"', false);
+                    lex = Lex::Code;
+                    i += 1;
+                } else {
+                    put!(c, true);
+                    i += 1;
+                }
+            }
+            Lex::RawStr(hashes) => {
+                if c == '"' && raw[i + 1..].starts_with(&"#".repeat(hashes as usize)) {
+                    put!('"', false);
+                    for _ in 0..hashes {
+                        put!('#', false);
+                    }
+                    i += 1 + hashes as usize;
+                    lex = Lex::Code;
+                } else {
+                    put!(c, true);
+                    i += 1;
+                }
+            }
+            Lex::Code => {
+                if c == '/' && b.get(i + 1) == Some(&b'/') {
+                    break; // line comment: drop the rest
+                }
+                if c == '/' && b.get(i + 1) == Some(&b'*') {
+                    lex = Lex::Block(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    put!('"', false);
+                    lex = Lex::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw (byte) strings: r"…", r#"…"#, br#"…"#.
+                if c == 'r' && !prev_is_ident(&code) {
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        put!('r', false);
+                        for _ in 0..hashes {
+                            put!('#', false);
+                        }
+                        put!('"', false);
+                        i = j + 1;
+                        lex = Lex::RawStr(hashes);
+                        continue;
+                    }
+                }
+                // Char literals: skip 'x' or '\…' so a '{' or '"' inside
+                // one cannot confuse the tracker. A lone `'` (lifetime)
+                // passes through.
+                if c == '\'' {
+                    if b.get(i + 1) == Some(&b'\\') {
+                        if let Some(close) = raw[i + 2..].find('\'') {
+                            for ch in raw[i..i + 3 + close].chars() {
+                                put!(ch, true);
+                            }
+                            i += 3 + close;
+                            continue;
+                        }
+                    } else if b.get(i + 2) == Some(&b'\'') {
+                        put!('\'', true);
+                        put!(b[i + 1] as char, true);
+                        put!('\'', true);
+                        i += 3;
+                        continue;
+                    }
+                }
+                put!(c, false);
+                i += 1;
+            }
+        }
+    }
+    // A line comment never carries over to the next line.
+    (code, nostr, lex)
+}
+
+/// Whether the last char of `s` continues an identifier (so the `r` of
+/// `ref r` is not taken for a raw-string prefix, but `for` / `var` are).
+fn prev_is_ident(s: &str) -> bool {
+    s.chars()
+        .last()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` items by brace tracking: from the
+/// attribute, everything up to the close of the item's first brace block
+/// (or the terminating `;` for brace-less items) is test code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    // `pending` = saw the attribute, waiting for the item's `{`.
+    let mut pending = false;
+    // Depth at which the active test region's block was opened.
+    let mut region_open: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let has_cfg_test =
+            line.code_nostr.contains("#[cfg(test)]") || line.code_nostr.contains("#[cfg(all(test");
+        if has_cfg_test && region_open.is_none() {
+            pending = true;
+        }
+        let in_region_before = region_open.is_some();
+        let mut this_line_test = pending || in_region_before;
+        for c in line.code_nostr.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region_open = Some(depth);
+                        pending = false;
+                        this_line_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_open == Some(depth) {
+                        region_open = None;
+                    }
+                }
+                // `#[cfg(test)] use …;` — a brace-less item ends here.
+                ';' if pending && region_open.is_none() => {
+                    pending = false;
+                    this_line_test = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = this_line_test || region_open.is_some() || in_region_before;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> SourceFile {
+        SourceFile::scan("t.rs", FileKind::Lib, text)
+    }
+
+    #[test]
+    fn line_comments_are_stripped_strings_kept() {
+        let f = scan("let x = \"a // not a comment\"; // real comment");
+        assert_eq!(f.lines[0].code, "let x = \"a // not a comment\"; ");
+        assert_eq!(f.lines[0].code_nostr, "let x = \"                  \"; ");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan("a /* x /* y */ z */ b\n/* open\nstill */ tail");
+        assert_eq!(f.lines[0].code, "a  b");
+        assert_eq!(f.lines[1].code, "");
+        assert_eq!(f.lines[2].code, " tail");
+    }
+
+    #[test]
+    fn raw_strings_do_not_hide_code() {
+        let f = scan("let j = r#\"{ \"k\": 1 }\"#; j.iter()");
+        assert!(f.lines[0].code_nostr.contains("j.iter()"));
+        assert!(!f.lines[0].code_nostr.contains("\"k\""));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_tracking() {
+        let f = scan("if c == '{' { x('\\n'); }");
+        // Exactly one real open and one real close brace survive.
+        let opens = f.lines[0].code_nostr.matches('{').count();
+        assert_eq!(opens, 1);
+    }
+
+    #[test]
+    fn cfg_test_region_is_masked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let f = scan(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_braceless_item_only_masks_itself() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}";
+        let f = scan(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+
+    #[test]
+    fn allows_cover_same_and_next_line() {
+        let src = "// lint:allow(panic, wall-clock)\nx.unwrap();\ny.unwrap();";
+        let f = scan(src);
+        assert!(f.allowed("panic", 1));
+        assert!(f.allowed("panic", 2));
+        assert!(f.allowed("wall-clock", 2));
+        assert!(!f.allowed("panic", 3));
+        assert!(!f.allowed("hash-iteration", 2));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let f = scan("/// x.unwrap() in a doc\n//! Instant::now()\nlet a = 1;");
+        assert_eq!(f.lines[0].code, "");
+        assert_eq!(f.lines[1].code, "");
+        assert_eq!(f.lines[2].code, "let a = 1;");
+    }
+}

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! Clean fixture: the disciplined twin of the violations workspace.
+
+use std::collections::BTreeMap;
+
+/// Deterministic iteration via an ordered map.
+pub fn in_order(by_pair: &BTreeMap<u32, u32>) -> Vec<u32> {
+    by_pair.values().copied().collect()
+}
+
+/// A justified `expect` carrying a documented proof obligation.
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().expect("invariant: callers pass nonempty slices")
+}
+
+/// Feature-gated pair: the instrumented side.
+#[cfg(feature = "obs")]
+pub fn gated() -> bool {
+    true
+}
+
+/// Feature-gated pair: the no-op side.
+#[cfg(not(feature = "obs"))]
+pub fn gated() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

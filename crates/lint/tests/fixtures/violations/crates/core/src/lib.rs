@@ -1,0 +1,50 @@
+// Seeded violations for every rbpc-lint rule. This file is never
+// compiled; the integration tests assert the exact findings it trips.
+// Missing crate attrs here → 2× crate-attrs.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn leak_order(by_pair: HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_, v) in by_pair.iter() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn sample_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("should not happen")
+}
+
+pub fn boom() {
+    panic!("nope");
+}
+
+pub fn allowed_boom() {
+    // lint:allow(panic) — fixture: the line-level escape hatch works
+    panic!("allowed");
+}
+
+#[cfg(feature = "obs")]
+pub fn gated() {}
+
+#[cfg(feature = "missing")]
+pub fn ghost() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1).unwrap();
+        let _ = std::time::Instant::now();
+    }
+}

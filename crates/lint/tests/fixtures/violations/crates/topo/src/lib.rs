@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! Out-of-scope crate: `unwrap()` and hash iteration are legal here
+//! (fixture-topo is in neither the panic nor the hash-iteration scope),
+//! but the wall clock is still off-limits.
+
+use std::collections::HashSet;
+
+/// Not flagged: this crate is outside the panic and hash scopes.
+pub fn out_of_scope(set: HashSet<u32>) -> u32 {
+    set.iter().copied().max().unwrap()
+}
+
+/// Flagged: wall-clock applies to every non-measurement crate.
+pub fn still_flagged() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,101 @@
+//! Integration tests: the five rules against the seeded fixture
+//! workspaces under `tests/fixtures/`, plus the binary's exit codes —
+//! non-zero on the violations fixture, zero on the clean one.
+
+use rbpc_lint::{Allowlist, Finding, Workspace};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check(name: &str, allow: &Allowlist) -> Vec<Finding> {
+    Workspace::load(&fixture(name))
+        .expect("fixture workspace loads")
+        .check(allow)
+}
+
+#[test]
+fn violations_fixture_trips_every_rule() {
+    let findings = check("violations", &Allowlist::default());
+    let count = |rule: &str| findings.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(count("crate-attrs"), 2, "{findings:#?}");
+    assert_eq!(count("hash-iteration"), 1, "{findings:#?}");
+    assert_eq!(count("wall-clock"), 2, "{findings:#?}");
+    assert_eq!(count("panic"), 3, "{findings:#?}");
+    assert_eq!(count("cfg-balance"), 3, "{findings:#?}");
+    assert_eq!(findings.len(), 11, "{findings:#?}");
+}
+
+#[test]
+fn scoping_exempts_out_of_scope_crates_and_test_code() {
+    let findings = check("violations", &Allowlist::default());
+    // fixture-topo is outside the panic/hash scopes: only its wall-clock
+    // read may be reported.
+    assert!(findings
+        .iter()
+        .filter(|f| f.path.starts_with("crates/topo/"))
+        .all(|f| f.rule == "wall-clock"));
+    // The `#[cfg(test)]` module's unwrap/Instant::now never surface.
+    assert!(!findings.iter().any(|f| f.line >= 42));
+    // The `// lint:allow(panic)` line is suppressed: exactly one panic!
+    // finding (fn boom), none for fn allowed_boom.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.message.contains("`panic!`"))
+            .count(),
+        1,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_whole_files() {
+    let full = check("violations", &Allowlist::default()).len();
+    let findings = check(
+        "violations",
+        &Allowlist::parse("* crates/core/src/lib.rs\n"),
+    );
+    assert!(findings.len() < full);
+    assert!(findings.iter().all(|f| f.path != "crates/core/src/lib.rs"));
+    // A single-rule entry keeps the other rules' findings.
+    let findings = check(
+        "violations",
+        &Allowlist::parse("panic crates/core/src/lib.rs\n"),
+    );
+    assert!(!findings.iter().any(|f| f.rule == "panic"));
+    assert!(findings.iter().any(|f| f.rule == "hash-iteration"));
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    assert_eq!(check("clean", &Allowlist::default()), vec![]);
+}
+
+#[test]
+fn binary_exit_codes_gate_on_findings() {
+    let bin = env!("CARGO_BIN_EXE_rbpc-lint");
+    let bad = Command::new(bin)
+        .arg(fixture("violations"))
+        .output()
+        .expect("run rbpc-lint");
+    assert!(
+        !bad.status.success(),
+        "violations fixture must fail:\n{}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    let good = Command::new(bin)
+        .arg(fixture("clean"))
+        .output()
+        .expect("run rbpc-lint");
+    assert!(
+        good.status.success(),
+        "clean fixture must pass:\n{}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+    assert!(String::from_utf8_lossy(&good.stdout).contains("rbpc-lint: OK"));
+}

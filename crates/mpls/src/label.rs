@@ -117,7 +117,10 @@ impl LabelStack {
     /// Panics if the stack is empty — swapping on an empty stack is a
     /// forwarding bug, caught eagerly.
     pub fn swap(&mut self, label: Label) -> Label {
-        let old = self.labels.pop().expect("swap on empty label stack");
+        let old = self
+            .labels
+            .pop()
+            .expect("invariant: swap requires a nonempty label stack");
         self.labels.push(label);
         old
     }
@@ -168,7 +171,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "swap on empty label stack")]
+    #[should_panic(expected = "invariant: swap requires a nonempty label stack")]
     fn swap_on_empty_panics() {
         let mut s = LabelStack::new();
         s.swap(Label::new(1));

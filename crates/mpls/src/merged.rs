@@ -169,7 +169,8 @@ impl MplsNetwork {
                     let next = self.graph().edge(out).other(NodeId::new(r));
                     IlmOp::SwapAndForward {
                         out,
-                        next_label: labels[next.index()].expect("next hop routers participate"),
+                        next_label: labels[next.index()]
+                            .expect("invariant: next-hop routers participate"),
                     }
                 }
                 None => IlmOp::PopAndContinue,

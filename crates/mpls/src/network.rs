@@ -49,7 +49,7 @@ impl LspRecord {
     /// this label at the ingress sends a packet down the LSP — the
     /// concatenation primitive.
     pub fn entry_label(&self) -> Label {
-        self.labels[0].expect("ingress always holds a label")
+        self.labels[0].expect("invariant: ingress always holds a label")
     }
 
     /// The incoming label of this LSP at `node`, if `node` is on the path
@@ -237,7 +237,7 @@ impl MplsNetwork {
             } else {
                 IlmOp::SwapAndForward {
                     out: path.edges()[i],
-                    next_label: labels[i + 1].expect("non-egress holds a label"),
+                    next_label: labels[i + 1].expect("invariant: non-egress holds a label"),
                 }
             };
             self.routers[node.index()].install_ilm(label, IlmEntry { op });
@@ -585,7 +585,7 @@ impl MplsNetwork {
             if ops > ttl {
                 return Err(ForwardError::TtlExceeded { ttl });
             }
-            let label = stack.top().expect("nonempty stack has a top");
+            let label = stack.top().expect("invariant: nonempty stack has a top");
             let entry = self.routers[at.index()]
                 .ilm(label)
                 .ok_or(ForwardError::NoIlmEntry { router: at, label })?;

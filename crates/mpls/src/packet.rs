@@ -59,7 +59,7 @@ impl ForwardTrace {
 
     /// The router the packet ended at.
     pub fn last(&self) -> NodeId {
-        *self.route.last().expect("traces start nonempty")
+        *self.route.last().expect("invariant: traces start nonempty")
     }
 }
 

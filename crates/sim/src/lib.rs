@@ -24,7 +24,7 @@
 //! `docs/ARCHITECTURE.md` shows how the crates fit together.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod churn;
 mod flow;

@@ -202,6 +202,15 @@ pub fn outage_under<O: BasePathOracle>(
         }
         Scheme::SourceRbpc => {
             let r = restorer.restore(s, t, failures)?;
+            // The label stack the source router would push must respect
+            // the paper's depth bound (edge-only failure sets).
+            debug_assert!(
+                failures.failed_node_count() > 0
+                    || r.concatenation
+                        .validate_bounds(failures.failed_edge_count())
+                        .is_ok(),
+                "simulated restoration violates the Theorem 2 stack bound"
+            );
             let aware = source_aware.ok_or(RestoreError::Disconnected {
                 source: s,
                 target: t,

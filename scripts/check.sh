@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+if [[ "${SKIP_LINT:-0}" = "1" ]]; then
+    echo "== rbpc-lint skipped (SKIP_LINT=1)"
+else
+    echo "== rbpc-lint (determinism / panic-freedom / hygiene rules)"
+    cargo run -q -p rbpc-lint
+fi
+
 echo "== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

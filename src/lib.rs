@@ -22,6 +22,9 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use rbpc_core as core;
 pub use rbpc_eval as eval;
 pub use rbpc_graph as graph;

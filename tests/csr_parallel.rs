@@ -4,7 +4,11 @@
 //! counts {1, 2, 8} must be **bit-identical** to the sequential
 //! [`shortest_path_tree`] over the `Vec<Vec>` adjacency — same perturbed
 //! distances, same parents, same hop counts — with and without random
-//! failure sets. Uses the in-tree [`DetRng`], so it runs in offline builds.
+//! failure sets. Every CSR graph and tree built here must also pass the
+//! structural validators ([`CsrGraph::validate`] /
+//! [`CsrGraph::validate_tree`]), so the invariant layer is exercised in
+//! release builds where `debug_assert!` compiles out. Uses the in-tree
+//! [`DetRng`], so it runs in offline builds.
 //!
 //! `scripts/check.sh` runs this suite as the release-mode determinism
 //! gate (its thread loops include the 2-thread configuration the CI box
@@ -54,11 +58,23 @@ fn assert_family_deterministic(name: &str, graph: &Graph, metric: Metric, seed: 
         .map(|&s| shortest_path_tree(graph, &model, s))
         .collect();
     let csr = CsrGraph::new(graph, &model);
+    // Structural invariants hold on every family (direct calls, not
+    // `debug_assert!`: check.sh runs this suite in release mode).
+    assert_eq!(
+        csr.validate(),
+        Ok(()),
+        "{name}: CSR invariants, seed {seed}"
+    );
     let mut scratch = DijkstraScratch::new(graph.node_count());
     for (i, &s) in sources.iter().enumerate() {
+        let tree = csr.full_tree(s, &mut scratch);
         assert_eq!(
-            csr.full_tree(s, &mut scratch),
-            want[i],
+            csr.validate_tree(&tree, None),
+            Ok(()),
+            "{name}: tree invariants at source {s:?}, seed {seed}"
+        );
+        assert_eq!(
+            tree, want[i],
             "{name}: CSR tree diverged at source {s:?}, seed {seed}"
         );
     }
@@ -86,9 +102,14 @@ fn assert_family_deterministic(name: &str, graph: &Graph, metric: Metric, seed: 
             .collect();
         let mask = FailureMask::from_set(&csr, &failures);
         for (i, &s) in sources.iter().enumerate() {
+            let tree = csr.full_tree_masked(s, Some(&mask), &mut scratch);
             assert_eq!(
-                csr.full_tree_masked(s, Some(&mask), &mut scratch),
-                want[i],
+                csr.validate_tree(&tree, Some(&mask)),
+                Ok(()),
+                "{name}: masked tree invariants at source {s:?}, seed {seed}"
+            );
+            assert_eq!(
+                tree, want[i],
                 "{name}: masked CSR tree diverged at source {s:?}, seed {seed}"
             );
         }
