@@ -15,6 +15,11 @@
 //! protocol (200 pairs on the ISP, 40 on the large graphs), parallelized
 //! with std scoped threads; everything is deterministic per seed.
 //!
+//! Beyond the paper's artifacts, [`mod@loadtest`] drives paced restore
+//! queries under deterministic failure storms and reports per-window
+//! latency quantiles, restored/dropped counts, and concatenation-depth
+//! distributions as live JSONL (the `rbpc-eval loadtest` subcommand).
+//!
 //! The full paper-to-code map (theorems, figures, tables -> modules and
 //! tests) is in `docs/PAPER_MAP.md` at the repository root;
 //! `docs/ARCHITECTURE.md` shows how the crates fit together.
@@ -24,6 +29,7 @@
 
 pub mod ablation;
 pub mod figure10;
+pub mod loadtest;
 pub mod report;
 pub mod sampling;
 pub mod suite;
@@ -36,6 +42,7 @@ pub use ablation::{
     DecompositionAgreement, KspRow, ProtectionCoverage, ProvisioningFootprint,
 };
 pub use figure10::{figure10, Figure10, StretchHistogram};
+pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport, WindowStats};
 pub use report::{format_table, Csv};
 pub use sampling::sample_pairs;
 pub use suite::{standard_suite, AnyOracle, EvalScale, NetworkCase};

@@ -26,6 +26,14 @@
 //! network and prints one human-readable span tree per affected LSP and
 //! scheme, with the critical path marked `*`.
 //!
+//! Live telemetry: the `loadtest` command drives paced restore queries
+//! under a deterministic failure storm, emitting one JSONL window report
+//! per line (latency quantiles, restored/dropped, concatenation depth)
+//! plus a final summary table; `--serve ADDR` exposes `/metrics` +
+//! `/healthz` in Prometheus text format while any command runs, and
+//! `--profile-out FILE` samples the `obs_span!` stacks into a
+//! collapsed-stack (flamegraph) file.
+//!
 //! Validation: the `validate` command runs the runtime half of the
 //! `rbpc-lint` invariant layer over every suite network — CSR structural
 //! invariants ([`CsrGraph::validate`]), shortest-path-tree optimality and
@@ -37,6 +45,7 @@
 use rbpc_core::{BasePathOracle, Restorer};
 use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
+    LoadtestConfig,
 };
 use rbpc_graph::{
     CostModel, CsrGraph, DetRng, DijkstraScratch, EdgeId, FailureMask, FailureSet, NodeId,
@@ -60,14 +69,23 @@ struct Args {
     trace_out: Option<PathBuf>,
     failures: usize,
     events: usize,
+    windows: Option<u64>,
+    window_ms: Option<u64>,
+    queries: Option<usize>,
+    out: Option<PathBuf>,
+    serve: Option<String>,
+    smoke: bool,
+    profile_out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|validate|all>\n\
+    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|loadtest|validate|all>\n\
      \x20         [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]\n\
      \x20         [--topology FILE --metric weighted|unweighted]\n\
-     \x20         [--metrics-out FILE] [--events-out FILE]\n\
+     \x20         [--metrics-out FILE] [--events-out FILE] [--profile-out FILE]\n\
      \x20         [--trace-out FILE] [--failures K] [--events N]\n\
+     \x20         [--windows N] [--window-ms MS] [--queries N] [--out FILE]\n\
+     \x20         [--serve ADDR] [--smoke]\n\
      \n\
      commands:\n\
      \x20 table1    network suite summary (Table 1)\n\
@@ -78,9 +96,12 @@ fn usage() -> &'static str {
      \x20 ablation  provisioning footprint, k-SP comparison, coverage\n\
      \x20 churn     failure/recovery sequence, restorations per event\n\
      \x20 trace     inject a K-link failure and print per-LSP span trees\n\
+     \x20 loadtest  paced restore queries under a deterministic failure\n\
+     \x20           storm; one JSONL window report per line, live\n\
      \x20 validate  machine-check structural invariants and theory bounds\n\
      \x20           on every suite network (non-zero exit on violation)\n\
-     \x20 all       every artifact above except `churn`, `trace`, `validate`\n\
+     \x20 all       every artifact above except `churn`, `trace`,\n\
+     \x20           `loadtest`, `validate`\n\
      \n\
      provisioning:\n\
      \x20 --threads N       worker threads for dense oracle provisioning and\n\
@@ -92,7 +113,18 @@ fn usage() -> &'static str {
      \x20                   restoration (open in ui.perfetto.dev)\n\
      \x20 --failures K      links the `trace` command fails simultaneously;\n\
      \x20                   also the `churn` concurrent-failure cap (default 2)\n\
-     \x20 --events N        length of the `churn` event sequence (default 40)"
+     \x20 --events N        length of the `churn` event sequence (default 40)\n\
+     \n\
+     loadtest & telemetry:\n\
+     \x20 --windows N       windows to drive (default 24; 6 with --smoke)\n\
+     \x20 --window-ms MS    window length in ms (default 100; 5 with --smoke)\n\
+     \x20 --queries N       restore queries per window (default 200; 25 smoke)\n\
+     \x20 --out FILE        write the per-window JSONL there (default stdout)\n\
+     \x20 --serve ADDR      serve /metrics + /healthz on ADDR while running,\n\
+     \x20                   e.g. 127.0.0.1:9100 (needs the obs-net feature)\n\
+     \x20 --smoke           tiny topology + short windows: sub-second CI run\n\
+     \x20 --profile-out FILE  sample the span stacks of any command into a\n\
+     \x20                   collapsed-stack (flamegraph) file"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -111,6 +143,13 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut failures = 2usize;
     let mut events = 40usize;
+    let mut windows = None;
+    let mut window_ms = None;
+    let mut queries = None;
+    let mut out = None;
+    let mut serve = None;
+    let mut smoke = false;
+    let mut profile_out = None;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -143,6 +182,33 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--events must be at least 1".to_string());
                 }
             }
+            "--windows" => {
+                let n: u64 = value()?.parse().map_err(|e| format!("bad windows: {e}"))?;
+                if n == 0 {
+                    return Err("--windows must be at least 1".to_string());
+                }
+                windows = Some(n);
+            }
+            "--window-ms" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("bad window-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--window-ms must be at least 1".to_string());
+                }
+                window_ms = Some(ms);
+            }
+            "--queries" => {
+                let n: usize = value()?.parse().map_err(|e| format!("bad queries: {e}"))?;
+                if n == 0 {
+                    return Err("--queries must be at least 1".to_string());
+                }
+                queries = Some(n);
+            }
+            "--out" => out = Some(PathBuf::from(value()?)),
+            "--serve" => serve = Some(value()?),
+            "--smoke" => smoke = true,
+            "--profile-out" => profile_out = Some(PathBuf::from(value()?)),
             "--metric" => {
                 metric = match value()?.as_str() {
                     "weighted" => rbpc_graph::Metric::Weighted,
@@ -166,6 +232,13 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         failures,
         events,
+        windows,
+        window_ms,
+        queries,
+        out,
+        serve,
+        smoke,
+        profile_out,
     })
 }
 
@@ -223,6 +296,12 @@ fn main() -> ExitCode {
     if args.trace_out.is_some() || args.command == "trace" {
         rbpc_obs::start_tracing();
     }
+    // Span-stack sampler: started before any work so provisioning and the
+    // command body are both profiled; drained in `finish_observability`.
+    let profiler = args
+        .profile_out
+        .as_ref()
+        .map(|_| rbpc_obs::Profiler::start(std::time::Duration::from_micros(200)));
     if let Some(path) = &args.events_out {
         match rbpc_obs::JsonlSink::create(path) {
             Ok(sink) => {
@@ -490,6 +569,78 @@ fn main() -> ExitCode {
         }
     };
 
+    // Live telemetry: paced restore queries under a failure storm, one
+    // JSONL window report per line while the run is in flight. `--smoke`
+    // swaps in a tiny deterministic topology for sub-second CI runs;
+    // `--serve` exposes /metrics + /healthz for the duration.
+    let run_loadtest_cmd = || -> Result<(), String> {
+        let (name, graph, metric) = if args.smoke {
+            (
+                "smoke-gnm-60".to_string(),
+                rbpc_topo::gnm_connected(60, 180, 10, args.seed),
+                rbpc_graph::Metric::Weighted,
+            )
+        } else {
+            let case = &suite[0];
+            (case.name.clone(), case.graph.clone(), case.metric)
+        };
+        let mut cfg = if args.smoke {
+            LoadtestConfig::smoke()
+        } else {
+            LoadtestConfig::standard()
+        };
+        if let Some(w) = args.windows {
+            cfg.windows = w;
+        }
+        if let Some(ms) = args.window_ms {
+            cfg.window_ms = ms;
+        }
+        if let Some(q) = args.queries {
+            cfg.queries_per_window = q;
+        }
+        cfg.seed = args.seed;
+        cfg.threads = args.threads;
+        eprintln!(
+            "# loadtest: {name} — {} windows x {}ms, {} queries/window",
+            cfg.windows, cfg.window_ms, cfg.queries_per_window
+        );
+        let server = match args.serve.as_deref().map(rbpc_obs::MetricsServer::serve) {
+            Some(Ok(s)) => {
+                eprintln!("# serving metrics on http://{}/metrics", s.local_addr());
+                Some(s)
+            }
+            Some(Err(e)) => {
+                eprintln!("warning: cannot serve metrics: {e}");
+                None
+            }
+            None => None,
+        };
+        let report = match &args.out {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                let mut w = std::io::BufWriter::new(file);
+                let r = rbpc_eval::run_loadtest(&graph, metric, &cfg, &mut w)
+                    .map_err(|e| format!("loadtest: {e}"))?;
+                eprintln!("# wrote {} ({} windows)", path.display(), r.windows.len());
+                r
+            }
+            None => {
+                let stdout = std::io::stdout();
+                let mut w = stdout.lock();
+                rbpc_eval::run_loadtest(&graph, metric, &cfg, &mut w)
+                    .map_err(|e| format!("loadtest: {e}"))?
+            }
+        };
+        eprintln!();
+        eprintln!("== loadtest summary ==");
+        eprint!("{}", report.render());
+        if let Some(s) = server {
+            s.shutdown();
+        }
+        Ok(())
+    };
+
     // Runtime half of the rbpc-lint invariant layer: every structural
     // validator, run over the real suite networks in a release build
     // (where the `debug_assert!` wiring compiles out). Returns the number
@@ -611,6 +762,13 @@ fn main() -> ExitCode {
         "ablation" => run_ablation(),
         "churn" => run_churn(),
         "trace" => run_trace(),
+        "loadtest" => {
+            if let Err(e) = run_loadtest_cmd() {
+                eprintln!("error: {e}");
+                finish_observability(&args, drained_spans.into_inner(), profiler);
+                return ExitCode::FAILURE;
+            }
+        }
         "validate" => validate_violations = run_validate(),
         "all" => {
             run_t1();
@@ -626,17 +784,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    finish_observability(&args, drained_spans.into_inner());
+    finish_observability(&args, drained_spans.into_inner(), profiler);
     if validate_violations > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-/// Drains the event sink, exports collected trace spans, and dumps the
-/// metric registry: JSON to `--metrics-out` if given, and a human-readable
-/// summary to stderr.
-fn finish_observability(args: &Args, mut spans: Vec<rbpc_obs::SpanRecord>) {
+/// Drains the event sink, exports collected trace spans, stops the
+/// span-stack profiler (writing its collapsed-stack report to
+/// `--profile-out`), and dumps the metric registry: JSON to
+/// `--metrics-out` if given, and a human-readable summary to stderr.
+fn finish_observability(
+    args: &Args,
+    mut spans: Vec<rbpc_obs::SpanRecord>,
+    profiler: Option<rbpc_obs::Profiler>,
+) {
     // Dropping the previous sink flushes the JSONL file.
     drop(rbpc_obs::set_event_sink(None));
     if let Some(path) = &args.events_out {
@@ -655,6 +818,21 @@ fn finish_observability(args: &Args, mut spans: Vec<rbpc_obs::SpanRecord>) {
                 spans.len()
             ),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(p) = profiler {
+        let report = p.stop();
+        if let Some(path) = &args.profile_out {
+            match std::fs::write(path, report.to_collapsed()) {
+                Ok(()) => eprintln!(
+                    "# wrote {} ({} samples, {} distinct stacks; render with any \
+                     flamegraph tool that reads collapsed stacks)",
+                    path.display(),
+                    report.samples(),
+                    report.stacks().len()
+                ),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
         }
     }
     let snap = rbpc_obs::Registry::global_snapshot();

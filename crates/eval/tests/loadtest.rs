@@ -1,0 +1,61 @@
+//! End-to-end smoke test of the `rbpc-eval loadtest` subcommand: the
+//! binary must drive a tiny topology under a failure storm, stream one
+//! parseable JSONL window report per line, write a collapsed-stack
+//! profile, and exit 0 — the contract `scripts/check.sh` relies on.
+
+use std::process::Command;
+
+#[test]
+fn loadtest_smoke_binary_streams_jsonl_and_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("rbpc-loadtest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = dir.join("windows.jsonl");
+    let profile = dir.join("profile.folded");
+    let status = Command::new(env!("CARGO_BIN_EXE_rbpc-eval"))
+        .args([
+            "loadtest",
+            "--smoke",
+            "--windows",
+            "8",
+            "--window-ms",
+            "2",
+            "--queries",
+            "40",
+            "--out",
+            out.to_str().expect("utf-8 path"),
+            "--profile-out",
+            profile.to_str().expect("utf-8 path"),
+        ])
+        .status()
+        .expect("spawn rbpc-eval");
+    assert!(status.success(), "loadtest --smoke exited {status}");
+
+    // One JSONL object per window, each parseable by the std-only reader,
+    // and the storm left something restorable in at least one window.
+    let text = std::fs::read_to_string(&out).expect("read JSONL");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 8, "one line per window");
+    let mut restored = 0.0;
+    for line in &lines {
+        let v = rbpc_obs::json::parse(line).expect("window line is valid JSON");
+        restored += v
+            .get("restored")
+            .and_then(|x| x.as_f64())
+            .expect("restored field");
+        let lat = v.get("latency_ns").expect("latency_ns object");
+        for q in ["p50", "p95", "p99", "max"] {
+            assert!(lat.get(q).and_then(|x| x.as_f64()).is_some(), "{q} field");
+        }
+        assert!(v.get("depth").is_some());
+    }
+    assert!(restored > 0.0, "no window restored anything");
+
+    // The profiler report was written; every line is `stack count`.
+    let folded = std::fs::read_to_string(&profile).expect("read profile");
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("collapsed-stack line");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().expect("sample count");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -86,7 +86,7 @@ pub use dynamic::{
 pub use error::{GraphError, PathError};
 pub use graph::{DegreeStats, EdgeRecord, Graph, HalfEdge};
 pub use ids::{EdgeId, NodeId};
-pub use par::{par_all_sources, par_all_sources_csr, ParStats};
+pub use par::{par_all_sources, par_all_sources_csr, ParStats, PAR_SERIAL_CUTOFF};
 pub use path::Path;
 pub use rng::{DetRng, SampleRange};
 pub use spt::{FlatChildren, ShortestPathTree};

@@ -67,6 +67,18 @@ impl ParStats {
     }
 }
 
+/// Node count below which a parallel batch runs inline instead.
+///
+/// Spawning workers, fencing the claim atomic, and handing chunks
+/// through mutexes costs tens of microseconds — more than a whole batch
+/// of Dijkstras on a small graph, which is why
+/// `par_provision/isp_200/threads_8` used to *lose* to `threads_1`. Below
+/// this threshold [`par_all_sources`] ignores the requested thread count
+/// and runs the single-thread path ([`ParStats::threads`] reports what
+/// was actually used). Results are bit-identical either way, so the
+/// cutoff is purely a scheduling decision.
+pub const PAR_SERIAL_CUTOFF: usize = 1_000;
+
 /// Deterministic chunk size: small enough to balance, large enough that
 /// the per-chunk mutex hand-off is noise.
 fn chunk_size_for(len: usize, threads: usize) -> usize {
@@ -80,7 +92,8 @@ fn chunk_size_for(len: usize, threads: usize) -> usize {
 /// `sources[i]`, bit-identical to
 /// [`shortest_path_tree`](crate::shortest_path_tree)`(graph, model,
 /// sources[i])` for every thread count. `threads == 0` is treated as 1;
-/// with 1 thread the batch runs inline on the caller's thread.
+/// with 1 thread — requested, or forced by the [`PAR_SERIAL_CUTOFF`]
+/// on small graphs — the batch runs inline on the caller's thread.
 ///
 /// # Panics
 ///
@@ -112,7 +125,11 @@ pub fn par_all_sources_csr(
     sources: &[NodeId],
     threads: usize,
 ) -> (Vec<ShortestPathTree>, ParStats) {
-    let threads = threads.max(1);
+    let threads = if csr.node_count() < PAR_SERIAL_CUTOFF {
+        1
+    } else {
+        threads.max(1)
+    };
     let chunk = chunk_size_for(sources.len(), threads);
     let mut stats = ParStats {
         threads,
@@ -210,6 +227,8 @@ mod tests {
 
     #[test]
     fn matches_sequential_across_thread_counts() {
+        // 60 nodes is far below PAR_SERIAL_CUTOFF: every requested
+        // thread count must collapse to the inline path and still match.
         let g = random_graph(60, 150, 2);
         let model = CostModel::new(Metric::Weighted, 7);
         let sources: Vec<NodeId> = g.nodes().collect();
@@ -220,10 +239,28 @@ mod tests {
         for threads in [1usize, 2, 3, 8] {
             let (got, stats) = par_all_sources(&g, &model, &sources, threads);
             assert_eq!(got, want, "threads = {threads}");
-            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.threads, 1, "below the cutoff the run is inline");
             assert_eq!(stats.total_chunks_claimed(), stats.chunks as u64);
             assert_eq!(stats.scratch_runs.iter().sum::<u64>(), 60);
             assert!(stats.total_settled() > 0);
+        }
+    }
+
+    #[test]
+    fn above_cutoff_spawns_requested_threads() {
+        let g = random_graph(PAR_SERIAL_CUTOFF, 3 * PAR_SERIAL_CUTOFF, 4);
+        let model = CostModel::new(Metric::Weighted, 11);
+        // A subset of sources keeps the test quick; the cutoff keys on
+        // node count, not batch length.
+        let sources: Vec<NodeId> = (0..16).map(|i| NodeId::new(i * 60)).collect();
+        let want: Vec<ShortestPathTree> = sources
+            .iter()
+            .map(|&s| shortest_path_tree(&g, &model, s))
+            .collect();
+        for threads in [1usize, 2] {
+            let (got, stats) = par_all_sources(&g, &model, &sources, threads);
+            assert_eq!(got, want, "threads = {threads}");
+            assert_eq!(stats.threads, threads);
         }
     }
 

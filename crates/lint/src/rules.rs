@@ -8,7 +8,7 @@
 //! | rule | scope | what it catches |
 //! |------|-------|-----------------|
 //! | `hash-iteration` | rbpc-graph, rbpc-core | iterating a `HashMap`/`HashSet` (order feeds output) |
-//! | `wall-clock` | all but rbpc-obs, rbpc-bench | `Instant::now` / `SystemTime` in algorithm code |
+//! | `wall-clock` | all but rbpc-obs, rbpc-bench | `Instant::now` / `SystemTime` / `thread::sleep` in algorithm code |
 //! | `panic` | rbpc-core, rbpc-graph, rbpc-mpls | `unwrap()` / bare `expect()` / `panic!` family |
 //! | `crate-attrs` | every crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` |
 //! | `cfg-balance` | every crate | unpaired or undeclared `cfg(feature = …)` gates |
@@ -208,7 +208,10 @@ fn binding_ident(before: &str) -> Option<String> {
 // ---------------------------------------------------------------------------
 
 /// Determinism: reading the wall clock in algorithm code makes runs
-/// unreproducible; timing belongs in rbpc-obs / rbpc-bench.
+/// unreproducible, and sleeping is the write half of the same dependence
+/// (pacing against real time); both belong in rbpc-obs / rbpc-bench.
+/// Consumers pace through `rbpc_obs::Ticker` and measure with
+/// `rbpc_obs::monotonic_ns`, so ticks are injected and replayable.
 fn wall_clock(krate: &CrateInfo, out: &mut Vec<Finding>) {
     for file in &krate.files {
         if file.kind != FileKind::Lib {
@@ -219,7 +222,7 @@ fn wall_clock(krate: &CrateInfo, out: &mut Vec<Finding>) {
                 continue;
             }
             let s = &line.code_nostr;
-            for pat in ["Instant::now", "SystemTime"] {
+            for pat in ["Instant::now", "SystemTime", "thread::sleep"] {
                 // Unlike the identifier rules, a `::`-qualified path
                 // (`std::time::Instant::now()`) must still match, so only
                 // a preceding identifier character defuses the pattern.
@@ -235,8 +238,9 @@ fn wall_clock(krate: &CrateInfo, out: &mut Vec<Finding>) {
                         path: file.path.clone(),
                         line: ln,
                         message: format!(
-                            "`{pat}` in algorithm code; wall-clock reads belong in \
-                             rbpc-obs/rbpc-bench (pass timings in, don't sample them here)"
+                            "`{pat}` in algorithm code; wall-clock reads and sleeps belong \
+                             in rbpc-obs/rbpc-bench (pass timings/ticks in, don't sample \
+                             or pace here)"
                         ),
                     });
                     break;

@@ -16,3 +16,8 @@ pub fn out_of_scope(set: HashSet<u32>) -> u32 {
 pub fn still_flagged() -> std::time::Instant {
     std::time::Instant::now()
 }
+
+/// Flagged: sleeping paces against real time — same determinism hazard.
+pub fn paced() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

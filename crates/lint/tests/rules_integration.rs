@@ -24,10 +24,10 @@ fn violations_fixture_trips_every_rule() {
     let count = |rule: &str| findings.iter().filter(|f| f.rule == rule).count();
     assert_eq!(count("crate-attrs"), 2, "{findings:#?}");
     assert_eq!(count("hash-iteration"), 1, "{findings:#?}");
-    assert_eq!(count("wall-clock"), 2, "{findings:#?}");
+    assert_eq!(count("wall-clock"), 3, "{findings:#?}");
     assert_eq!(count("panic"), 3, "{findings:#?}");
     assert_eq!(count("cfg-balance"), 3, "{findings:#?}");
-    assert_eq!(findings.len(), 11, "{findings:#?}");
+    assert_eq!(findings.len(), 12, "{findings:#?}");
 }
 
 #[test]

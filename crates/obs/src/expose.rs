@@ -1,0 +1,553 @@
+//! Prometheus-style text exposition (format 0.0.4) and the `/metrics`
+//! endpoint.
+//!
+//! [`render_prometheus`] turns a [`Snapshot`] into the plain-text format
+//! every Prometheus-compatible scraper understands: counters become
+//! `<name>_total` samples, histograms become summaries with
+//! `quantile="0.5|0.95|0.99"` samples plus `_sum`/`_count` (and an
+//! `_max` gauge, which the text format has no native slot for). Dotted
+//! workspace metric names (`core.restore.ns`) are sanitized to the
+//! Prometheus charset (`core_restore_ns`); a registry label
+//! (`name{label}`, see [`Registry`](crate::Registry)) is exported as
+//! `kind="<label>"`.
+//!
+//! [`parse_prometheus`] is the matching std-only reader — enough of the
+//! format to round-trip our own output line by line (name, labels,
+//! value), used by the golden-file tests and by anything that wants to
+//! scrape a peer without a real Prometheus.
+//!
+//! [`MetricsServer`] serves the global registry over a std-only
+//! `TcpListener` (`GET /metrics`, `GET /healthz`) from one background
+//! thread. It is gated behind the `obs-net` feature; without the feature
+//! the type still exists and `serve` fails with
+//! [`ErrorKind::Unsupported`](std::io::ErrorKind::Unsupported), so
+//! callers stay cfg-free.
+
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// An ordered `(key, value)` label set.
+type LabelSet = Vec<(String, String)>;
+
+/// Maps a workspace metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`, not starting with a digit): every other character
+/// becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let keep = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if keep { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Splits a registry-composed key (`name` or `name{label}`) into the
+/// family name and the optional label.
+fn split_family(composed: &str) -> (&str, Option<&str>) {
+    match composed.find('{') {
+        Some(open) if composed.ends_with('}') => (
+            &composed[..open],
+            Some(&composed[open + 1..composed.len() - 1]),
+        ),
+        _ => (composed, None),
+    }
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_label_set(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+/// Renders a [`Snapshot`] in Prometheus text exposition format 0.0.4.
+///
+/// Deterministic for a given snapshot: families are emitted in sorted
+/// order, each preceded by exactly one `# TYPE` line. Counter values are
+/// written as exact integers (they are `u64`s; a float rendering would
+/// lose precision past 2^53).
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    use std::collections::BTreeMap;
+
+    let mut out = String::new();
+
+    // Group composed keys (`name`, `name{label}`) into families first:
+    // sorted iteration alone may interleave families ('{' sorts after
+    // '.'), and the format wants one TYPE line per family.
+    let mut counters: BTreeMap<String, Vec<(LabelSet, u64)>> = BTreeMap::new();
+    for (composed, value) in &snapshot.counters {
+        let (name, label) = split_family(composed);
+        let labels = label
+            .map(|l| vec![("kind".to_string(), l.to_string())])
+            .unwrap_or_default();
+        counters
+            .entry(sanitize_metric_name(name))
+            .or_default()
+            .push((labels, *value));
+    }
+    for (family, samples) in &counters {
+        let _ = writeln!(out, "# TYPE {family}_total counter");
+        for (labels, value) in samples {
+            let _ = write!(out, "{family}_total");
+            write_label_set(&mut out, labels);
+            let _ = writeln!(out, " {value}");
+        }
+    }
+
+    let mut histograms: BTreeMap<String, Vec<(LabelSet, crate::HistogramSummary)>> =
+        BTreeMap::new();
+    for (composed, summary) in &snapshot.histograms {
+        let (name, label) = split_family(composed);
+        let labels = label
+            .map(|l| vec![("kind".to_string(), l.to_string())])
+            .unwrap_or_default();
+        histograms
+            .entry(sanitize_metric_name(name))
+            .or_default()
+            .push((labels, *summary));
+    }
+    for (family, samples) in &histograms {
+        let _ = writeln!(out, "# TYPE {family} summary");
+        for (labels, s) in samples {
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let mut quantiled = labels.clone();
+                quantiled.push(("quantile".to_string(), q.to_string()));
+                let _ = write!(out, "{family}");
+                write_label_set(&mut out, &quantiled);
+                let _ = writeln!(out, " {v}");
+            }
+            let _ = write!(out, "{family}_sum");
+            write_label_set(&mut out, labels);
+            let _ = writeln!(out, " {}", s.sum);
+            let _ = write!(out, "{family}_count");
+            write_label_set(&mut out, labels);
+            let _ = writeln!(out, " {}", s.count);
+        }
+        // The exact maximum has no slot in the summary type; export it
+        // as a sibling gauge so dashboards don't lose it.
+        let _ = writeln!(out, "# TYPE {family}_max gauge");
+        for (labels, s) in samples {
+            let _ = write!(out, "{family}_max");
+            write_label_set(&mut out, labels);
+            let _ = writeln!(out, " {}", s.max);
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample: metric name, label set, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (family plus any `_total`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// `(key, value)` labels in source order.
+    pub labels: LabelSet,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses text exposition format 0.0.4 into its samples.
+///
+/// Comment (`# ...`) and blank lines are skipped; every other line must
+/// be `name[{k="v",...}] value` or the whole parse fails with a
+/// line-numbered message. This is the verifying half of the golden-file
+/// tests: everything [`render_prometheus`] emits must round-trip.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(
+            parse_sample_line(line).map_err(|e| format!("line {}: {e}: {raw:?}", lineno + 1))?,
+        );
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line[open..]
+                .find('}')
+                .map(|i| open + i)
+                .ok_or("unclosed label set")?;
+            (&line[..open], {
+                let labels = &line[open + 1..close];
+                let value = line[close + 1..].trim();
+                (Some(labels), value)
+            })
+        }
+        None => {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let name = parts.next().ok_or("empty line")?;
+            (name, (None, parts.next().unwrap_or("").trim()))
+        }
+    };
+    let (label_text, value_text) = rest;
+    let name = name_part.trim();
+    if name.is_empty() {
+        return Err("missing metric name".to_string());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let labels = match label_text {
+        None => Vec::new(),
+        Some(text) => parse_label_set(text)?,
+    };
+    if value_text.is_empty() {
+        return Err("missing value".to_string());
+    }
+    let value: f64 = value_text
+        .parse()
+        .map_err(|_| format!("unparsable value {value_text:?}"))?;
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_label_set(text: &str) -> Result<LabelSet, String> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        let after = rest[eq + 1..].trim_start();
+        let mut chars = after.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err("label value must be quoted".to_string());
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = after[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err("expected ',' between labels".to_string());
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(feature = "obs-net")]
+mod server {
+    //! The real `TcpListener`-backed endpoint (feature `obs-net` on).
+
+    use std::io::{self, Read as _, Write as _};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    /// A background thread serving the global registry over HTTP.
+    ///
+    /// Routes: `GET /metrics` — [`render_prometheus`](super::render_prometheus)
+    /// of [`Registry::global_snapshot`](crate::Registry::global_snapshot),
+    /// `Content-Type: text/plain; version=0.0.4`; `GET /healthz` — `ok`.
+    /// Anything else is a 404. One request per connection
+    /// (`Connection: close`); the accept loop is non-blocking with a
+    /// 10ms nap, so [`shutdown`](MetricsServer::shutdown) (or drop)
+    /// stops it promptly.
+    #[derive(Debug)]
+    pub struct MetricsServer {
+        local_addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        handle: Option<thread::JoinHandle<()>>,
+    }
+
+    impl MetricsServer {
+        /// Binds `addr` (e.g. `"127.0.0.1:9898"`; port 0 picks a free
+        /// one — read it back from [`local_addr`](MetricsServer::local_addr))
+        /// and starts the serving thread.
+        pub fn serve(addr: &str) -> io::Result<MetricsServer> {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            let local_addr = listener.local_addr()?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let thread_stop = Arc::clone(&stop);
+            let handle = thread::Builder::new()
+                .name("rbpc-metrics".to_string())
+                .spawn(move || accept_loop(listener, &thread_stop))?;
+            Ok(MetricsServer {
+                local_addr,
+                stop,
+                handle: Some(handle),
+            })
+        }
+
+        /// The address actually bound (resolves port 0).
+        pub fn local_addr(&self) -> SocketAddr {
+            self.local_addr
+        }
+
+        /// Stops the accept loop and joins the serving thread.
+        pub fn shutdown(mut self) {
+            self.stop_and_join();
+        }
+
+        fn stop_and_join(&mut self) {
+            self.stop.store(true, Ordering::Release);
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    impl Drop for MetricsServer {
+        fn drop(&mut self) {
+            self.stop_and_join();
+        }
+    }
+
+    fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Serve inline: /metrics renders in microseconds and
+                    // scrapers are rare, so one thread is plenty.
+                    let _ = handle_connection(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+        let mut request = Vec::with_capacity(512);
+        let mut buf = [0u8; 512];
+        // Read until the header terminator; requests we care about have
+        // no body.
+        loop {
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            request.extend_from_slice(&buf[..n]);
+            if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() > 8192 {
+                break;
+            }
+        }
+        let request = String::from_utf8_lossy(&request);
+        let path = request
+            .lines()
+            .next()
+            .and_then(|line| {
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some("GET"), Some(path)) => Some(path.to_string()),
+                    _ => None,
+                }
+            })
+            .unwrap_or_default();
+        let (status, content_type, body) = match path.as_str() {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                super::render_prometheus(&crate::Registry::global_snapshot()),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        };
+        let header = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(not(feature = "obs-net"))]
+mod server {
+    //! Featureless stub (feature `obs-net` off): same API, every
+    //! constructor fails with `ErrorKind::Unsupported`.
+
+    use std::io;
+    use std::net::SocketAddr;
+
+    /// Stub metrics endpoint; enable the `obs-net` feature for the real
+    /// `TcpListener`-backed server.
+    #[derive(Debug)]
+    pub struct MetricsServer {
+        never: std::convert::Infallible,
+    }
+
+    impl MetricsServer {
+        /// Always fails with [`io::ErrorKind::Unsupported`]: this build
+        /// has the `obs-net` feature disabled.
+        pub fn serve(addr: &str) -> io::Result<MetricsServer> {
+            let _ = addr;
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "rbpc-obs built without the `obs-net` feature",
+            ))
+        }
+
+        /// Unreachable: the stub cannot be constructed.
+        pub fn local_addr(&self) -> SocketAddr {
+            match self.never {}
+        }
+
+        /// Unreachable: the stub cannot be constructed.
+        pub fn shutdown(self) {
+            match self.never {}
+        }
+    }
+}
+
+pub use server::MetricsServer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("core.restore.calls").add(42);
+        r.counter_with("sim.outage.events", "local_edge_bypass")
+            .add(7);
+        let h = r.histogram("core.restore.ns");
+        for v in [100u64, 200, 400, 800, 1600] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let text = render_prometheus(&sample_snapshot());
+        let samples = parse_prometheus(&text).expect("own output parses");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.label("quantile").is_none())
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+        };
+        assert_eq!(get("core_restore_calls_total").value, 42.0);
+        assert_eq!(get("core_restore_ns_count").value, 5.0);
+        assert_eq!(get("core_restore_ns_sum").value, 3100.0);
+        assert_eq!(get("core_restore_ns_max").value, 1600.0);
+        let labeled = samples
+            .iter()
+            .find(|s| s.name == "sim_outage_events_total")
+            .expect("labeled counter exported");
+        assert_eq!(labeled.label("kind"), Some("local_edge_bypass"));
+        assert_eq!(labeled.value, 7.0);
+        let quantiles: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "core_restore_ns")
+            .filter_map(|s| s.label("quantile").map(|_| s.value))
+            .collect();
+        assert_eq!(quantiles.len(), 3);
+        assert!(quantiles.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sanitization_and_type_lines() {
+        assert_eq!(sanitize_metric_name("core.restore.ns"), "core_restore_ns");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a:b_c9"), "a:b_c9");
+        let text = render_prometheus(&sample_snapshot());
+        // Exactly one TYPE line per family.
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let families: std::collections::BTreeSet<&str> = type_lines.iter().copied().collect();
+        assert_eq!(type_lines.len(), families.len());
+        assert!(text.contains("# TYPE core_restore_calls_total counter"));
+        assert!(text.contains("# TYPE core_restore_ns summary"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("name 1\n# comment\n\nother 2.5").is_ok());
+        assert!(parse_prometheus("bad-name 1").is_err());
+        assert!(parse_prometheus("name{unclosed 1").is_err());
+        assert!(parse_prometheus("name{k=\"v\"} notanumber").is_err());
+        assert!(parse_prometheus("name{k=v} 1").is_err());
+        assert!(parse_prometheus("name").is_err());
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let mut out = String::new();
+        out.push_str("m{k=\"a\\\\b\\\"c\\nd\"} 1\n");
+        let samples = parse_prometheus(&out).expect("escaped labels parse");
+        assert_eq!(samples[0].label("k"), Some("a\\b\"c\nd"));
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+}

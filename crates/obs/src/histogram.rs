@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of buckets: one per possible bit length of a `u64` (0..=64).
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A histogram over `u64` samples (typically nanoseconds) with
 /// power-of-two buckets.
@@ -32,9 +32,9 @@ impl Default for Histogram {
 /// A frozen human-consumable digest of a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
-    /// Total number of recorded samples.
+    /// Total number of recorded samples (saturating at `u64::MAX`).
     pub count: u64,
-    /// Sum of all samples (wrapping).
+    /// Sum of all samples (saturating at `u64::MAX`).
     pub sum: u64,
     /// Mean sample, or 0.0 if empty.
     pub mean: f64,
@@ -50,17 +50,55 @@ pub struct HistogramSummary {
 
 /// Bit-length bucket index of a sample.
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 
 /// Inclusive upper bound of bucket `i`.
 #[inline]
-fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     if i >= 64 {
         u64::MAX
     } else {
         (1u64 << i) - 1
+    }
+}
+
+/// Shared quantile kernel over a frozen bucket array.
+///
+/// Reports the `q`-quantile (`q` clamped to `[0, 1]`) as the inclusive
+/// upper bound of the smallest bucket whose cumulative count reaches
+/// `ceil(q * count)`, capped by the exact `max`. Returns 0 when
+/// `count == 0` — the defined "no data" value, never a bucket artifact.
+/// Cumulative counts saturate, so histograms holding near-`u64::MAX`
+/// totals still answer instead of wrapping past the rank.
+pub(crate) fn quantile_over(buckets: &[u64; BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        cumulative = cumulative.saturating_add(b);
+        if cumulative >= rank {
+            return bucket_upper(i).min(max);
+        }
+    }
+    max
+}
+
+/// Saturating atomic add: the cell sticks at `u64::MAX` instead of
+/// wrapping, so long-lived counters degrade to "at least this many"
+/// rather than to nonsense.
+#[inline]
+fn saturating_fetch_add(cell: &AtomicU64, n: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(n);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
     }
 }
 
@@ -78,9 +116,21 @@ impl Histogram {
     /// Records one sample.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in one shot (a batched
+    /// [`record`](Histogram::record)). Counts and sums saturate at
+    /// `u64::MAX` rather than wrapping, so quantiles stay defined even
+    /// after pathological volumes.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        saturating_fetch_add(&self.buckets[bucket_index(v)], n);
+        saturating_fetch_add(&self.count, n);
+        saturating_fetch_add(&self.sum, v.saturating_mul(n));
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -90,7 +140,7 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Sum of recorded samples (wrapping).
+    /// Sum of recorded samples (saturating at `u64::MAX`).
     #[inline]
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
@@ -114,23 +164,16 @@ impl Histogram {
 
     /// The `q`-quantile (`q` in `[0, 1]`), reported as the inclusive
     /// upper bound of the smallest bucket whose cumulative count reaches
-    /// `ceil(q * count)`. Returns 0 for an empty histogram. The exact
-    /// [`max`](Histogram::max) caps the answer, so `quantile(1.0)` is the
-    /// true maximum.
+    /// `ceil(q * count)`. Returns the defined value 0 for an empty
+    /// histogram. The exact [`max`](Histogram::max) caps the answer, so
+    /// `quantile(1.0)` is the true maximum and a single-sample histogram
+    /// answers every quantile exactly.
     pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
+        let mut frozen = [0u64; BUCKETS];
+        for (slot, bucket) in frozen.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= rank {
-                return bucket_upper(i).min(self.max());
-            }
-        }
-        self.max()
+        quantile_over(&frozen, self.count(), self.max(), q)
     }
 
     /// Freezes a [`HistogramSummary`] (count, mean, p50/p95/p99, max).
@@ -175,11 +218,65 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram() {
+    fn empty_histogram_quantiles_are_defined() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+        // Every quantile of an empty histogram is the defined value 0 —
+        // never a bucket upper bound or other artifact.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = Histogram::new();
+        h.record(777);
+        // One sample: the max cap makes every quantile the sample itself,
+        // despite the 2x-wide bucket it landed in.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q = {q}");
+        }
+        assert_eq!(h.summary().p50, 777);
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn saturating_counts_keep_quantiles_defined() {
+        let h = Histogram::new();
+        h.record_n(1, u64::MAX);
+        h.record(2);
+        h.record_n(3, u64::MAX);
+        // count/sum stick at u64::MAX instead of wrapping to small values.
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), 3);
+        // Quantiles stay defined and ordered. With buckets themselves
+        // saturated the rank resolves inside the first saturated bucket,
+        // so answers degrade toward the low end — but never to garbage.
+        assert_eq!(h.quantile(0.25), 1);
+        let p100 = h.quantile(1.0);
+        assert!((1..=3).contains(&p100), "p100 = {p100}");
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..10 {
+            a.record(42);
+        }
+        b.record_n(42, 10);
+        b.record_n(7, 0); // no-op
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
     }
 
     #[test]

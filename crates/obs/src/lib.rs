@@ -22,7 +22,17 @@
 //!   everything into a [`Snapshot`] for rendering or export;
 //! * [`JsonlSink`] + [`obs_event!`] — structured events
 //!   (`restore_start`, `restore_done`, `fec_rewrite`, `ilm_splice`,
-//!   `decompose_fallback`, …) streamed as one JSON object per line.
+//!   `decompose_fallback`, …) streamed as one JSON object per line;
+//! * [`WindowedCounter`] / [`WindowedHistogram`] + [`Ticker`] — live
+//!   time-series: per-window deltas and latency distributions in ring
+//!   buffers, with mergeable [`WindowSnapshot`]s (ticks are injected, so
+//!   only this crate touches the clock);
+//! * [`render_prometheus`] / [`MetricsServer`] — text exposition format
+//!   0.0.4 and a std-only `/metrics` + `/healthz` TCP endpoint (feature
+//!   `obs-net`);
+//! * [`Profiler`] — a span-stack sampler producing collapsed-stack
+//!   (flamegraph) [`ProfileReport`]s from the same `obs_span!` sites the
+//!   histograms use.
 //!
 //! # Feature gating
 //!
@@ -50,18 +60,26 @@
 mod chrome;
 mod counter;
 mod events;
+mod expose;
 mod histogram;
 pub mod json;
+mod profile;
 mod registry;
 mod span;
+mod timeseries;
 mod trace;
 
 pub use chrome::{chrome_trace_json, TraceNode, TraceTree};
 pub use counter::Counter;
 pub use events::{emit, event_sink_active, json_escape, set_event_sink, Event, JsonlSink, Value};
+pub use expose::{
+    parse_prometheus, render_prometheus, sanitize_metric_name, MetricsServer, PromSample,
+};
 pub use histogram::{Histogram, HistogramSummary};
+pub use profile::{ProfileReport, Profiler};
 pub use registry::{Registry, Snapshot};
 pub use span::Span;
+pub use timeseries::{monotonic_ns, Ticker, WindowSnapshot, WindowedCounter, WindowedHistogram};
 pub use trace::{
     current_trace, start_tracing, stop_tracing, take_spans, tracing_active, SpanId, SpanRecord,
     TraceId, TraceSpan,

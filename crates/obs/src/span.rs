@@ -17,11 +17,18 @@ thread_local! {
 ///
 /// Spans nest: [`depth`](Span::depth) reports how many spans were already
 /// open on this thread when this one was entered (0 = outermost).
+///
+/// While a [`Profiler`](crate::Profiler) is running, entering a span also
+/// pushes its name onto the per-thread frame stack the sampler reads;
+/// when none is running that hook is a single relaxed atomic load.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
     start: Instant,
     depth: usize,
+    /// Whether this span pushed a profiler frame (captured at entry so a
+    /// profiler starting/stopping mid-span stays balanced).
+    profiled: bool,
 }
 
 impl Span {
@@ -32,10 +39,12 @@ impl Span {
             d.set(depth + 1);
             depth
         });
+        let profiled = crate::profile::push_frame(name);
         Span {
             name,
             start: Instant::now(),
             depth,
+            profiled,
         }
     }
 
@@ -57,6 +66,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::pop_frame();
+        }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         Registry::global()
             .histogram(self.name)

@@ -1,0 +1,175 @@
+//! Integration tests for the live-telemetry layer: golden-file checks of
+//! the Prometheus exposition format, round-trips through the std-only
+//! parsers, and a real TCP scrape of the `/metrics` endpoint.
+
+use rbpc_obs::{
+    json, parse_prometheus, render_prometheus, MetricsServer, Registry, Ticker, WindowedHistogram,
+};
+use std::time::Duration;
+
+/// A registry with fixed contents so the rendered exposition text is
+/// byte-for-byte reproducible.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("core.restore.calls").add(42);
+    r.counter("core.restore.ok").add(40);
+    r.counter_with("sim.outage.events", "local_edge_bypass")
+        .add(7);
+    r.counter_with("sim.outage.events", "global_splice").add(3);
+    let h = r.histogram("core.restore.ns");
+    for v in [100u64, 200, 400, 800, 1600] {
+        h.record(v);
+    }
+    r.histogram_with("loadtest.latency.ns", "restore")
+        .record(2500);
+    r
+}
+
+#[test]
+fn metrics_match_golden_file() {
+    let rendered = render_prometheus(&golden_registry().snapshot());
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+        std::fs::write(path, &rendered).expect("rewrite golden file");
+        return;
+    }
+    let golden = include_str!("golden/metrics.prom");
+    assert_eq!(
+        rendered, golden,
+        "exposition drifted from tests/golden/metrics.prom — \
+         regenerate intentionally with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_line_by_line() {
+    let golden = include_str!("golden/metrics.prom");
+    let samples = parse_prometheus(golden).expect("golden file parses");
+    // Every non-comment line became exactly one (name, labels, value).
+    let data_lines = golden
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .count();
+    assert_eq!(samples.len(), data_lines);
+    let find = |name: &str, label: Option<(&str, &str)>| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && match label {
+                        Some((k, v)) => s.label(k) == Some(v),
+                        None => s.labels.is_empty(),
+                    }
+            })
+            .unwrap_or_else(|| panic!("missing {name} {label:?}"))
+            .value
+    };
+    assert_eq!(find("core_restore_calls_total", None), 42.0);
+    assert_eq!(find("core_restore_ok_total", None), 40.0);
+    assert_eq!(
+        find(
+            "sim_outage_events_total",
+            Some(("kind", "local_edge_bypass"))
+        ),
+        7.0
+    );
+    assert_eq!(find("core_restore_ns_count", None), 5.0);
+    assert_eq!(find("core_restore_ns_sum", None), 3100.0);
+    assert_eq!(find("core_restore_ns", Some(("quantile", "0.5"))), 511.0);
+    assert_eq!(
+        find("loadtest_latency_ns_count", Some(("kind", "restore"))),
+        1.0
+    );
+}
+
+#[test]
+fn snapshot_json_round_trips_through_std_parser() {
+    // The JSON side of the round-trip satellite: Snapshot::to_json must
+    // be readable by the workspace's own std-only JSON parser.
+    let snap = golden_registry().snapshot();
+    let parsed = json::parse(&snap.to_json()).expect("snapshot JSON parses");
+    let counters = parsed.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("core.restore.calls").and_then(|v| v.as_f64()),
+        Some(42.0)
+    );
+    let hist = parsed
+        .get("histograms")
+        .and_then(|h| h.get("core.restore.ns"))
+        .expect("histogram object");
+    assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(5.0));
+}
+
+#[test]
+fn metrics_endpoint_serves_and_parses() {
+    // Feed the *global* registry (what the endpoint exports) and scrape
+    // it over a real socket.
+    Registry::global().counter("telemetry.test.scrapes").add(5);
+    let server = match MetricsServer::serve("127.0.0.1:0") {
+        Ok(server) => server,
+        Err(e) => {
+            // Sandboxes without loopback sockets: nothing to test.
+            eprintln!("skipping endpoint test: bind failed: {e}");
+            return;
+        }
+    };
+    let addr = server.local_addr();
+
+    let body = http_get(addr, "/metrics");
+    let samples = parse_prometheus(&body).expect("scraped /metrics parses");
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "telemetry_test_scrapes_total" && s.value >= 5.0),
+        "scrape missing our counter:\n{body}"
+    );
+
+    let health = http_get(addr, "/healthz");
+    assert_eq!(health, "ok\n");
+
+    let missing = http_get_status(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+
+    server.shutdown();
+}
+
+#[test]
+fn ticker_drives_windows_end_to_end() {
+    // The injected-tick contract: the ticker mints ticks, the histogram
+    // only ever sees numbers.
+    let ticker = Ticker::start(Duration::from_millis(1));
+    let wh = WindowedHistogram::new(64);
+    for i in 0..3u64 {
+        let tick = ticker.wait_for(i);
+        wh.record(tick, 100 * (i + 1));
+    }
+    let merged = wh.merged();
+    assert_eq!(merged.count, 3);
+    assert!(merged.quantile(0.5) > 0);
+}
+
+/// Minimal HTTP GET returning the response body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let response = http_get_status(addr, path);
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => panic!("no header/body split in response: {response:?}"),
+    }
+}
+
+/// Minimal HTTP GET returning the raw response (status line included).
+fn http_get_status(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}

@@ -31,6 +31,7 @@ mod flow;
 mod model;
 mod outage;
 mod par;
+mod storm;
 
 pub use churn::{
     churn_sequence, churn_under, churn_under_threads, ChurnEvent, ChurnEventReport, ChurnSummary,
@@ -41,3 +42,4 @@ pub use outage::{
     outage, outage_summary, outage_summary_threads, outage_under, OutageReport, OutageSummary,
     Scheme,
 };
+pub use storm::{storm_schedule, StormParams};

@@ -1,0 +1,146 @@
+//! Failure-storm schedules: deterministic per-window failure sets for
+//! load testing.
+//!
+//! A load test wants failures with *shape*, not a constant drizzle: long
+//! calm stretches with a failed link or two, punctuated by bursts where
+//! many links die at once — the regime where the paper's
+//! concatenation-count bounds (k+1 / 2k+1 segments under k failures)
+//! actually bite. [`storm_schedule`] produces one [`FailureSet`] per
+//! window from a candidate edge pool, cycling `calm` and `burst` phases
+//! with a [`DetRng`], so the same seed always yields the same storm and
+//! load-test runs are reproducible end to end.
+
+use rbpc_graph::{DetRng, EdgeId, FailureSet};
+
+/// Shape of a failure storm, in windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormParams {
+    /// Length of one calm+burst cycle in windows (0 disables bursts).
+    pub period: u64,
+    /// Leading windows of each cycle that are bursts.
+    pub burst_windows: u64,
+    /// Concurrent failed links during a burst window.
+    pub burst_links: usize,
+    /// Concurrent failed links during a calm window.
+    pub calm_links: usize,
+    /// Storm seed (independent of the topology/metric seeds).
+    pub seed: u64,
+}
+
+impl Default for StormParams {
+    /// Bursts of 6 concurrent failures for 2 windows out of every 6;
+    /// one failed link in calm windows so every window restores
+    /// something.
+    fn default() -> StormParams {
+        StormParams {
+            period: 6,
+            burst_windows: 2,
+            burst_links: 6,
+            calm_links: 1,
+            seed: 0xBAD_11E1,
+        }
+    }
+}
+
+impl StormParams {
+    /// The number of links the storm fails in window `w`.
+    pub fn links_in_window(&self, w: u64) -> usize {
+        if self.period > 0 && w % self.period < self.burst_windows {
+            self.burst_links
+        } else {
+            self.calm_links
+        }
+    }
+}
+
+/// Builds one [`FailureSet`] per window from `candidates` (typically the
+/// edges on provisioned base paths, so failures are guaranteed to hit
+/// traffic). Each window draws its links independently — storms move
+/// around the network rather than pinning the same links down forever.
+/// Deterministic in (`candidates` order, `windows`, `params`).
+pub fn storm_schedule(
+    candidates: &[EdgeId],
+    windows: u64,
+    params: &StormParams,
+) -> Vec<FailureSet> {
+    let mut rng = DetRng::seed_from_u64(params.seed);
+    (0..windows)
+        .map(|w| {
+            let want = params.links_in_window(w).min(candidates.len());
+            let mut set = FailureSet::new();
+            let mut picked = 0usize;
+            // Distinct draws by rejection: candidate pools are much
+            // larger than burst sizes, so this terminates fast; the
+            // attempt cap keeps degenerate pools (all-duplicate edge
+            // ids) from looping forever.
+            let mut attempts = 0usize;
+            while picked < want && attempts < 64 * (want + 1) {
+                attempts += 1;
+                let edge = candidates[rng.gen_range(0..candidates.len())];
+                if !set.edge_failed(edge) {
+                    set.fail_edge(edge);
+                    picked += 1;
+                }
+            }
+            set
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Vec<EdgeId> {
+        (0..n).map(EdgeId::new).collect()
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let params = StormParams::default();
+        let a = storm_schedule(&pool(40), 12, &params);
+        let b = storm_schedule(&pool(40), 12, &params);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cycle_shape_matches_params() {
+        let params = StormParams {
+            period: 4,
+            burst_windows: 1,
+            burst_links: 5,
+            calm_links: 2,
+            seed: 7,
+        };
+        let schedule = storm_schedule(&pool(100), 8, &params);
+        for (w, set) in schedule.iter().enumerate() {
+            let want = if w % 4 == 0 { 5 } else { 2 };
+            assert_eq!(set.failed_edge_count(), want, "window {w}");
+        }
+    }
+
+    #[test]
+    fn small_pools_and_zero_period() {
+        // Pool smaller than the burst: every candidate fails.
+        let params = StormParams {
+            period: 1,
+            burst_windows: 1,
+            burst_links: 10,
+            calm_links: 0,
+            seed: 3,
+        };
+        let schedule = storm_schedule(&pool(3), 2, &params);
+        assert_eq!(schedule[0].failed_edge_count(), 3);
+        // Empty pool: empty sets, no hang.
+        assert!(storm_schedule(&[], 4, &params).iter().all(|s| s.is_empty()));
+        // period == 0 means calm forever.
+        let calm = StormParams {
+            period: 0,
+            calm_links: 1,
+            ..StormParams::default()
+        };
+        let schedule = storm_schedule(&pool(10), 4, &calm);
+        assert!(schedule.iter().all(|s| s.failed_edge_count() == 1));
+    }
+}

@@ -30,6 +30,13 @@ cargo test -p rbpc-core --no-default-features -q
 echo "== cargo build --workspace --no-default-features (tracing compiled out)"
 cargo build --workspace --no-default-features -q
 
+echo "== cargo build -p rbpc-obs --no-default-features (obs-net stub compiles)"
+cargo build -p rbpc-obs --no-default-features -q
+
+echo "== rbpc-eval loadtest --smoke (live-telemetry end-to-end)"
+cargo run -q -p rbpc-eval -- loadtest --smoke --out /tmp/rbpc-loadtest-smoke.jsonl
+rm -f /tmp/rbpc-loadtest-smoke.jsonl
+
 echo "== CSR / parallel determinism property test (release, 2-thread runs included)"
 cargo test --release --test csr_parallel -q
 

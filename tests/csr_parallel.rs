@@ -12,7 +12,10 @@
 //!
 //! `scripts/check.sh` runs this suite as the release-mode determinism
 //! gate (its thread loops include the 2-thread configuration the CI box
-//! can actually exercise).
+//! can actually exercise). Families below
+//! [`PAR_SERIAL_CUTOFF`](mpls_rbpc::graph::PAR_SERIAL_CUTOFF) nodes
+//! collapse to the inline path by design; `powerlaw_1000` sits at the
+//! cutoff and carries the genuinely-parallel coverage.
 
 use mpls_rbpc::graph::{
     par_all_sources, par_all_sources_csr, shortest_path_tree, CostModel, CsrGraph, DetRng,
