@@ -1,0 +1,56 @@
+//! Flight-recorder overhead bench: the same restore query with the
+//! global black-box ring installed versus absent. The recorder is meant
+//! to be *always on* in production runs, so its per-restore cost — one
+//! Acquire load when idle, plus one slot-mutex write when recording —
+//! must stay in the noise. `scripts/bench_gate.sh` enforces that
+//! recorder-on stays within ~5% of recorder-off.
+
+use rbpc_bench::{criterion_group, criterion_main, Criterion};
+use rbpc_core::{BasePathOracle, Restorer};
+use rbpc_graph::FailureSet;
+use rbpc_obs::{set_flight_recorder, FlightRecorder};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_flight_recorder(c: &mut Criterion) {
+    let oracle = rbpc_bench::isp_oracle();
+    let graph = oracle.graph().clone();
+    let restorer = Restorer::new(&oracle);
+
+    // A representative long LSP and a mid-path failure (same scenario as
+    // the decompose bench's full_restore_pipeline).
+    let pairs = rbpc_bench::pairs(&graph, 200);
+    let (s, t, base) = pairs
+        .iter()
+        .filter_map(|&(s, t)| oracle.base_path(s, t).map(|p| (s, t, p)))
+        .max_by_key(|(_, _, p)| p.hop_count())
+        .expect("pairs exist");
+    let failures = FailureSet::of_edge(base.edges()[base.hop_count() / 2]);
+
+    let mut g = c.benchmark_group("flight_recorder");
+    // The two arms differ by a few percent at ~6µs/iter, which is inside
+    // single-run jitter at the default 20 samples; a wider sample window
+    // tightens the min estimate the gate's ratio rule compares.
+    g.sample_size(60);
+    let previous = set_flight_recorder(None);
+    g.bench_function("isp_200/restore_off", |b| {
+        b.iter(|| restorer.restore(s, t, black_box(&failures)).unwrap())
+    });
+    let ring = Arc::new(FlightRecorder::new(4096));
+    set_flight_recorder(Some(Arc::clone(&ring)));
+    g.bench_function("isp_200/restore_on", |b| {
+        b.iter(|| restorer.restore(s, t, black_box(&failures)).unwrap())
+    });
+    set_flight_recorder(previous);
+    g.finish();
+
+    // Sanity print: the "on" leg really recorded (0 under
+    // --no-default-features, where the hot-path hook compiles out).
+    println!(
+        "\nflight_recorder: {} records captured in the on leg",
+        ring.recorded()
+    );
+}
+
+criterion_group!(benches, bench_flight_recorder);
+criterion_main!(benches);

@@ -2,9 +2,12 @@
 //! at the source with a stack of base-LSP labels.
 
 use crate::decompose::path_survives;
-use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError};
+use crate::{greedy_decompose, BasePathOracle, Concatenation, RestoreError, SegmentKind};
 use rbpc_graph::{EdgeId, FailureSet, NodeId, Path, PathCost};
-use rbpc_obs::{obs_count, obs_event, obs_record, obs_span, obs_trace, obs_trace_attr};
+use rbpc_obs::{
+    obs_count, obs_event, obs_flight, obs_flight_now, obs_record, obs_span, obs_trace,
+    obs_trace_attr, FlightKind, FlightRecord,
+};
 
 /// The result of restoring one source–destination route.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +50,43 @@ impl Restoration {
         } else {
             f64::from(self.backup_cost.hops) / f64::from(self.original_cost.hops)
         }
+    }
+
+    /// A deterministic 64-bit fingerprint of the restoration *plan* —
+    /// endpoints, the backup path (nodes and edges), and the label-stack
+    /// decomposition — with no timing in the mix. Two restores that pick
+    /// the same backup and the same segment structure hash identically,
+    /// so a replayed incident can assert plan equality without shipping
+    /// whole paths. FNV-1a over the structural fields.
+    pub fn plan_hash(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(PRIME)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        h = mix(h, self.source.index() as u64);
+        h = mix(h, self.target.index() as u64);
+        h = mix(h, u64::from(self.affected));
+        h = mix(h, self.backup.hop_count() as u64);
+        for n in self.backup.nodes() {
+            h = mix(h, n.index() as u64);
+        }
+        for e in self.backup.edges() {
+            h = mix(h, e.index() as u64);
+        }
+        for seg in self.concatenation.segments() {
+            h = mix(
+                h,
+                match seg.kind {
+                    SegmentKind::BasePath => 1,
+                    SegmentKind::RawEdge => 2,
+                },
+            );
+            h = mix(h, seg.source().index() as u64);
+            h = mix(h, seg.target().index() as u64);
+            h = mix(h, seg.path.hop_count() as u64);
+        }
+        h
     }
 }
 
@@ -115,6 +155,7 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
             dst = t.index(),
             failed_edges = failures.failed_edge_count(),
         );
+        let flight_start = obs_flight_now!();
         let result = self.restore_inner(s, t, failures);
         // Machine-check the paper's bound on every debug-build restore:
         // for edge-only failure sets the concatenation must satisfy
@@ -148,6 +189,20 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
                     segments = r.concatenation.len(),
                     raw_edges = r.concatenation.raw_edge_count(),
                 );
+                // Black-box record: the full failure set plus the plan
+                // fingerprint, enough for a bit-for-bit incident replay.
+                // The builder only runs when a recorder is installed.
+                obs_flight!(FlightRecord {
+                    src: s.index() as u64,
+                    dst: t.index() as u64,
+                    failed_edges: failures.failed_edges().map(|e| e.index() as u64).collect(),
+                    failed_nodes: failures.failed_nodes().map(|n| n.index() as u64).collect(),
+                    ok: true,
+                    segments: r.concatenation.len() as u64,
+                    plan_hash: r.plan_hash(),
+                    latency_ns: rbpc_obs::monotonic_ns().saturating_sub(flight_start),
+                    ..FlightRecord::new(FlightKind::Restore)
+                });
             }
             Err(e) => {
                 obs_count!("core.restore.err");
@@ -157,6 +212,16 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
                     dst = t.index(),
                     error = e.to_string(),
                 );
+                obs_flight!(FlightRecord {
+                    src: s.index() as u64,
+                    dst: t.index() as u64,
+                    failed_edges: failures.failed_edges().map(|e| e.index() as u64).collect(),
+                    failed_nodes: failures.failed_nodes().map(|n| n.index() as u64).collect(),
+                    ok: false,
+                    latency_ns: rbpc_obs::monotonic_ns().saturating_sub(flight_start),
+                    detail: e.to_string(),
+                    ..FlightRecord::new(FlightKind::Restore)
+                });
             }
         }
         result
@@ -588,6 +653,58 @@ mod tests {
                 assert_eq!(got.contains(&t), crosses, "edge {e} target {t}");
             }
         }
+    }
+
+    #[test]
+    fn plan_hash_is_deterministic_and_structural() {
+        let g = gnm_connected(25, 55, 7, 2);
+        let o = oracle(&g);
+        let r = Restorer::new(&o);
+        let base = o.base_path(1.into(), 24.into()).unwrap();
+        let f = FailureSet::of_edge(base.edges()[0]);
+        let a = r.restore(1.into(), 24.into(), &f).unwrap();
+        let b = r.restore(1.into(), 24.into(), &f).unwrap();
+        // Same query, same failures: identical plans, identical hashes.
+        assert_eq!(a.plan_hash(), b.plan_hash());
+        assert_ne!(a.plan_hash(), 0);
+        // A different query hashes differently (structural sensitivity).
+        let unaffected = r.restore(1.into(), 24.into(), &FailureSet::new()).unwrap();
+        assert_ne!(a.plan_hash(), unaffected.plan_hash());
+        // Mutating the plan structure changes the hash.
+        let mut tweaked = a.clone();
+        tweaked.affected = !tweaked.affected;
+        assert_ne!(a.plan_hash(), tweaked.plan_hash());
+    }
+
+    // Without the `obs` feature the probe compiles to a no-op.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn restore_feeds_the_flight_recorder() {
+        use rbpc_obs::{set_flight_recorder, FlightKind, FlightRecorder};
+        use std::sync::Arc;
+
+        let g = cycle(6);
+        let o = oracle(&g);
+        let rst = Restorer::new(&o);
+        let link = g.find_edge(0.into(), 1.into()).unwrap();
+
+        let ring = Arc::new(FlightRecorder::new(8));
+        let prev = set_flight_recorder(Some(Arc::clone(&ring)));
+        let res = rst.restore(0.into(), 2.into(), &FailureSet::of_edge(link));
+        set_flight_recorder(prev);
+
+        let res = res.unwrap();
+        // Other tests restoring in parallel may also have recorded while
+        // the global ring was installed; find our record by its query.
+        let frozen = ring.freeze();
+        let rec = frozen
+            .iter()
+            .find(|r| (r.src, r.dst) == (0, 2) && r.failed_edges == vec![link.index() as u64])
+            .expect("our restore was recorded");
+        assert_eq!(rec.kind, FlightKind::Restore);
+        assert!(rec.ok);
+        assert_eq!(rec.segments, res.concatenation.len() as u64);
+        assert_eq!(rec.plan_hash, res.plan_hash());
     }
 
     #[test]

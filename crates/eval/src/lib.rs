@@ -19,6 +19,11 @@
 //! queries under deterministic failure storms and reports per-window
 //! latency quantiles, restored/dropped counts, and concatenation-depth
 //! distributions as live JSONL (the `rbpc-eval loadtest` subcommand).
+//! An armed SLO watchdog freezes the flight-recorder ring into a
+//! self-contained incident file on the first breached window, and
+//! [`mod@incident`] replays such files deterministically with
+//! validators on (the `rbpc-eval replay` subcommand): every recorded
+//! plan must hash-match its re-execution.
 //!
 //! The full paper-to-code map (theorems, figures, tables -> modules and
 //! tests) is in `docs/PAPER_MAP.md` at the repository root;
@@ -29,6 +34,7 @@
 
 pub mod ablation;
 pub mod figure10;
+pub mod incident;
 pub mod loadtest;
 pub mod report;
 pub mod sampling;
@@ -42,7 +48,14 @@ pub use ablation::{
     DecompositionAgreement, KspRow, ProtectionCoverage, ProvisioningFootprint,
 };
 pub use figure10::{figure10, Figure10, StretchHistogram};
-pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport, WindowStats};
+pub use incident::{
+    parse_incident, replay_incident, write_incident, IncidentHeader, ReplayReport, TopoSpec,
+    INCIDENT_FORMAT,
+};
+pub use loadtest::{
+    run_id_for_seed, run_loadtest, run_loadtest_watched, IncidentSink, LoadtestConfig,
+    LoadtestReport, WindowStats,
+};
 pub use report::{format_table, Csv};
 pub use sampling::sample_pairs;
 pub use suite::{standard_suite, AnyOracle, EvalScale, NetworkCase};

@@ -11,22 +11,50 @@
 //!
 //! Each window is emitted as one JSON object per line (JSONL) while the
 //! run is live, and the final [`LoadtestReport`] merges every window into
-//! a whole-run summary. Timing discipline: all wall-clock access goes
-//! through `rbpc-obs` ([`Ticker`] for pacing, [`monotonic_ns`] for
-//! latency deltas), so this crate stays clean under the workspace's
-//! wall-clock lint — windows are identified by injected tick numbers and
-//! the whole run is replayable against simulated time.
+//! a whole-run summary. Every line carries the run's seed-derived
+//! `run_id`, which joins window lines, `/healthz` output, span profiles,
+//! and incident files from the same run.
+//!
+//! The run is flown under a black box: a [`FlightRecorder`] ring is
+//! installed for the duration, so every restore, outage, and storm
+//! window leaves a compact record. An [`SloWatchdog`] checks each
+//! finished window against the configured [`SloPolicy`]; on the first
+//! breach the ring is frozen into a self-contained incident file (see
+//! [`crate::incident`]) that `rbpc-eval replay` can re-execute
+//! deterministically, and the process health cell flips to `degraded`.
+//!
+//! Timing discipline: all wall-clock access goes through `rbpc-obs`
+//! ([`Ticker`] for pacing, [`monotonic_ns`] for latency deltas), so this
+//! crate stays clean under the workspace's wall-clock lint — windows are
+//! identified by injected tick numbers and the whole run is replayable
+//! against simulated time.
 
+use crate::incident::{write_incident, IncidentHeader, TopoSpec};
 use crate::{format_table, sample_pairs, AnyOracle};
 use rbpc_core::{BasePathOracle, Restorer};
-use rbpc_graph::{CostModel, DetRng, EdgeId, Graph, Metric, NodeId};
+use rbpc_graph::{splitmix64, CostModel, DetRng, EdgeId, Graph, Metric, NodeId};
 use rbpc_obs::{
-    monotonic_ns, obs_count, obs_span, HistogramSummary, Ticker, WindowSnapshot, WindowedCounter,
-    WindowedHistogram,
+    monotonic_ns, obs_count, obs_span, set_flight_recorder, set_health, FlightRecorder,
+    HealthReport, HistogramSummary, SloBreach, SloPolicy, SloWatchdog, Ticker, WindowSnapshot,
+    WindowedCounter, WindowedHistogram,
 };
 use rbpc_sim::{storm_schedule, StormParams};
 use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Salt folded into the seed before hashing it into a run id, so the run
+/// id never collides with other `splitmix64(seed)` uses of the same
+/// seed.
+const RUN_ID_SALT: u64 = 0xF116_87EC_0F11_5EED;
+
+/// The seed-derived run correlation id: 16 hex digits, identical for
+/// identical configs, joining JSONL window lines, `/healthz` output, and
+/// incident files from one run.
+pub fn run_id_for_seed(seed: u64) -> String {
+    format!("{:016x}", splitmix64(seed ^ RUN_ID_SALT))
+}
 
 /// Shape of a load-test run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +69,8 @@ pub struct LoadtestConfig {
     pub pairs: usize,
     /// The failure storm layered over the windows.
     pub storm: StormParams,
+    /// SLO budgets the watchdog enforces per window (default: disabled).
+    pub slo: SloPolicy,
     /// Seed for pair sampling and query order.
     pub seed: u64,
     /// Provisioning threads for the base-path oracle.
@@ -57,6 +87,7 @@ impl LoadtestConfig {
             queries_per_window: 200,
             pairs: 64,
             storm: StormParams::default(),
+            slo: SloPolicy::default(),
             seed: 1,
             threads: 1,
         }
@@ -70,6 +101,7 @@ impl LoadtestConfig {
             queries_per_window: 25,
             pairs: 16,
             storm: StormParams::default(),
+            slo: SloPolicy::default(),
             seed: 1,
             threads: 1,
         }
@@ -79,6 +111,8 @@ impl LoadtestConfig {
 /// One finished window of the load test.
 #[derive(Debug, Clone)]
 pub struct WindowStats {
+    /// Run correlation id (same for every window of one run).
+    pub run_id: String,
     /// 0-based window index (the tick the samples were recorded under).
     pub window: u64,
     /// Links the storm failed during this window.
@@ -100,8 +134,9 @@ impl WindowStats {
     /// newline) — parses back with [`rbpc_obs::json::parse`].
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"window\":{},\"failed_links\":{},\"queries\":{},\"restored\":{},\
-             \"dropped\":{},\"latency_ns\":{},\"depth\":{}}}",
+            "{{\"run_id\":\"{}\",\"window\":{},\"failed_links\":{},\"queries\":{},\
+             \"restored\":{},\"dropped\":{},\"latency_ns\":{},\"depth\":{}}}",
+            self.run_id,
             self.window,
             self.failed_links,
             self.queries,
@@ -121,9 +156,21 @@ fn summary_json(s: &HistogramSummary) -> String {
     )
 }
 
+/// Where a frozen flight-recorder ring goes when the watchdog trips.
+#[derive(Debug, Clone)]
+pub struct IncidentSink {
+    /// Topology recipe written into the incident header — must rebuild
+    /// the graph the run was driven on, or replay will diverge.
+    pub topo: TopoSpec,
+    /// Path the incident JSONL file is written to.
+    pub path: PathBuf,
+}
+
 /// The whole load-test run: every window plus merged digests.
 #[derive(Debug, Clone)]
 pub struct LoadtestReport {
+    /// Run correlation id.
+    pub run_id: String,
     /// Per-window statistics, in window order.
     pub windows: Vec<WindowStats>,
     /// Whole-run restore-latency digest (all windows merged).
@@ -134,11 +181,14 @@ pub struct LoadtestReport {
     pub restored: u64,
     /// Total dropped (unrestorable) queries.
     pub dropped: u64,
+    /// The SLO breach the watchdog latched, if the run broke its budget.
+    pub breach: Option<SloBreach>,
 }
 
 impl LoadtestReport {
-    /// The final summary as an ASCII table: one row per window plus a
-    /// merged `TOTAL` row.
+    /// The final summary: a `run_id` line, an ASCII table with one row
+    /// per window plus a merged `TOTAL` row, and — if the watchdog
+    /// tripped — a trailing breach line.
     pub fn render(&self) -> String {
         let mut rows: Vec<Vec<String>> = self
             .windows
@@ -170,7 +220,7 @@ impl LoadtestReport {
             format!("{:.2}", self.depth.mean),
             self.depth.max.to_string(),
         ]);
-        format_table(
+        let table = format_table(
             &[
                 "window",
                 "failed",
@@ -184,8 +234,35 @@ impl LoadtestReport {
                 "depth_max",
             ],
             &rows,
-        )
+        );
+        let mut out = format!("run_id {}\n{table}", self.run_id);
+        if let Some(b) = &self.breach {
+            out.push_str(&format!("SLO BREACH window {}: {}\n", b.tick, b.reason));
+        }
+        out
     }
+}
+
+/// Restores the previously-installed flight recorder on drop, so every
+/// exit path (including `?` on I/O errors) puts the global back.
+struct RecorderGuard(Option<Arc<FlightRecorder>>);
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        set_flight_recorder(self.0.take());
+    }
+}
+
+/// [`run_loadtest_watched`] without an incident sink: the flight
+/// recorder still flies and the watchdog still latches breaches into the
+/// report and health cell, but a frozen ring has nowhere to go.
+pub fn run_loadtest<W: Write>(
+    graph: &Graph,
+    metric: Metric,
+    cfg: &LoadtestConfig,
+    out: &mut W,
+) -> io::Result<LoadtestReport> {
+    run_loadtest_watched(graph, metric, cfg, out, None)
 }
 
 /// Drives the load test: provisions an oracle over `graph`, samples flow
@@ -195,6 +272,14 @@ impl LoadtestReport {
 /// finished window is written to `out` as one JSONL line before the next
 /// window starts — tail the file for a live view.
 ///
+/// For the duration of the run a [`FlightRecorder`] sized to hold every
+/// record the run can produce is installed as the process black box
+/// (the previous recorder is restored on exit). After each window the
+/// [`SloWatchdog`] checks the configured budgets; on the first breach
+/// the ring is frozen and — when `sink` is given — written as an
+/// incident file for `rbpc-eval replay`, and the global health cell
+/// flips to `degraded` (otherwise it tracks `ok` per window).
+///
 /// Latency is measured around [`Restorer::restore`] with
 /// [`monotonic_ns`] deltas and recorded into [`WindowedHistogram`]s
 /// under the window's tick; pacing uses [`Ticker::wait_for`]. Windows
@@ -203,14 +288,17 @@ impl LoadtestReport {
 ///
 /// # Errors
 ///
-/// Only I/O errors from writing `out` — the query stream itself treats
-/// unrestorable flows as data (the `dropped` count), not failures.
-pub fn run_loadtest<W: Write>(
+/// Only I/O errors from writing `out` or the incident file — the query
+/// stream itself treats unrestorable flows as data (the `dropped`
+/// count), not failures.
+pub fn run_loadtest_watched<W: Write>(
     graph: &Graph,
     metric: Metric,
     cfg: &LoadtestConfig,
     out: &mut W,
+    sink: Option<&IncidentSink>,
 ) -> io::Result<LoadtestReport> {
+    let run_id = run_id_for_seed(cfg.seed);
     let oracle = AnyOracle::for_graph_threads(
         graph.clone(),
         CostModel::new(metric, cfg.seed),
@@ -227,14 +315,24 @@ pub fn run_loadtest<W: Write>(
     }
     candidates.sort_unstable();
     candidates.dedup();
+
+    let cap = usize::try_from(cfg.windows).unwrap_or(usize::MAX).max(1);
+    // Black box: one slot per possible record (a restore per query, plus
+    // one storm record per window, plus slack) so a frozen incident holds
+    // the whole run, not a truncated tail. Installed before the storm is
+    // built so the schedule's own records are captured too.
+    let recorder = Arc::new(FlightRecorder::new(
+        cap.saturating_mul(cfg.queries_per_window + 1) + 16,
+    ));
+    let _guard = RecorderGuard(set_flight_recorder(Some(Arc::clone(&recorder))));
     let schedule = storm_schedule(&candidates, cfg.windows, &cfg.storm);
 
     let restorer = Restorer::new(&oracle);
-    let cap = usize::try_from(cfg.windows).unwrap_or(usize::MAX).max(1);
     let latency = WindowedHistogram::new(cap);
     let depth = WindowedHistogram::new(cap);
     let restored = WindowedCounter::new(cap);
     let dropped = WindowedCounter::new(cap);
+    let mut watchdog = SloWatchdog::new(cfg.slo);
     let mut rng = DetRng::seed_from_u64(cfg.seed ^ 0x10AD_7E57);
 
     let mut windows = Vec::with_capacity(cap);
@@ -242,6 +340,7 @@ pub fn run_loadtest<W: Write>(
     for t in 0..cfg.windows {
         ticker.wait_for(t);
         let _window_span = obs_span!("eval.loadtest.window");
+        recorder.set_tick(t);
         let failures = &schedule[usize::try_from(t).unwrap_or(0)];
         for _ in 0..cfg.queries_per_window {
             let (s, d): (NodeId, NodeId) = pairs[rng.gen_range(0..pairs.len())];
@@ -266,6 +365,7 @@ pub fn run_loadtest<W: Write>(
         // slot can't rotate out, but snapshotting here is what makes the
         // JSONL stream *live* rather than an end-of-run dump.
         let stats = WindowStats {
+            run_id: run_id.clone(),
             window: t,
             failed_links: failures.failed_edge_count(),
             queries: cfg.queries_per_window,
@@ -282,17 +382,45 @@ pub fn run_loadtest<W: Write>(
         };
         writeln!(out, "{}", stats.to_json())?;
         out.flush()?;
+
+        // The watchdog sees the window the moment it closes. The first
+        // breach freezes the black box into an incident file and flips
+        // the health cell; later windows keep the degraded verdict.
+        let first_breach = watchdog
+            .observe(t, &stats.latency, stats.restored, stats.dropped)
+            .cloned();
+        if let Some(breach) = first_breach {
+            set_health(Some(HealthReport::degraded(&run_id, t, &breach.reason)));
+            if let Some(sink) = sink {
+                let records = recorder.freeze();
+                let header = IncidentHeader {
+                    run_id: run_id.clone(),
+                    seed: cfg.seed,
+                    metric,
+                    topo: sink.topo.clone(),
+                    breach_tick: breach.tick,
+                    breach_reason: breach.reason.clone(),
+                    records: records.len(),
+                };
+                let file = std::fs::File::create(&sink.path)?;
+                write_incident(&mut io::BufWriter::new(file), &header, &records)?;
+            }
+        } else if watchdog.breach().is_none() {
+            set_health(Some(HealthReport::ok(&run_id, t)));
+        }
         windows.push(stats);
     }
 
     let total_restored = restored.totals().iter().map(|&(_, n)| n).sum();
     let total_dropped = dropped.totals().iter().map(|&(_, n)| n).sum();
     Ok(LoadtestReport {
+        run_id,
         windows,
         latency: latency.merged().summary(),
         depth: depth.merged().summary(),
         restored: total_restored,
         dropped: total_dropped,
+        breach: watchdog.breach().cloned(),
     })
 }
 
@@ -320,6 +448,7 @@ mod tests {
         assert_eq!(report.windows.len(), 3);
         assert_eq!(report.restored + report.dropped, 30);
         assert!(report.restored > 0, "a connected gnm graph must restore");
+        assert!(report.breach.is_none(), "default policy cannot breach");
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 3);
     }
@@ -329,9 +458,15 @@ mod tests {
         let graph = gnm_connected(40, 120, 8, 7);
         let mut buf = Vec::new();
         let report = run_loadtest(&graph, Metric::Weighted, &tiny_cfg(), &mut buf).unwrap();
+        assert_eq!(report.run_id, run_id_for_seed(tiny_cfg().seed));
         let text = String::from_utf8(buf).unwrap();
         for (line, w) in text.lines().zip(&report.windows) {
             let v = rbpc_obs::json::parse(line).expect("window line is valid JSON");
+            assert_eq!(
+                v.get("run_id").and_then(|x| x.as_str()),
+                Some(report.run_id.as_str()),
+                "every window line carries the run id"
+            );
             assert_eq!(
                 v.get("window").and_then(|x| x.as_f64()),
                 Some(w.window as f64)
@@ -380,7 +515,52 @@ mod tests {
         let table = report.render();
         assert!(table.contains("TOTAL"));
         assert!(table.contains("p99_ns"));
-        // Header + rule + one row per window + total.
-        assert_eq!(table.lines().count(), 2 + 3 + 1);
+        assert!(table.starts_with(&format!("run_id {}\n", report.run_id)));
+        // Run-id line + header + rule + one row per window + total.
+        assert_eq!(table.lines().count(), 1 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn breach_freezes_an_incident_file() {
+        let graph = gnm_connected(40, 120, 8, 7);
+        let cfg = LoadtestConfig {
+            // A 0ns p99 budget: the first window with any successful
+            // restore breaches deterministically.
+            slo: SloPolicy {
+                p99_budget_ns: Some(0),
+                ..SloPolicy::default()
+            },
+            ..tiny_cfg()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "rbpc-loadtest-incident-{}.jsonl",
+            std::process::id()
+        ));
+        let sink = IncidentSink {
+            topo: TopoSpec::Gnm {
+                nodes: 40,
+                edges: 120,
+                max_weight: 8,
+                seed: 7,
+            },
+            path: path.clone(),
+        };
+        let mut buf = Vec::new();
+        let report =
+            run_loadtest_watched(&graph, Metric::Weighted, &cfg, &mut buf, Some(&sink)).unwrap();
+        let rendered = report.render();
+        let breach = report.breach.expect("0ns budget must breach");
+        assert!(rendered.contains("SLO BREACH"), "{rendered}");
+        // The incident file is a parseable header + records. (Record
+        // contents are not asserted here: the recorder is process-global,
+        // so parallel tests may interleave their own records — the
+        // binary-level replay test owns end-to-end fidelity.)
+        let text = std::fs::read_to_string(&path).expect("incident written");
+        let (header, _records) = crate::incident::parse_incident(&text).expect("incident parses");
+        assert_eq!(header.run_id, report.run_id);
+        assert_eq!(header.breach_tick, breach.tick);
+        assert_eq!(header.breach_reason, breach.reason);
+        assert_eq!(header.seed, cfg.seed);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -45,7 +45,7 @@
 use rbpc_core::{BasePathOracle, Restorer};
 use rbpc_eval::{
     figure10, sample_pairs, standard_suite, table1, table2_block, table3, EvalScale, FailureClass,
-    LoadtestConfig,
+    IncidentSink, LoadtestConfig, TopoSpec,
 };
 use rbpc_graph::{
     CostModel, CsrGraph, DetRng, DijkstraScratch, EdgeId, FailureMask, FailureSet, NodeId,
@@ -76,16 +76,22 @@ struct Args {
     serve: Option<String>,
     smoke: bool,
     profile_out: Option<PathBuf>,
+    incident_out: Option<PathBuf>,
+    slo_p99_us: Option<u64>,
+    slo_drop_pm: Option<u64>,
+    /// Positional incident file for the `replay` command.
+    incident_path: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|loadtest|validate|all>\n\
+    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|loadtest|replay|validate|all>\n\
      \x20         [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]\n\
      \x20         [--topology FILE --metric weighted|unweighted]\n\
      \x20         [--metrics-out FILE] [--events-out FILE] [--profile-out FILE]\n\
      \x20         [--trace-out FILE] [--failures K] [--events N]\n\
      \x20         [--windows N] [--window-ms MS] [--queries N] [--out FILE]\n\
-     \x20         [--serve ADDR] [--smoke]\n\
+     \x20         [--serve ADDR] [--smoke] [--incident-out FILE]\n\
+     \x20         [--slo-p99-us N] [--slo-drop-pm N]\n\
      \n\
      commands:\n\
      \x20 table1    network suite summary (Table 1)\n\
@@ -98,6 +104,10 @@ fn usage() -> &'static str {
      \x20 trace     inject a K-link failure and print per-LSP span trees\n\
      \x20 loadtest  paced restore queries under a deterministic failure\n\
      \x20           storm; one JSONL window report per line, live\n\
+     \x20 replay    re-execute a frozen incident file deterministically:\n\
+     \x20           rbpc-eval replay <incident.jsonl> — rebuilds the\n\
+     \x20           topology, re-runs every recorded restore with\n\
+     \x20           validators on, exits non-zero on plan-hash divergence\n\
      \x20 validate  machine-check structural invariants and theory bounds\n\
      \x20           on every suite network (non-zero exit on violation)\n\
      \x20 all       every artifact above except `churn`, `trace`,\n\
@@ -124,7 +134,15 @@ fn usage() -> &'static str {
      \x20                   e.g. 127.0.0.1:9100 (needs the obs-net feature)\n\
      \x20 --smoke           tiny topology + short windows: sub-second CI run\n\
      \x20 --profile-out FILE  sample the span stacks of any command into a\n\
-     \x20                   collapsed-stack (flamegraph) file"
+     \x20                   collapsed-stack (flamegraph) file\n\
+     \n\
+     SLO watchdog & flight recorder (loadtest):\n\
+     \x20 --slo-p99-us N    per-window p99 restore-latency budget in µs;\n\
+     \x20                   the first window over budget freezes the\n\
+     \x20                   flight recorder and flips /healthz to 503\n\
+     \x20 --slo-drop-pm N   dropped-query budget per thousand attempts\n\
+     \x20 --incident-out FILE  where a frozen incident (JSONL) goes; feed\n\
+     \x20                   it back to `rbpc-eval replay`"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -150,6 +168,10 @@ fn parse_args() -> Result<Args, String> {
     let mut serve = None;
     let mut smoke = false;
     let mut profile_out = None;
+    let mut incident_out = None;
+    let mut slo_p99_us = None;
+    let mut slo_drop_pm = None;
+    let mut incident_path = None;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -209,12 +231,33 @@ fn parse_args() -> Result<Args, String> {
             "--serve" => serve = Some(value()?),
             "--smoke" => smoke = true,
             "--profile-out" => profile_out = Some(PathBuf::from(value()?)),
+            "--incident-out" => incident_out = Some(PathBuf::from(value()?)),
+            "--slo-p99-us" => {
+                slo_p99_us = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad slo-p99-us: {e}"))?,
+                )
+            }
+            "--slo-drop-pm" => {
+                let pm: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("bad slo-drop-pm: {e}"))?;
+                if pm > 1000 {
+                    return Err("--slo-drop-pm is per mille (0..=1000)".to_string());
+                }
+                slo_drop_pm = Some(pm);
+            }
             "--metric" => {
                 metric = match value()?.as_str() {
                     "weighted" => rbpc_graph::Metric::Weighted,
                     "unweighted" => rbpc_graph::Metric::Unweighted,
                     other => return Err(format!("unknown metric `{other}`")),
                 }
+            }
+            // One positional operand: the incident file for `replay`.
+            other if !other.starts_with("--") && incident_path.is_none() => {
+                incident_path = Some(PathBuf::from(other));
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -239,6 +282,10 @@ fn parse_args() -> Result<Args, String> {
         serve,
         smoke,
         profile_out,
+        incident_out,
+        slo_p99_us,
+        slo_drop_pm,
+        incident_path,
     })
 }
 
@@ -293,7 +340,9 @@ fn main() -> ExitCode {
         "# rbpc-eval {} --scale {scale_name} --seed {} --threads {}",
         args.command, args.seed, args.threads
     );
-    if args.trace_out.is_some() || args.command == "trace" {
+    // Replay runs with full tracing so an incident can be inspected in
+    // perfetto via --trace-out on top of the hash checks.
+    if args.trace_out.is_some() || args.command == "trace" || args.command == "replay" {
         rbpc_obs::start_tracing();
     }
     // Span-stack sampler: started before any work so provisioning and the
@@ -312,6 +361,20 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    // `replay` derives its topology from the incident header, not the
+    // suite — dispatch before topology generation.
+    if args.command == "replay" {
+        let outcome = run_replay(&args);
+        finish_observability(&args, Vec::new(), profiler);
+        return match outcome {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let suite = match &args.topology {
         Some(path) => {
@@ -600,9 +663,41 @@ fn main() -> ExitCode {
         }
         cfg.seed = args.seed;
         cfg.threads = args.threads;
+        cfg.slo = rbpc_obs::SloPolicy {
+            p99_budget_ns: args.slo_p99_us.map(|us| us.saturating_mul(1_000)),
+            max_drop_per_mille: args.slo_drop_pm,
+            ..rbpc_obs::SloPolicy::default()
+        };
+        // The incident header's topology recipe: whatever rebuilds
+        // exactly the graph this run is driving.
+        let topo = if args.smoke {
+            TopoSpec::Gnm {
+                nodes: 60,
+                edges: 180,
+                max_weight: 10,
+                seed: args.seed,
+            }
+        } else if let Some(path) = &args.topology {
+            TopoSpec::File {
+                path: path.display().to_string(),
+            }
+        } else {
+            TopoSpec::Suite {
+                scale: args.scale,
+                seed: args.seed,
+                case: 0,
+            }
+        };
+        let sink = args.incident_out.as_ref().map(|path| IncidentSink {
+            topo,
+            path: path.clone(),
+        });
         eprintln!(
-            "# loadtest: {name} — {} windows x {}ms, {} queries/window",
-            cfg.windows, cfg.window_ms, cfg.queries_per_window
+            "# loadtest: {name} — {} windows x {}ms, {} queries/window, run_id {}",
+            cfg.windows,
+            cfg.window_ms,
+            cfg.queries_per_window,
+            rbpc_eval::run_id_for_seed(cfg.seed)
         );
         let server = match args.serve.as_deref().map(rbpc_obs::MetricsServer::serve) {
             Some(Ok(s)) => {
@@ -620,21 +715,36 @@ fn main() -> ExitCode {
                 let file = std::fs::File::create(path)
                     .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
                 let mut w = std::io::BufWriter::new(file);
-                let r = rbpc_eval::run_loadtest(&graph, metric, &cfg, &mut w)
-                    .map_err(|e| format!("loadtest: {e}"))?;
+                let r =
+                    rbpc_eval::run_loadtest_watched(&graph, metric, &cfg, &mut w, sink.as_ref())
+                        .map_err(|e| format!("loadtest: {e}"))?;
                 eprintln!("# wrote {} ({} windows)", path.display(), r.windows.len());
                 r
             }
             None => {
                 let stdout = std::io::stdout();
                 let mut w = stdout.lock();
-                rbpc_eval::run_loadtest(&graph, metric, &cfg, &mut w)
+                rbpc_eval::run_loadtest_watched(&graph, metric, &cfg, &mut w, sink.as_ref())
                     .map_err(|e| format!("loadtest: {e}"))?
             }
         };
         eprintln!();
         eprintln!("== loadtest summary ==");
         eprint!("{}", report.render());
+        if let Some(breach) = &report.breach {
+            match &args.incident_out {
+                Some(path) => eprintln!(
+                    "# SLO breach at window {} — incident frozen to {}",
+                    breach.tick,
+                    path.display()
+                ),
+                None => eprintln!(
+                    "# SLO breach at window {} (no --incident-out; flight \
+                     recording discarded)",
+                    breach.tick
+                ),
+            }
+        }
         if let Some(s) = server {
             s.shutdown();
         }
@@ -789,6 +899,49 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The `replay` command: parse an incident file, rebuild its topology
+/// and oracle, re-execute every recorded restore with validators on, and
+/// report divergence. Returns the number of mismatches (0 == clean).
+fn run_replay(args: &Args) -> Result<usize, String> {
+    let path = args
+        .incident_path
+        .as_ref()
+        .ok_or("replay needs an incident file: rbpc-eval replay <incident.jsonl>")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (header, records) =
+        rbpc_eval::parse_incident(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!(
+        "# replay: run_id {} — {} records, breach at window {} ({})",
+        header.run_id,
+        records.len(),
+        header.breach_tick,
+        header.breach_reason
+    );
+    let report = rbpc_eval::replay_incident(&header, &records, args.threads)?;
+    println!(
+        "== Replay: incident {} on {} ==",
+        report.run_id, report.topo_name
+    );
+    println!(
+        "{} restore records replayed, {} matched, {} Theorem-bound checks",
+        report.replayed, report.matched, report.bounds_checked
+    );
+    for m in &report.mismatches {
+        println!("MISMATCH: {m}");
+    }
+    if report.is_clean() {
+        println!("replay: OK — every replayed plan hash-matched the recording");
+    } else {
+        println!(
+            "replay: FAILED — {} of {} replayed records diverged",
+            report.mismatches.len(),
+            report.replayed
+        );
+    }
+    Ok(report.mismatches.len())
 }
 
 /// Drains the event sink, exports collected trace spans, stops the

@@ -9,7 +9,7 @@
 //! hash-order iteration in algorithm code, no wall-clock reads outside
 //! the measurement crates, no panics in restoration paths, balanced
 //! feature gates. This crate machine-checks those disciplines with a
-//! lightweight line scanner (see [`scan`]) and five rules (see [`rules`]),
+//! lightweight line scanner (see [`scan`]) and six rules (see [`rules`]),
 //! and `scripts/check.sh` runs it as a hard gate before clippy.
 //!
 //! Escape hatches, in order of preference:

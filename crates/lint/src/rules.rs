@@ -1,4 +1,4 @@
-//! The five static rules.
+//! The six static rules.
 //!
 //! Every rule reports [`Finding`]s against workspace-relative paths and
 //! honors the `// lint:allow(<rule>)` escape hatch (checked by the caller
@@ -12,6 +12,7 @@
 //! | `panic` | rbpc-core, rbpc-graph, rbpc-mpls | `unwrap()` / bare `expect()` / `panic!` family |
 //! | `crate-attrs` | every crate | missing `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` |
 //! | `cfg-balance` | every crate | unpaired or undeclared `cfg(feature = …)` gates |
+//! | `static-span-names` | every crate | `obs_span!`/`obs_trace!` with a non-literal name |
 
 use crate::scan::{FileKind, SourceFile};
 use crate::{CrateInfo, Finding, Workspace};
@@ -23,6 +24,7 @@ pub const RULES: &[&str] = &[
     "panic",
     "crate-attrs",
     "cfg-balance",
+    "static-span-names",
 ];
 
 /// Crates whose algorithm output must be independent of hash order.
@@ -46,6 +48,7 @@ pub fn run_all(ws: &Workspace, out: &mut Vec<Finding>) {
         }
         crate_attrs(krate, out);
         cfg_balance(krate, out);
+        static_span_names(krate, out);
     }
 }
 
@@ -432,6 +435,62 @@ fn cfg_features(s: &str) -> Vec<(String, bool)> {
         rest = &rest[at + "feature".len()..];
     }
     found
+}
+
+// ---------------------------------------------------------------------------
+// static-span-names
+// ---------------------------------------------------------------------------
+
+/// Observability hygiene: `obs_span!`/`obs_trace!` names become
+/// aggregation keys — registry histogram names, span-profiler stack
+/// frames, trace-viewer track names. A dynamically built name (`format!`,
+/// a variable) makes that key space unbounded, so profiles stop
+/// aggregating and the metrics registry grows without limit. The first
+/// argument must be a static string literal.
+fn static_span_names(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    for file in &krate.files {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (ln, line) in live_lines(file) {
+            if file.allowed("static-span-names", ln) {
+                continue;
+            }
+            for mac in ["obs_span!(", "obs_trace!("] {
+                // Detect via the blanked form (a string mentioning the
+                // macro can't trip it); read the argument from the
+                // string-preserving form — rustfmt wraps long call sites
+                // so the name may sit on the next line.
+                if boundary_matches(&line.code_nostr, mac).next().is_none() {
+                    continue;
+                }
+                let Some(at) = line.code.find(mac) else {
+                    continue;
+                };
+                let after = line.code[at + mac.len()..].trim_start();
+                let arg = if after.is_empty() {
+                    file.lines
+                        .get(ln) // ln is 1-based: this is the next line
+                        .map(|l| l.code.trim_start().to_string())
+                        .unwrap_or_default()
+                } else {
+                    after.to_string()
+                };
+                if !arg.starts_with('"') {
+                    out.push(Finding {
+                        rule: "static-span-names",
+                        path: file.path.clone(),
+                        line: ln,
+                        message: format!(
+                            "`{}` name must be a static string literal; dynamic names make \
+                             profiler/registry aggregation keys unbounded",
+                            mac.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

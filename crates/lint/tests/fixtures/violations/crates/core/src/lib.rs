@@ -34,6 +34,20 @@ pub fn allowed_boom() {
     panic!("allowed");
 }
 
+pub fn dynamic_span(name: &str) {
+    let _s = obs_span!(name);
+}
+
+pub fn dynamic_trace(kind: u32) {
+    let _t = obs_trace!(format!("outage.{kind}"));
+}
+
+pub fn wrapped_static_name_is_fine() {
+    let _t = obs_trace!(
+        "outage.window",
+    );
+}
+
 #[cfg(feature = "obs")]
 pub fn gated() {}
 

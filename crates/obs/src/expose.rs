@@ -178,6 +178,28 @@ impl PromSample {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Renders this sample back as one exposition line (no trailing
+    /// newline) — the inverse of [`parse_prometheus`] for a single
+    /// sample. Label values are re-escaped; non-finite values use the
+    /// format's spellings (`NaN`, `+Inf`, `-Inf`); an empty label set
+    /// canonicalizes to no braces.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(self.name.len() + 16);
+        out.push_str(&self.name);
+        write_label_set(&mut out, &self.labels);
+        out.push(' ');
+        if self.value.is_nan() {
+            out.push_str("NaN");
+        } else if self.value == f64::INFINITY {
+            out.push_str("+Inf");
+        } else if self.value == f64::NEG_INFINITY {
+            out.push_str("-Inf");
+        } else {
+            let _ = write!(out, "{}", self.value);
+        }
+        out
+    }
 }
 
 /// Parses text exposition format 0.0.4 into its samples.
@@ -307,7 +329,10 @@ mod server {
     ///
     /// Routes: `GET /metrics` — [`render_prometheus`](super::render_prometheus)
     /// of [`Registry::global_snapshot`](crate::Registry::global_snapshot),
-    /// `Content-Type: text/plain; version=0.0.4`; `GET /healthz` — `ok`.
+    /// `Content-Type: text/plain; version=0.0.4`; `GET /healthz` —
+    /// [`health_text`](crate::health_text): `200 ok ...` while within
+    /// budgets (or before any report), `503 degraded ...` with the
+    /// breach reason once the SLO watchdog has tripped.
     /// Anything else is a 404. One request per connection
     /// (`Connection: close`); the accept loop is non-blocking with a
     /// 10ms nap, so [`shutdown`](MetricsServer::shutdown) (or drop)
@@ -414,7 +439,15 @@ mod server {
                 "text/plain; version=0.0.4; charset=utf-8",
                 super::render_prometheus(&crate::Registry::global_snapshot()),
             ),
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/healthz" => {
+                let (healthy, body) = crate::health_text();
+                let status = if healthy {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                (status, "text/plain; charset=utf-8", body)
+            }
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
@@ -549,5 +582,53 @@ mod tests {
         let samples = parse_prometheus(&out).expect("escaped labels parse");
         assert_eq!(samples[0].label("k"), Some("a\\b\"c\nd"));
         assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn non_finite_values_round_trip() {
+        let samples =
+            parse_prometheus("a NaN\nb +Inf\nc -Inf\nd inf").expect("non-finite values parse");
+        assert!(samples[0].value.is_nan());
+        assert_eq!(samples[1].value, f64::INFINITY);
+        assert_eq!(samples[2].value, f64::NEG_INFINITY);
+        assert_eq!(samples[3].value, f64::INFINITY);
+        // Render back and re-parse: canonical spellings, values survive.
+        assert_eq!(samples[0].to_line(), "a NaN");
+        assert_eq!(samples[1].to_line(), "b +Inf");
+        assert_eq!(samples[2].to_line(), "c -Inf");
+        assert_eq!(samples[3].to_line(), "d +Inf");
+        let text: Vec<String> = samples.iter().map(|s| s.to_line()).collect();
+        let again = parse_prometheus(&text.join("\n")).expect("rendered lines parse");
+        assert!(again[0].value.is_nan());
+        assert_eq!(again[1].value, f64::INFINITY);
+        assert_eq!(again[2].value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn escaped_labels_round_trip_through_to_line() {
+        let sample = PromSample {
+            name: "m".to_string(),
+            labels: vec![
+                ("k".to_string(), "a\\b\"c\nd".to_string()),
+                ("plain".to_string(), "v".to_string()),
+            ],
+            value: 2.5,
+        };
+        let line = sample.to_line();
+        assert_eq!(line, "m{k=\"a\\\\b\\\"c\\nd\",plain=\"v\"} 2.5");
+        let parsed = parse_prometheus(&line).expect("escaped line parses");
+        assert_eq!(parsed[0], sample);
+    }
+
+    #[test]
+    fn empty_label_set_round_trips() {
+        // `m{} 1` is legal exposition: empty label set, braces present.
+        let samples = parse_prometheus("m{} 1").expect("empty label set parses");
+        assert!(samples[0].labels.is_empty());
+        assert_eq!(samples[0].value, 1.0);
+        // to_line canonicalizes away the empty braces; still parses.
+        let line = samples[0].to_line();
+        assert_eq!(line, "m 1");
+        assert_eq!(parse_prometheus(&line).expect("parses")[0], samples[0]);
     }
 }

@@ -32,7 +32,14 @@
 //!   `obs-net`);
 //! * [`Profiler`] — a span-stack sampler producing collapsed-stack
 //!   (flamegraph) [`ProfileReport`]s from the same `obs_span!` sites the
-//!   histograms use.
+//!   histograms use;
+//! * [`FlightRecorder`] + [`obs_flight!`] — an always-on black-box ring
+//!   of compact [`FlightRecord`]s (query endpoints, failure sets,
+//!   outcomes, plan hashes) from the restoration hot paths;
+//! * [`SloWatchdog`] + [`health_text`] — per-window budget checks (p99
+//!   latency, drop rate) that latch the first breach — the trigger for
+//!   freezing the ring into a replayable incident file — and the global
+//!   health cell `/healthz` serves.
 //!
 //! # Feature gating
 //!
@@ -64,7 +71,9 @@ mod expose;
 mod histogram;
 pub mod json;
 mod profile;
+mod recorder;
 mod registry;
+mod slo;
 mod span;
 mod timeseries;
 mod trace;
@@ -77,7 +86,15 @@ pub use expose::{
 };
 pub use histogram::{Histogram, HistogramSummary};
 pub use profile::{ProfileReport, Profiler};
+pub use recorder::{
+    flight_record, flight_recorder, flight_recorder_active, set_flight_recorder, FlightKind,
+    FlightRecord, FlightRecorder, STAMP_TICK,
+};
 pub use registry::{Registry, Snapshot};
+pub use slo::{
+    health_snapshot, health_text, set_health, HealthReport, HealthStatus, SloBreach, SloPolicy,
+    SloWatchdog,
+};
 pub use span::Span;
 pub use timeseries::{monotonic_ns, Ticker, WindowSnapshot, WindowedCounter, WindowedHistogram};
 pub use trace::{
@@ -247,6 +264,55 @@ macro_rules! obs_event {
         #[cfg(not(feature = "obs"))]
         {
             let _ = (&$name $(, &$val)*);
+        }
+    }};
+}
+
+/// Appends a [`FlightRecord`] to the global [`FlightRecorder`], if one is
+/// installed: `obs_flight!(build_record_expr)`.
+///
+/// The record-building expression is **not evaluated** unless a recorder
+/// is active — the un-recorded cost of a hook is one atomic load — so the
+/// builder may allocate (failure-set vectors, detail strings) without
+/// taxing the hot path. Compiles to a no-op when the calling crate's
+/// `obs` feature is off.
+#[macro_export]
+macro_rules! obs_flight {
+    ($build:expr) => {{
+        #[cfg(feature = "obs")]
+        {
+            if $crate::flight_recorder_active() {
+                $crate::flight_record($build);
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = || $build;
+        }
+    }};
+}
+
+/// A monotonic timestamp for flight-record latency stamps:
+/// `let t0 = obs_flight_now!();`.
+///
+/// Evaluates to [`monotonic_ns`] when a global [`FlightRecorder`] is
+/// installed and `0u64` otherwise (including when the calling crate's
+/// `obs` feature is off) — the clock is only read when the result can
+/// actually end up in a record.
+#[macro_export]
+macro_rules! obs_flight_now {
+    () => {{
+        #[cfg(feature = "obs")]
+        {
+            if $crate::flight_recorder_active() {
+                $crate::monotonic_ns()
+            } else {
+                0u64
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0u64
         }
     }};
 }

@@ -1,0 +1,429 @@
+//! The black-box flight recorder: a fixed-capacity, lock-light ring of
+//! compact structured records from the restoration hot paths.
+//!
+//! Live gauges answer "how is the run going?"; when a restore blows its
+//! latency budget the operator needs "what exactly happened, and can I
+//! run it again?". The [`FlightRecorder`] keeps the last `capacity`
+//! [`FlightRecord`]s — query endpoints, the full failure set, outcome,
+//! concatenation count, plan hash, latency ticks — cheap enough to stay
+//! **always on**: recording is one atomic fetch-add plus one small
+//! per-slot mutex, and with no recorder installed the
+//! [`obs_flight!`](crate::obs_flight) hook is a single atomic load.
+//!
+//! Slots are indexed by `seq % capacity` (the same lock-light ring idiom
+//! as [`WindowedHistogram`](crate::WindowedHistogram)): concurrent
+//! recorders contend only on colliding slots, and a straggler holding an
+//! old sequence number can never overwrite a newer record. When an SLO
+//! watchdog trips (see [`SloWatchdog`](crate::SloWatchdog)), the ring is
+//! [frozen](FlightRecorder::freeze) in sequence order into a
+//! self-contained JSONL incident file that `rbpc-eval replay` re-executes
+//! bit for bit.
+
+use crate::json::JsonValue;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Sentinel tick meaning "stamp me with the recorder's current tick".
+pub const STAMP_TICK: u64 = u64::MAX;
+
+/// What kind of moment a [`FlightRecord`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// One `Restorer::restore` call (success or failure).
+    Restore,
+    /// One simulated outage window (scheme in `detail`).
+    Outage,
+    /// One storm window's failure schedule taking effect.
+    StormWindow,
+}
+
+impl FlightKind {
+    /// Stable wire name, used in incident files.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::Restore => "restore",
+            FlightKind::Outage => "outage",
+            FlightKind::StormWindow => "storm_window",
+        }
+    }
+
+    /// The inverse of [`FlightKind::as_str`].
+    pub fn parse(s: &str) -> Option<FlightKind> {
+        match s {
+            "restore" => Some(FlightKind::Restore),
+            "outage" => Some(FlightKind::Outage),
+            "storm_window" => Some(FlightKind::StormWindow),
+            _ => None,
+        }
+    }
+}
+
+/// One compact structured record of a restoration-path moment.
+///
+/// Self-contained by design: a restore record carries its **full**
+/// failure set (storm failure sets are small — a handful of links), so a
+/// replay needs nothing beyond the record and the topology recipe in the
+/// incident header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Global sequence number, assigned by the recorder.
+    pub seq: u64,
+    /// Window tick the record belongs to ([`STAMP_TICK`] on input means
+    /// "use the recorder's current tick").
+    pub tick: u64,
+    /// What kind of moment this is.
+    pub kind: FlightKind,
+    /// Query source node index (0 for kinds without endpoints).
+    pub src: u64,
+    /// Query destination node index (0 for kinds without endpoints).
+    pub dst: u64,
+    /// Failed edge ids in effect, sorted.
+    pub failed_edges: Vec<u64>,
+    /// Failed node ids in effect, sorted.
+    pub failed_nodes: Vec<u64>,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Concatenation count (label-stack depth) of the restoration plan.
+    pub segments: u64,
+    /// Deterministic hash of the restoration plan
+    /// (`Restoration::plan_hash` in rbpc-core); 0 when absent.
+    pub plan_hash: u64,
+    /// Wall-clock latency of the operation in nanoseconds (the one
+    /// nondeterministic field — replays compare everything else).
+    pub latency_ns: u64,
+    /// Free-form context: the error message for failed restores, the
+    /// scheme name for outage records.
+    pub detail: String,
+}
+
+impl FlightRecord {
+    /// A blank record of the given kind, tick set to [`STAMP_TICK`].
+    pub fn new(kind: FlightKind) -> FlightRecord {
+        FlightRecord {
+            seq: 0,
+            tick: STAMP_TICK,
+            kind,
+            src: 0,
+            dst: 0,
+            failed_edges: Vec::new(),
+            failed_nodes: Vec::new(),
+            ok: true,
+            segments: 0,
+            plan_hash: 0,
+            latency_ns: 0,
+            detail: String::new(),
+        }
+    }
+
+    /// This record as one compact JSON object (no trailing newline).
+    ///
+    /// `plan_hash` is rendered as a 16-digit hex *string*: the std-only
+    /// JSON reader parses numbers as `f64`, which would corrupt a 64-bit
+    /// integer rendered in decimal.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"tick\":{},\"kind\":\"{}\",\"src\":{},\"dst\":{}",
+            self.seq,
+            self.tick,
+            self.kind.as_str(),
+            self.src,
+            self.dst
+        );
+        for (key, ids) in [
+            ("failed_edges", &self.failed_edges),
+            ("failed_nodes", &self.failed_nodes),
+        ] {
+            let _ = write!(out, ",\"{key}\":[");
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{id}");
+            }
+            out.push(']');
+        }
+        let _ = write!(
+            out,
+            ",\"ok\":{},\"segments\":{},\"plan_hash\":\"{:016x}\",\"latency_ns\":{},\
+             \"detail\":\"{}\"}}",
+            self.ok,
+            self.segments,
+            self.plan_hash,
+            self.latency_ns,
+            crate::json_escape(&self.detail)
+        );
+        out
+    }
+
+    /// Parses a record back from a [`JsonValue`] object — the inverse of
+    /// [`FlightRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn from_json(v: &JsonValue) -> Result<FlightRecord, String> {
+        fn num(v: &JsonValue, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_f64())
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        }
+        fn ids(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+            v.get(key)
+                .and_then(|x| x.as_arr())
+                .ok_or_else(|| format!("missing array field `{key}`"))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .map(|f| f as u64)
+                        .ok_or_else(|| format!("non-numeric id in `{key}`"))
+                })
+                .collect()
+        }
+        let kind_str = v
+            .get("kind")
+            .and_then(|x| x.as_str())
+            .ok_or("missing string field `kind`")?;
+        let kind =
+            FlightKind::parse(kind_str).ok_or_else(|| format!("unknown kind `{kind_str}`"))?;
+        let hash_str = v
+            .get("plan_hash")
+            .and_then(|x| x.as_str())
+            .ok_or("missing string field `plan_hash`")?;
+        let plan_hash = u64::from_str_radix(hash_str, 16)
+            .map_err(|e| format!("bad plan_hash `{hash_str}`: {e}"))?;
+        let ok = match v.get("ok") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err("missing boolean field `ok`".to_string()),
+        };
+        Ok(FlightRecord {
+            seq: num(v, "seq")?,
+            tick: num(v, "tick")?,
+            kind,
+            src: num(v, "src")?,
+            dst: num(v, "dst")?,
+            failed_edges: ids(v, "failed_edges")?,
+            failed_nodes: ids(v, "failed_nodes")?,
+            ok,
+            segments: num(v, "segments")?,
+            plan_hash,
+            latency_ns: num(v, "latency_ns")?,
+            detail: v
+                .get("detail")
+                .and_then(|x| x.as_str())
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
+}
+
+/// A fixed-capacity, lock-light ring buffer of [`FlightRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    seq: AtomicU64,
+    tick: AtomicU64,
+    slots: Box<[Mutex<Option<FlightRecord>>]>,
+}
+
+impl FlightRecorder {
+    /// A ring holding the most recent `capacity` (>= 1) records.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let slots = (0..capacity.max(1)).map(|_| Mutex::new(None)).collect();
+        FlightRecorder {
+            seq: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Number of records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sets the tick stamped onto records that arrive with
+    /// [`STAMP_TICK`] (the load-test driver advances this per window).
+    pub fn set_tick(&self, tick: u64) {
+        self.tick.store(tick, Ordering::Release);
+    }
+
+    /// The tick currently stamped onto incoming records.
+    pub fn current_tick(&self) -> u64 {
+        self.tick.load(Ordering::Acquire)
+    }
+
+    /// Total records ever offered to the ring (monotone; records older
+    /// than the last `capacity` have been overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Appends one record, assigning its sequence number (returned) and
+    /// stamping its tick if it carries [`STAMP_TICK`]. A straggler
+    /// thread's slot write never clobbers a newer record.
+    pub fn record(&self, mut rec: FlightRecord) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        rec.seq = seq;
+        if rec.tick == STAMP_TICK {
+            rec.tick = self.current_tick();
+        }
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().expect("flight-recorder slot poisoned");
+        if guard.as_ref().is_none_or(|old| old.seq < seq) {
+            *guard = Some(rec);
+        }
+        seq
+    }
+
+    /// Freezes the ring: every live record, sorted by sequence number —
+    /// the payload of an incident file.
+    pub fn freeze(&self) -> Vec<FlightRecord> {
+        let mut out: Vec<FlightRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("flight-recorder slot poisoned").clone())
+            .collect();
+        out.sort_unstable_by_key(|r| r.seq);
+        out
+    }
+}
+
+static FLIGHT_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn flight_slot() -> &'static Mutex<Option<Arc<FlightRecorder>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FlightRecorder>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-global flight recorder
+/// that [`obs_flight!`](crate::obs_flight) records into. Returns the
+/// previous recorder, if any. The recorder is shared via [`Arc`] so the
+/// installer can keep a handle for [`FlightRecorder::freeze`].
+pub fn set_flight_recorder(rec: Option<Arc<FlightRecorder>>) -> Option<Arc<FlightRecorder>> {
+    FLIGHT_ACTIVE.store(rec.is_some(), Ordering::Release);
+    std::mem::replace(
+        &mut *flight_slot().lock().expect("flight-recorder slot poisoned"),
+        rec,
+    )
+}
+
+/// True when a global flight recorder is installed — the cheap guard
+/// [`obs_flight!`](crate::obs_flight) checks before building a record, so
+/// an un-recorded hook costs one atomic load.
+#[inline]
+pub fn flight_recorder_active() -> bool {
+    FLIGHT_ACTIVE.load(Ordering::Acquire)
+}
+
+/// A handle to the installed global recorder, if any.
+pub fn flight_recorder() -> Option<Arc<FlightRecorder>> {
+    flight_slot()
+        .lock()
+        .expect("flight-recorder slot poisoned")
+        .clone()
+}
+
+/// Records into the global recorder; a no-op when none is installed.
+pub fn flight_record(rec: FlightRecord) {
+    if !flight_recorder_active() {
+        return;
+    }
+    if let Some(recorder) = flight_recorder() {
+        recorder.record(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: FlightKind, src: u64) -> FlightRecord {
+        FlightRecord {
+            src,
+            dst: src + 1,
+            ..FlightRecord::new(kind)
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_records_in_seq_order() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(rec(FlightKind::Restore, i));
+        }
+        let frozen = r.freeze();
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(frozen.len(), 3);
+        let seqs: Vec<u64> = frozen.iter().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(frozen[0].src, 2);
+    }
+
+    #[test]
+    fn tick_stamping_and_explicit_ticks() {
+        let r = FlightRecorder::new(8);
+        r.set_tick(7);
+        let stamped = r.record(rec(FlightKind::Restore, 0));
+        let explicit = r.record(FlightRecord {
+            tick: 3,
+            ..FlightRecord::new(FlightKind::StormWindow)
+        });
+        let frozen = r.freeze();
+        assert_eq!(frozen[stamped as usize].tick, 7);
+        assert_eq!(frozen[explicit as usize].tick, 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let original = FlightRecord {
+            seq: 12,
+            tick: 2,
+            kind: FlightKind::Restore,
+            src: 4,
+            dst: 9,
+            failed_edges: vec![1, 5, 8],
+            failed_nodes: vec![3],
+            ok: false,
+            segments: 3,
+            plan_hash: 0xdead_beef_cafe_f00d,
+            latency_ns: 12_345,
+            detail: "no path \"left\"\n".to_string(),
+        };
+        let line = original.to_json();
+        let parsed =
+            FlightRecord::from_json(&crate::json::parse(&line).expect("record line parses"))
+                .expect("record fields parse");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let v = crate::json::parse("{\"kind\":\"restore\"}").unwrap();
+        assert!(FlightRecord::from_json(&v).is_err());
+        let v = crate::json::parse("{\"kind\":\"warp\"}").unwrap();
+        assert!(FlightRecord::from_json(&v)
+            .unwrap_err()
+            .contains("unknown kind"));
+    }
+
+    #[test]
+    fn global_install_and_guard() {
+        // One test owns the global slot end to end (tests run in
+        // parallel; nothing else in this crate touches it).
+        assert!(!flight_recorder_active());
+        flight_record(rec(FlightKind::Restore, 1)); // no-op, no recorder
+        let ring = Arc::new(FlightRecorder::new(4));
+        let prev = set_flight_recorder(Some(Arc::clone(&ring)));
+        assert!(prev.is_none());
+        assert!(flight_recorder_active());
+        flight_record(rec(FlightKind::Outage, 2));
+        let back = set_flight_recorder(None);
+        assert!(!flight_recorder_active());
+        assert_eq!(back.expect("was installed").recorded(), 1);
+        assert_eq!(ring.freeze().len(), 1);
+        assert_eq!(ring.freeze()[0].kind, FlightKind::Outage);
+    }
+}

@@ -1,0 +1,334 @@
+//! SLO watchdog: budget checks over finished telemetry windows, plus the
+//! process-global health cell behind `/healthz`.
+//!
+//! The load-test driver hands the [`SloWatchdog`] one finished window at
+//! a time — the latency [`HistogramSummary`] and the restored/dropped
+//! counts. The watchdog compares them against an [`SloPolicy`] (p99
+//! latency budget, drop-rate burn budget) and reports the **first**
+//! breach exactly once; that return is the freeze trigger — the caller
+//! snapshots the [flight recorder](crate::FlightRecorder) into an
+//! incident file the moment it fires. Later windows keep being counted
+//! but cannot re-trigger: one incident per run keeps the capture
+//! focused on the window that actually broke the budget.
+//!
+//! [`set_health`] publishes the latest verdict so the `/healthz` probe
+//! endpoint (see `MetricsServer`) can answer with real state — `ok` vs
+//! `degraded`, the breach reason, and how stale the last window is —
+//! instead of an unconditional `ok`.
+
+use crate::histogram::HistogramSummary;
+use crate::timeseries::monotonic_ns;
+use std::sync::{Mutex, OnceLock};
+
+/// Budgets a run must stay within, evaluated per finished window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloPolicy {
+    /// p99 restore-latency budget in nanoseconds (`None` disables).
+    pub p99_budget_ns: Option<u64>,
+    /// Maximum dropped queries per thousand attempts (`None` disables).
+    pub max_drop_per_mille: Option<u64>,
+    /// Minimum samples in a window before either check applies —
+    /// near-empty windows produce garbage percentiles.
+    pub min_samples: u64,
+}
+
+impl Default for SloPolicy {
+    /// No budgets (never breaches), one-sample minimum.
+    fn default() -> SloPolicy {
+        SloPolicy {
+            p99_budget_ns: None,
+            max_drop_per_mille: None,
+            min_samples: 1,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// True when at least one budget is set — i.e. the watchdog can
+    /// actually breach.
+    pub fn is_enabled(&self) -> bool {
+        self.p99_budget_ns.is_some() || self.max_drop_per_mille.is_some()
+    }
+}
+
+/// The first window that broke the policy, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloBreach {
+    /// Tick of the breaching window.
+    pub tick: u64,
+    /// Human-readable explanation, e.g. `p99 81920ns > budget 1000ns`.
+    pub reason: String,
+}
+
+/// Evaluates finished windows against an [`SloPolicy`]; latches the
+/// first breach.
+#[derive(Debug)]
+pub struct SloWatchdog {
+    policy: SloPolicy,
+    breach: Option<SloBreach>,
+    windows: u64,
+}
+
+impl SloWatchdog {
+    /// A fresh watchdog (no windows observed, no breach).
+    pub fn new(policy: SloPolicy) -> SloWatchdog {
+        SloWatchdog {
+            policy,
+            breach: None,
+            windows: 0,
+        }
+    }
+
+    /// The policy this watchdog enforces.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Evaluates one finished window. Returns the breach **only the
+    /// first time one is detected** — that edge is the signal to freeze
+    /// the flight recorder. Subsequent windows are still counted but
+    /// never re-trigger.
+    pub fn observe(
+        &mut self,
+        tick: u64,
+        latency: &HistogramSummary,
+        restored: u64,
+        dropped: u64,
+    ) -> Option<&SloBreach> {
+        self.windows += 1;
+        if self.breach.is_some() {
+            return None;
+        }
+        let mut reason = None;
+        if let Some(budget) = self.policy.p99_budget_ns {
+            if latency.count >= self.policy.min_samples && latency.p99 > budget {
+                reason = Some(format!("p99 {}ns > budget {}ns", latency.p99, budget));
+            }
+        }
+        if reason.is_none() {
+            if let Some(max_pm) = self.policy.max_drop_per_mille {
+                let total = restored + dropped;
+                if total >= self.policy.min_samples.max(1) {
+                    let pm = dropped.saturating_mul(1000) / total;
+                    if pm > max_pm {
+                        reason = Some(format!(
+                            "drop rate {pm}/1000 > budget {max_pm}/1000 \
+                             ({dropped} of {total} queries)"
+                        ));
+                    }
+                }
+            }
+        }
+        let reason = reason?;
+        self.breach = Some(SloBreach { tick, reason });
+        self.breach.as_ref()
+    }
+
+    /// The latched breach, if any window has broken the policy.
+    pub fn breach(&self) -> Option<&SloBreach> {
+        self.breach.as_ref()
+    }
+
+    /// Number of windows observed so far.
+    pub fn windows_observed(&self) -> u64 {
+        self.windows
+    }
+}
+
+/// Coarse health verdict for probe endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Within all budgets so far.
+    Ok,
+    /// An SLO breach has been latched this run.
+    Degraded,
+}
+
+/// What the serving process last reported about its own health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Current verdict.
+    pub status: HealthStatus,
+    /// Breach reason when degraded; empty when ok.
+    pub reason: String,
+    /// Run correlation id (joins `/healthz` output with JSONL windows
+    /// and incident files).
+    pub run_id: String,
+    /// Tick of the last finished window.
+    pub tick: u64,
+    /// [`monotonic_ns`] at the time of the update, for staleness.
+    pub updated_ns: u64,
+}
+
+impl HealthReport {
+    /// An `Ok` report for the given run at the given window tick,
+    /// stamped now.
+    pub fn ok(run_id: &str, tick: u64) -> HealthReport {
+        HealthReport {
+            status: HealthStatus::Ok,
+            reason: String::new(),
+            run_id: run_id.to_string(),
+            tick,
+            updated_ns: monotonic_ns(),
+        }
+    }
+
+    /// A `Degraded` report carrying the breach reason, stamped now.
+    pub fn degraded(run_id: &str, tick: u64, reason: &str) -> HealthReport {
+        HealthReport {
+            status: HealthStatus::Degraded,
+            reason: reason.to_string(),
+            run_id: run_id.to_string(),
+            tick,
+            updated_ns: monotonic_ns(),
+        }
+    }
+}
+
+fn health_slot() -> &'static Mutex<Option<HealthReport>> {
+    static SLOT: OnceLock<Mutex<Option<HealthReport>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Publishes (or, with `None`, clears) the process-global health report
+/// that `/healthz` serves. Returns the previous report.
+pub fn set_health(report: Option<HealthReport>) -> Option<HealthReport> {
+    std::mem::replace(
+        &mut *health_slot().lock().expect("health slot poisoned"),
+        report,
+    )
+}
+
+/// The current health report, if one has been published.
+pub fn health_snapshot() -> Option<HealthReport> {
+    health_slot().lock().expect("health slot poisoned").clone()
+}
+
+/// Renders `/healthz`: `(healthy, body)`. `healthy == false` maps to
+/// HTTP 503 so load-balancer probes eject a degraded instance. With no
+/// report published yet (server up, no load test running) the endpoint
+/// stays `ok` — liveness, not readiness.
+pub fn health_text() -> (bool, String) {
+    match health_snapshot() {
+        None => (true, "ok (no telemetry yet)\n".to_string()),
+        Some(h) => {
+            let age_ms = monotonic_ns().saturating_sub(h.updated_ns) / 1_000_000;
+            match h.status {
+                HealthStatus::Ok => (
+                    true,
+                    format!(
+                        "ok run_id={} window={} age_ms={}\n",
+                        h.run_id, h.tick, age_ms
+                    ),
+                ),
+                HealthStatus::Degraded => (
+                    false,
+                    format!(
+                        "degraded run_id={} window={} age_ms={} reason={}\n",
+                        h.run_id, h.tick, age_ms, h.reason
+                    ),
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(count: u64, p99: u64) -> HistogramSummary {
+        HistogramSummary {
+            count,
+            sum: count.saturating_mul(p99),
+            mean: p99 as f64,
+            p50: p99 / 2,
+            p95: p99,
+            p99,
+            max: p99,
+        }
+    }
+
+    #[test]
+    fn default_policy_never_breaches() {
+        let mut dog = SloWatchdog::new(SloPolicy::default());
+        assert!(!dog.policy().is_enabled());
+        assert!(dog.observe(0, &summary(100, u64::MAX), 0, 100).is_none());
+        assert!(dog.breach().is_none());
+        assert_eq!(dog.windows_observed(), 1);
+    }
+
+    #[test]
+    fn p99_breach_latches_once() {
+        let policy = SloPolicy {
+            p99_budget_ns: Some(1_000),
+            ..SloPolicy::default()
+        };
+        let mut dog = SloWatchdog::new(policy);
+        assert!(dog.observe(0, &summary(10, 500), 10, 0).is_none());
+        let breach = dog.observe(1, &summary(10, 2_000), 10, 0).cloned();
+        let breach = breach.expect("second window breaches");
+        assert_eq!(breach.tick, 1);
+        assert!(breach.reason.contains("p99 2000ns"), "{}", breach.reason);
+        // Worse windows later do not re-trigger; the latch holds.
+        assert!(dog.observe(2, &summary(10, 9_000), 10, 0).is_none());
+        assert_eq!(dog.breach().expect("latched").tick, 1);
+        assert_eq!(dog.windows_observed(), 3);
+    }
+
+    #[test]
+    fn min_samples_gates_percentile_noise() {
+        let policy = SloPolicy {
+            p99_budget_ns: Some(1_000),
+            min_samples: 5,
+            ..SloPolicy::default()
+        };
+        let mut dog = SloWatchdog::new(policy);
+        // 3 samples < min_samples: a wild p99 is ignored.
+        assert!(dog.observe(0, &summary(3, 99_999), 3, 0).is_none());
+        assert!(dog.observe(1, &summary(5, 99_999), 5, 0).is_some());
+    }
+
+    #[test]
+    fn drop_rate_breach() {
+        let policy = SloPolicy {
+            max_drop_per_mille: Some(100), // 10%
+            ..SloPolicy::default()
+        };
+        let mut dog = SloWatchdog::new(policy);
+        assert!(dog.observe(0, &summary(95, 10), 95, 5).is_none()); // 5%
+        let breach = dog.observe(1, &summary(80, 10), 80, 20); // 20%
+        let reason = &breach.expect("drop budget blown").reason;
+        assert!(reason.contains("drop rate 200/1000"), "{reason}");
+    }
+
+    #[test]
+    fn health_cell_round_trip_and_text() {
+        // Single test owns the global cell (parallel test isolation).
+        assert_eq!(set_health(None), None);
+        let (healthy, body) = health_text();
+        assert!(healthy);
+        assert!(body.contains("no telemetry"));
+
+        set_health(Some(HealthReport::ok("cafe0123", 4)));
+        let (healthy, body) = health_text();
+        assert!(healthy);
+        assert!(body.starts_with("ok run_id=cafe0123 window=4 age_ms="));
+
+        let prev = set_health(Some(HealthReport::degraded(
+            "cafe0123",
+            5,
+            "p99 over budget",
+        )));
+        assert_eq!(prev.expect("ok report was set").status, HealthStatus::Ok);
+        let (healthy, body) = health_text();
+        assert!(!healthy);
+        assert!(body.starts_with("degraded run_id=cafe0123 window=5"));
+        assert!(body.trim_end().ends_with("reason=p99 over budget"));
+        assert_eq!(
+            health_snapshot().expect("still set").status,
+            HealthStatus::Degraded
+        );
+        set_health(None);
+    }
+}

@@ -3,7 +3,8 @@
 //! parsers, and a real TCP scrape of the `/metrics` endpoint.
 
 use rbpc_obs::{
-    json, parse_prometheus, render_prometheus, MetricsServer, Registry, Ticker, WindowedHistogram,
+    json, parse_prometheus, render_prometheus, set_health, HealthReport, MetricsServer, Registry,
+    Ticker, WindowedHistogram,
 };
 use std::time::Duration;
 
@@ -124,8 +125,34 @@ fn metrics_endpoint_serves_and_parses() {
         "scrape missing our counter:\n{body}"
     );
 
+    // /healthz reflects the global health cell: liveness-ok before any
+    // report, 503 + reason once the SLO watchdog has latched a breach.
+    // This test owns the cell end to end (no other test touches it).
+    set_health(None);
     let health = http_get(addr, "/healthz");
-    assert_eq!(health, "ok\n");
+    assert_eq!(health, "ok (no telemetry yet)\n");
+
+    set_health(Some(HealthReport::ok("feed1234", 3)));
+    let health = http_get_status(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "got: {health}");
+    assert!(health.contains("ok run_id=feed1234 window=3"), "{health}");
+
+    set_health(Some(HealthReport::degraded(
+        "feed1234",
+        4,
+        "p99 9000ns > budget 1000ns",
+    )));
+    let health = http_get_status(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 503"), "got: {health}");
+    assert!(
+        health.contains("degraded run_id=feed1234 window=4"),
+        "{health}"
+    );
+    assert!(
+        health.contains("reason=p99 9000ns > budget 1000ns"),
+        "{health}"
+    );
+    set_health(None);
 
     let missing = http_get_status(addr, "/nope");
     assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");

@@ -3,7 +3,9 @@
 use crate::{flood_timeline, LatencyModel};
 use rbpc_core::{edge_bypass, end_route, BasePathOracle, RestoreError, Restorer};
 use rbpc_graph::{EdgeId, FailureSet, NodeId};
-use rbpc_obs::{obs_count, obs_record, obs_trace, obs_trace_attr};
+use rbpc_obs::{
+    obs_count, obs_flight, obs_record, obs_trace, obs_trace_attr, FlightKind, FlightRecord,
+};
 
 /// A restoration scheme whose outage window is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -252,6 +254,22 @@ pub fn outage_under<O: BasePathOracle>(
     };
     obs_count!("sim.outage.events", label: scheme.name(), 1u64);
     obs_record!("sim.outage.restored_us", label: scheme.name(), restored_at_us);
+    // Black-box record of the simulated outage window: scheme in
+    // `detail`, the *modeled* restoration latency (µs → ns) rather than
+    // wall clock, no plan hash (the restore hook records that).
+    obs_flight!(FlightRecord {
+        src: s.index() as u64,
+        dst: t.index() as u64,
+        failed_edges: failures.failed_edges().map(|e| e.index() as u64).collect(),
+        failed_nodes: failures.failed_nodes().map(|n| n.index() as u64).collect(),
+        ok: true,
+        // For outage records the segment slot carries the interim route's
+        // hop count (outages have no label stack of their own).
+        segments: u64::from(interim_hops),
+        latency_ns: restored_at_us.saturating_mul(1_000),
+        detail: scheme.name().to_string(),
+        ..FlightRecord::new(FlightKind::Outage)
+    });
     obs_trace_attr!(root, restored_at_us = restored_at_us);
     obs_trace_attr!(root, interim_hops = interim_hops);
     let base_hops = lsp_path.hop_count() as u32;

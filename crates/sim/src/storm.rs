@@ -11,6 +11,7 @@
 //! load-test runs are reproducible end to end.
 
 use rbpc_graph::{DetRng, EdgeId, FailureSet};
+use rbpc_obs::{obs_flight, FlightKind, FlightRecord};
 
 /// Shape of a failure storm, in windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +83,14 @@ pub fn storm_schedule(
                     picked += 1;
                 }
             }
+            // Black-box record of the schedule itself (explicit tick:
+            // schedules are built up front, before the windows run).
+            obs_flight!(FlightRecord {
+                tick: w,
+                failed_edges: set.failed_edges().map(|e| e.index() as u64).collect(),
+                detail: format!("storm seed {:#x}", params.seed),
+                ..FlightRecord::new(FlightKind::StormWindow)
+            });
             set
         })
         .collect()

@@ -37,6 +37,9 @@ echo "== rbpc-eval loadtest --smoke (live-telemetry end-to-end)"
 cargo run -q -p rbpc-eval -- loadtest --smoke --out /tmp/rbpc-loadtest-smoke.jsonl
 rm -f /tmp/rbpc-loadtest-smoke.jsonl
 
+echo "== rbpc-eval replay (golden incident: plan hashes must reproduce)"
+cargo run -q -p rbpc-eval -- replay crates/eval/tests/golden/incident-smoke.jsonl
+
 echo "== CSR / parallel determinism property test (release, 2-thread runs included)"
 cargo test --release --test csr_parallel -q
 
