@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// (a panicked holder can at worst have skipped an insert), so continuing
 /// past poison is safe and keeps one crashed experiment thread from
 /// wedging every other one.
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -47,7 +47,7 @@ pub fn default_threads() -> usize {
 }
 
 /// Records a provisioning batch's [`ParStats`] into the obs registry.
-fn record_par_stats(stats: &ParStats) {
+pub(crate) fn record_par_stats(stats: &ParStats) {
     obs_count!("core.provision.chunk_claims", stats.total_chunks_claimed());
     obs_count!(
         "core.provision.scratch_reuses",
@@ -65,7 +65,7 @@ fn record_par_stats(stats: &ParStats) {
 /// [`BasePathOracle::with_spt_under`] for oracles that store unfailed
 /// trees. The caller must have ruled out a failed `source` (not
 /// expressible as a repair).
-fn repaired_tree(
+pub(crate) fn repaired_tree(
     graph: &Graph,
     model: &CostModel,
     base: &ShortestPathTree,
@@ -89,7 +89,7 @@ fn repaired_tree(
 
 /// Rebuilds a tree from scratch over the failed view — the slow path used
 /// when no unfailed tree is available or the source itself is failed.
-fn rebuilt_tree(
+pub(crate) fn rebuilt_tree(
     graph: &Graph,
     model: &CostModel,
     source: NodeId,
@@ -289,6 +289,7 @@ pub struct LazyBasePaths {
     model: CostModel,
     cache: Mutex<LazyCache>,
     capacity: usize,
+    evicted: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -318,12 +319,36 @@ impl LazyBasePaths {
             model,
             cache: Mutex::new(LazyCache::default()),
             capacity,
+            evicted: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Number of trees currently cached (for tests and monitoring).
     pub fn cached_trees(&self) -> usize {
         lock_unpoisoned(&self.cache).map.len()
+    }
+
+    /// The cache's capacity in trees.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Trees evicted from the cache so far.
+    pub fn evictions(&self) -> u64 {
+        self.evicted.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Runs `f` with `source`'s tree only if it is already cached;
+    /// returns `None` (computing nothing) otherwise. Lets batch layers
+    /// probe residency without triggering a Dijkstra.
+    pub fn with_spt_if_cached<R>(
+        &self,
+        source: NodeId,
+        f: impl FnOnce(&ShortestPathTree) -> R,
+    ) -> Option<R> {
+        let key = source.index() as u32;
+        let cached = lock_unpoisoned(&self.cache).map.get(&key).map(Arc::clone);
+        cached.map(|t| f(&t))
     }
 
     fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
@@ -347,7 +372,10 @@ impl LazyBasePaths {
         }
         while cache.map.len() >= self.capacity {
             if let Some(old) = cache.order.pop_front() {
-                cache.map.remove(&old);
+                if cache.map.remove(&old).is_some() {
+                    self.evicted
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
             } else {
                 break;
             }

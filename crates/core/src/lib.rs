@@ -18,6 +18,9 @@
 //!
 //! * [`basepaths`] — the [`BasePathOracle`] abstraction with a dense
 //!   (precomputed all-pairs) and a lazy (on-demand, cached) implementation;
+//! * [`store`] — the [`BasePathStore`] residency/budget surface and the
+//!   implicit [`ShardedBasePaths`] store that provisions the paper's
+//!   40 377-node Internet router map under a bounded memory budget;
 //! * [`decompose`] — greedy longest-prefix decomposition (§4.1 of the
 //!   paper) and an optimal jump-graph search for comparison;
 //! * [`restore`] — source-router RBPC: compute the post-failure shortest
@@ -78,6 +81,7 @@ pub mod hybrid;
 pub mod local;
 pub mod provision;
 pub mod restore;
+pub mod store;
 pub mod theory;
 
 pub use basepaths::{default_threads, BasePathOracle, DenseBasePaths, LazyBasePaths};
@@ -93,3 +97,7 @@ pub use hybrid::{hybrid_restore, HybridRestoration, LocalVariant};
 pub use local::{edge_bypass, end_route, LocalRestoration};
 pub use provision::{ProvisionedDomain, TableReport};
 pub use restore::{destinations_through_edge, FailoverPlan, FecUpdate, Restoration, Restorer};
+pub use store::{
+    dense_store_bytes, directed_pairs, BasePathStore, ShardedBasePaths, ShardedStoreStats,
+    TREE_BYTES_PER_NODE,
+};

@@ -1,0 +1,97 @@
+//! Property test: the implicit sharded store is bit-identical to the
+//! dense oracle.
+//!
+//! The sharded store never materializes a base path and may evict and
+//! rebuild any tree at any time, on any number of worker threads — none
+//! of which is allowed to change a single answer, because padded costs
+//! make every shortest-path tree canonical. This test pins that down on
+//! the two small families (the ~200-node ISP and a 1 000-node G(n,m)
+//! that sits exactly at `PAR_SERIAL_CUTOFF`, so the parallel shard path
+//! is exercised) across 1/2/8 threads, under a budget small enough to
+//! force constant eviction. Run from `scripts/check.sh` in release mode.
+
+use rbpc_core::{BasePathOracle, BasePathStore, DenseBasePaths, ShardedBasePaths};
+use rbpc_graph::{CostModel, Metric, NodeId};
+use rbpc_topo::{gnm_connected, isp_topology, IspParams};
+
+const SEED: u64 = 21;
+
+/// Every source's tree from the sharded store must equal the dense
+/// oracle's, bit for bit, at every thread count — with the budget so
+/// tight that most lookups rebuild an evicted shard.
+fn assert_bit_identical(graph: rbpc_graph::Graph, metric: Metric, budget: usize, shard: usize) {
+    let model = CostModel::new(metric, SEED);
+    let dense = DenseBasePaths::build_with_threads(graph.clone(), model, 2);
+    for threads in [1usize, 2, 8] {
+        let sharded = ShardedBasePaths::with_budget(graph.clone(), model, budget, shard, threads);
+        for s in graph.nodes() {
+            sharded.with_spt(s, |tree| {
+                assert_eq!(tree, dense.spt(s), "threads {threads}, source {s}")
+            });
+        }
+        assert!(
+            sharded.evicted_trees() > 0,
+            "budget {budget} must evict on {} sources",
+            graph.node_count()
+        );
+        assert!(sharded.resident_trees() <= budget.div_ceil(shard).max(1) * shard);
+    }
+}
+
+#[test]
+fn isp_200_sharded_matches_dense_across_thread_counts() {
+    let g = isp_topology(IspParams::default(), SEED).graph;
+    assert_bit_identical(g, Metric::Weighted, 24, 8);
+}
+
+#[test]
+fn gnm_1000_sharded_matches_dense_across_thread_counts() {
+    // 1 000 nodes is exactly rbpc_graph::PAR_SERIAL_CUTOFF: shard builds
+    // take the parallel chunk-stealing path, not the serial inline one.
+    let g = gnm_connected(1_000, 2_600, 12, SEED);
+    assert_bit_identical(g, Metric::Weighted, 64, 32);
+}
+
+#[test]
+fn sampled_base_paths_walk_identically() {
+    // The materialized walks (not just the trees) agree pairwise, and
+    // the dense oracle recognizes every sharded-store path as a base
+    // path — the representation really is interchangeable.
+    let g = isp_topology(IspParams::default(), SEED).graph;
+    let model = CostModel::new(Metric::Unweighted, SEED);
+    let dense = DenseBasePaths::build_with_threads(g.clone(), model, 2);
+    let sharded = ShardedBasePaths::with_budget(g.clone(), model, 16, 8, 2);
+    let n = g.node_count();
+    for i in 0..400usize {
+        let s = NodeId::new((i * 7) % n);
+        let t = NodeId::new((i * 131 + 5) % n);
+        let a = dense.base_path(s, t);
+        let b = sharded.base_path(s, t);
+        assert_eq!(a, b, "{s} -> {t}");
+        if let Some(p) = b {
+            assert!(dense.is_base_path(&p));
+            assert!(sharded.is_base_path(&p));
+        }
+    }
+}
+
+#[test]
+fn failed_trees_match_dense_under_failures() {
+    // with_spt_under repairs a clone of the resident tree; the result
+    // must equal the dense oracle's repair (itself validated against a
+    // from-scratch rebuild in the unit tests).
+    let g = gnm_connected(300, 800, 10, SEED);
+    let model = CostModel::new(Metric::Weighted, SEED);
+    let dense = DenseBasePaths::build_with_threads(g.clone(), model, 2);
+    let sharded = ShardedBasePaths::with_budget(g.clone(), model, 32, 16, 2);
+    let mut failures = rbpc_graph::FailureSet::new();
+    failures.fail_edge(rbpc_graph::EdgeId::new(3));
+    failures.fail_edge(rbpc_graph::EdgeId::new(41));
+    failures.fail_node(NodeId::new(17));
+    for s in (0..300usize).step_by(13) {
+        let s = NodeId::new(s);
+        dense.with_spt_under(s, &failures, |want| {
+            sharded.with_spt_under(s, &failures, |got| assert_eq!(got, want, "source {s}"));
+        });
+    }
+}

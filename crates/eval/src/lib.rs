@@ -25,6 +25,13 @@
 //! validators on (the `rbpc-eval replay` subcommand): every recorded
 //! plan must hash-match its re-execution.
 //!
+//! [`mod@paperscale`] provisions the paper's largest topology — the
+//! 40 377-node Internet router map — end to end through the implicit
+//! sharded store ([`rbpc_core::ShardedBasePaths`]) under a stated
+//! memory budget, reproducing the paper's 40-sample protocol and
+//! optionally sweeping every source (the `rbpc-eval paper-scale`
+//! subcommand); the memory math and workflow live in `docs/SCALE.md`.
+//!
 //! The full paper-to-code map (theorems, figures, tables -> modules and
 //! tests) is in `docs/PAPER_MAP.md` at the repository root;
 //! `docs/ARCHITECTURE.md` shows how the crates fit together.
@@ -36,6 +43,7 @@ pub mod ablation;
 pub mod figure10;
 pub mod incident;
 pub mod loadtest;
+pub mod paperscale;
 pub mod report;
 pub mod sampling;
 pub mod suite;
@@ -55,6 +63,10 @@ pub use incident::{
 pub use loadtest::{
     run_id_for_seed, run_loadtest, run_loadtest_watched, IncidentSink, LoadtestConfig,
     LoadtestReport, WindowStats,
+};
+pub use paperscale::{
+    internet_case, run_paper_scale, PaperScaleConfig, PaperScaleReport, SweepSummary, SweepWindow,
+    INTERNET_CASE,
 };
 pub use report::{format_table, Csv};
 pub use sampling::sample_pairs;

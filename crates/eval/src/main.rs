@@ -81,10 +81,14 @@ struct Args {
     slo_drop_pm: Option<u64>,
     /// Positional incident file for the `replay` command.
     incident_path: Option<PathBuf>,
+    max_resident_spts: Option<usize>,
+    shard_size: Option<usize>,
+    full_sweep: bool,
+    dests_per_source: Option<usize>,
 }
 
 fn usage() -> &'static str {
-    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|loadtest|replay|validate|all>\n\
+    "usage: rbpc-eval <table1|table2|table3|figure10|latency|ablation|churn|trace|loadtest|paper-scale|replay|validate|all>\n\
      \x20         [--scale quick|paper] [--seed N] [--threads N] [--csv DIR]\n\
      \x20         [--topology FILE --metric weighted|unweighted]\n\
      \x20         [--metrics-out FILE] [--events-out FILE] [--profile-out FILE]\n\
@@ -92,6 +96,8 @@ fn usage() -> &'static str {
      \x20         [--windows N] [--window-ms MS] [--queries N] [--out FILE]\n\
      \x20         [--serve ADDR] [--smoke] [--incident-out FILE]\n\
      \x20         [--slo-p99-us N] [--slo-drop-pm N]\n\
+     \x20         [--max-resident-spts N] [--shard-size N] [--full-sweep]\n\
+     \x20         [--dests-per-source N]\n\
      \n\
      commands:\n\
      \x20 table1    network suite summary (Table 1)\n\
@@ -104,6 +110,13 @@ fn usage() -> &'static str {
      \x20 trace     inject a K-link failure and print per-LSP span trees\n\
      \x20 loadtest  paced restore queries under a deterministic failure\n\
      \x20           storm; one JSONL window report per line, live\n\
+     \x20 paper-scale  provision and restore on the paper's 40 377-node\n\
+     \x20           Internet router map through the implicit sharded\n\
+     \x20           store, under a stated memory budget: the 40-sample\n\
+     \x20           Table 2 protocol, plus — with --full-sweep — every\n\
+     \x20           source restored with sampled destinations, one JSONL\n\
+     \x20           window line per source block; --smoke uses the quick\n\
+     \x20           1 500-node map (see docs/SCALE.md)\n\
      \x20 replay    re-execute a frozen incident file deterministically:\n\
      \x20           rbpc-eval replay <incident.jsonl> — rebuilds the\n\
      \x20           topology, re-runs every recorded restore with\n\
@@ -135,6 +148,22 @@ fn usage() -> &'static str {
      \x20 --smoke           tiny topology + short windows: sub-second CI run\n\
      \x20 --profile-out FILE  sample the span stacks of any command into a\n\
      \x20                   collapsed-stack (flamegraph) file\n\
+     \n\
+     paper-scale & sharded store:\n\
+     \x20 --max-resident-spts N  residency budget in shortest-path trees\n\
+     \x20                   (default 512 ≈ 0.74 GiB on the 40k map; the\n\
+     \x20                   LRU evicts whole shards past it)\n\
+     \x20 --shard-size N    sources per shard, built as one parallel\n\
+     \x20                   batch (default 32)\n\
+     \x20 --full-sweep      also visit every source shard by shard and\n\
+     \x20                   restore sampled mid-path link failures —\n\
+     \x20                   coverage the paper couldn't afford in 2001\n\
+     \x20 --dests-per-source N  sampled destinations per source in the\n\
+     \x20                   sweep (default 2)\n\
+     \x20 --windows N       JSONL windows the sweep splits into (default 32)\n\
+     \x20 --out FILE        sweep JSONL there (default stdout);\n\
+     \x20                   --incident-out freezes the flight-recorder\n\
+     \x20                   ring into a replayable incident at run end\n\
      \n\
      SLO watchdog & flight recorder (loadtest):\n\
      \x20 --slo-p99-us N    per-window p99 restore-latency budget in µs;\n\
@@ -172,6 +201,10 @@ fn parse_args() -> Result<Args, String> {
     let mut slo_p99_us = None;
     let mut slo_drop_pm = None;
     let mut incident_path = None;
+    let mut max_resident_spts = None;
+    let mut shard_size = None;
+    let mut full_sweep = false;
+    let mut dests_per_source = None;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -248,6 +281,34 @@ fn parse_args() -> Result<Args, String> {
                 }
                 slo_drop_pm = Some(pm);
             }
+            "--max-resident-spts" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad max-resident-spts: {e}"))?;
+                if n == 0 {
+                    return Err("--max-resident-spts must be at least 1".to_string());
+                }
+                max_resident_spts = Some(n);
+            }
+            "--shard-size" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad shard-size: {e}"))?;
+                if n == 0 {
+                    return Err("--shard-size must be at least 1".to_string());
+                }
+                shard_size = Some(n);
+            }
+            "--full-sweep" => full_sweep = true,
+            "--dests-per-source" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad dests-per-source: {e}"))?;
+                if n == 0 {
+                    return Err("--dests-per-source must be at least 1".to_string());
+                }
+                dests_per_source = Some(n);
+            }
             "--metric" => {
                 metric = match value()?.as_str() {
                     "weighted" => rbpc_graph::Metric::Weighted,
@@ -286,6 +347,10 @@ fn parse_args() -> Result<Args, String> {
         slo_p99_us,
         slo_drop_pm,
         incident_path,
+        max_resident_spts,
+        shard_size,
+        full_sweep,
+        dests_per_source,
     })
 }
 
@@ -370,6 +435,19 @@ fn main() -> ExitCode {
         return match outcome {
             Ok(0) => ExitCode::SUCCESS,
             Ok(_) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // `paper-scale` builds the Internet map itself (it is the only case
+    // it needs) — dispatch before the full-suite generation too.
+    if args.command == "paper-scale" {
+        let outcome = run_paperscale_cmd(&args);
+        finish_observability(&args, Vec::new(), profiler);
+        return match outcome {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -899,6 +977,89 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The `paper-scale` command: provision and restore on the paper's
+/// Internet router map through the implicit sharded store. Defaults to
+/// the real 40 377-node map (`--smoke` swaps in the quick-scale
+/// 1 500-node stand-in with a deliberately tiny budget); `--scale` is
+/// ignored. Sweep JSONL goes to `--out` (or stdout); `--incident-out`
+/// freezes the run's flight-recorder ring into a replayable incident.
+fn run_paperscale_cmd(args: &Args) -> Result<(), String> {
+    let mut cfg = if args.smoke {
+        rbpc_eval::PaperScaleConfig::smoke(args.seed, args.threads)
+    } else {
+        rbpc_eval::PaperScaleConfig::paper(args.seed, args.threads)
+    };
+    if let Some(n) = args.max_resident_spts {
+        cfg.max_resident_spts = n;
+    }
+    if let Some(n) = args.shard_size {
+        cfg.shard_size = n;
+    }
+    cfg.full_sweep = cfg.full_sweep || args.full_sweep;
+    if let Some(n) = args.dests_per_source {
+        cfg.dests_per_source = n;
+    }
+    if let Some(w) = args.windows {
+        cfg.sweep_windows = w;
+    }
+    eprintln!(
+        "# paper-scale: {} map — budget {} trees, shards of {}, {} samples{}; run_id {}",
+        match cfg.scale {
+            EvalScale::Paper => "full 40 377-node",
+            EvalScale::Quick => "quick 1 500-node",
+        },
+        cfg.max_resident_spts,
+        cfg.shard_size,
+        cfg.samples,
+        if cfg.full_sweep { ", full sweep" } else { "" },
+        rbpc_eval::run_id_for_seed(cfg.seed),
+    );
+    let sink = args.incident_out.as_ref().map(|path| IncidentSink {
+        topo: TopoSpec::Suite {
+            scale: cfg.scale,
+            seed: cfg.seed,
+            case: rbpc_eval::INTERNET_CASE,
+        },
+        path: path.clone(),
+    });
+    let report = match &args.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            let mut w = std::io::BufWriter::new(file);
+            let r = rbpc_eval::run_paper_scale(&cfg, &mut w, sink.as_ref())
+                .map_err(|e| format!("paper-scale: {e}"))?;
+            if r.sweep.is_some() {
+                eprintln!("# wrote {}", path.display());
+            }
+            r
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            rbpc_eval::run_paper_scale(&cfg, &mut w, sink.as_ref())
+                .map_err(|e| format!("paper-scale: {e}"))?
+        }
+    };
+    println!(
+        "== Paper scale: implicit sharded store on the {} map ==",
+        report.topo_name
+    );
+    print!("{}", report.render());
+    println!();
+    println!("== Table 2 protocol through the sharded store ==");
+    println!("{}", rbpc_eval::table2::render(&report.protocol));
+    write_csv(
+        &args.csv_dir,
+        "paper_scale_table2.csv",
+        &rbpc_eval::table2::to_csv(&report.protocol),
+    );
+    if let Some(path) = &args.incident_out {
+        eprintln!("# incident frozen to {}", path.display());
+    }
+    Ok(())
 }
 
 /// The `replay` command: parse an incident file, rebuild its topology

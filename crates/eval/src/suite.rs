@@ -1,6 +1,6 @@
 //! The evaluated networks and oracle selection.
 
-use rbpc_core::{BasePathOracle, DenseBasePaths, LazyBasePaths};
+use rbpc_core::{BasePathOracle, BasePathStore, DenseBasePaths, LazyBasePaths, ShardedBasePaths};
 use rbpc_graph::{CostModel, Graph, Metric, NodeId, ShortestPathTree};
 use rbpc_topo::{
     as_graph_like, ba_graph_clustered, internet_like, internet_like_scaled, isp_topology,
@@ -99,31 +99,49 @@ pub fn standard_suite(scale: EvalScale, seed: u64) -> Vec<NetworkCase> {
 /// the lazy cached one.
 pub const DENSE_ORACLE_MAX_NODES: usize = 600;
 
-/// Either base-path oracle, chosen by graph size.
+/// Size threshold above which the lazy oracle is replaced by the implicit
+/// sharded store ([`ShardedBasePaths`]): batch shard builds on the
+/// parallel engine amortize far better than one-at-a-time lazy Dijkstras
+/// once graphs reach AS-graph/Internet-map size.
+pub const SHARDED_ORACLE_MIN_NODES: usize = 10_000;
+
+/// Any base-path oracle, chosen by graph size.
 #[derive(Debug)]
 pub enum AnyOracle {
     /// Precomputed all-pairs trees (small graphs).
     Dense(DenseBasePaths),
-    /// On-demand cached trees (large graphs).
+    /// On-demand cached trees (mid-size graphs).
     Lazy(LazyBasePaths),
+    /// Implicit sharded store with an LRU residency budget (paper-scale
+    /// graphs, e.g. the 40 377-node Internet router map).
+    Sharded(ShardedBasePaths),
 }
 
 impl AnyOracle {
     /// Picks dense for graphs up to [`DENSE_ORACLE_MAX_NODES`] nodes,
-    /// lazy beyond. Dense provisioning runs on the machine's available
-    /// parallelism; results are thread-count-invariant (canonical trees).
+    /// lazy up to [`SHARDED_ORACLE_MIN_NODES`], and the sharded store
+    /// beyond. Provisioning runs on the machine's available parallelism;
+    /// results are thread-count-invariant (canonical trees).
     pub fn for_graph(graph: Graph, model: CostModel) -> Self {
         Self::for_graph_threads(graph, model, rbpc_core::default_threads())
     }
 
     /// [`AnyOracle::for_graph`] with an explicit provisioning thread
-    /// count for the dense case (the lazy oracle computes on demand and
-    /// ignores it).
+    /// count for the dense and sharded cases (the lazy oracle computes
+    /// on demand and ignores it).
     pub fn for_graph_threads(graph: Graph, model: CostModel, threads: usize) -> Self {
         if graph.node_count() <= DENSE_ORACLE_MAX_NODES {
             AnyOracle::Dense(DenseBasePaths::build_with_threads(graph, model, threads))
-        } else {
+        } else if graph.node_count() < SHARDED_ORACLE_MIN_NODES {
             AnyOracle::Lazy(LazyBasePaths::new(graph, model))
+        } else {
+            AnyOracle::Sharded(ShardedBasePaths::with_budget(
+                graph,
+                model,
+                ShardedBasePaths::DEFAULT_MAX_RESIDENT_SPTS,
+                ShardedBasePaths::DEFAULT_SHARD_SIZE,
+                threads,
+            ))
         }
     }
 }
@@ -133,6 +151,7 @@ impl BasePathOracle for AnyOracle {
         match self {
             AnyOracle::Dense(o) => o.graph(),
             AnyOracle::Lazy(o) => o.graph(),
+            AnyOracle::Sharded(o) => o.graph(),
         }
     }
 
@@ -140,6 +159,7 @@ impl BasePathOracle for AnyOracle {
         match self {
             AnyOracle::Dense(o) => o.cost_model(),
             AnyOracle::Lazy(o) => o.cost_model(),
+            AnyOracle::Sharded(o) => o.cost_model(),
         }
     }
 
@@ -147,6 +167,7 @@ impl BasePathOracle for AnyOracle {
         match self {
             AnyOracle::Dense(o) => o.with_spt(source, f),
             AnyOracle::Lazy(o) => o.with_spt(source, f),
+            AnyOracle::Sharded(o) => o.with_spt(source, f),
         }
     }
 
@@ -156,11 +177,46 @@ impl BasePathOracle for AnyOracle {
         failures: &rbpc_graph::FailureSet,
         f: impl FnOnce(&ShortestPathTree) -> R,
     ) -> R {
-        // Forward explicitly so both variants keep their incremental-repair
+        // Forward explicitly so every variant keeps its incremental-repair
         // override instead of the trait's rebuild-from-scratch default.
         match self {
             AnyOracle::Dense(o) => o.with_spt_under(source, failures, f),
             AnyOracle::Lazy(o) => o.with_spt_under(source, failures, f),
+            AnyOracle::Sharded(o) => o.with_spt_under(source, failures, f),
+        }
+    }
+}
+
+impl BasePathStore for AnyOracle {
+    fn resident_trees(&self) -> usize {
+        match self {
+            AnyOracle::Dense(o) => o.resident_trees(),
+            AnyOracle::Lazy(o) => o.resident_trees(),
+            AnyOracle::Sharded(o) => o.resident_trees(),
+        }
+    }
+
+    fn max_resident_trees(&self) -> Option<usize> {
+        match self {
+            AnyOracle::Dense(o) => o.max_resident_trees(),
+            AnyOracle::Lazy(o) => o.max_resident_trees(),
+            AnyOracle::Sharded(o) => o.max_resident_trees(),
+        }
+    }
+
+    fn evicted_trees(&self) -> u64 {
+        match self {
+            AnyOracle::Dense(o) => o.evicted_trees(),
+            AnyOracle::Lazy(o) => o.evicted_trees(),
+            AnyOracle::Sharded(o) => o.evicted_trees(),
+        }
+    }
+
+    fn prefetch(&self, sources: &[NodeId]) -> usize {
+        match self {
+            AnyOracle::Dense(o) => o.prefetch(sources),
+            AnyOracle::Lazy(o) => o.prefetch(sources),
+            AnyOracle::Sharded(o) => o.prefetch(sources),
         }
     }
 }
@@ -188,6 +244,21 @@ mod tests {
         let suite = standard_suite(EvalScale::Quick, 1);
         assert!(matches!(suite[0].oracle(1), AnyOracle::Dense(_))); // ISP ~200
         assert!(matches!(suite[2].oracle(1), AnyOracle::Lazy(_))); // 1500 nodes
+    }
+
+    #[test]
+    fn paper_scale_graphs_get_the_sharded_store() {
+        // Construction is cheap (CSR only, no trees), so exercising the
+        // selection threshold at 10k nodes is affordable in a unit test.
+        let g =
+            rbpc_topo::gnm_connected(SHARDED_ORACLE_MIN_NODES, 2 * SHARDED_ORACLE_MIN_NODES, 5, 1);
+        let oracle = AnyOracle::for_graph_threads(g, CostModel::new(Metric::Unweighted, 1), 2);
+        assert!(matches!(oracle, AnyOracle::Sharded(_)));
+        assert_eq!(oracle.resident_trees(), 0); // nothing provisioned yet
+        assert!(oracle.max_resident_trees().is_some());
+        let d = oracle.base_dist(0.into(), 1.into());
+        assert!(d.is_some());
+        assert!(oracle.resident_trees() > 0);
     }
 
     #[test]

@@ -43,6 +43,17 @@ cargo run -q -p rbpc-eval -- replay crates/eval/tests/golden/incident-smoke.json
 echo "== CSR / parallel determinism property test (release, 2-thread runs included)"
 cargo test --release --test csr_parallel -q
 
+echo "== sharded-store property test (release: bit-identical to dense at 1/2/8 threads)"
+cargo test --release -p rbpc-core --test sharded_store -q
+
+echo "== rbpc-eval paper-scale --smoke (sharded store end-to-end + incident replay)"
+cargo build -q --release -p rbpc-eval
+target/release/rbpc-eval paper-scale --smoke \
+    --out /tmp/rbpc-paperscale-smoke.jsonl \
+    --incident-out /tmp/rbpc-paperscale-incident.jsonl
+target/release/rbpc-eval replay /tmp/rbpc-paperscale-incident.jsonl
+rm -f /tmp/rbpc-paperscale-smoke.jsonl /tmp/rbpc-paperscale-incident.jsonl
+
 if [[ "${SKIP_BENCH_GATE:-0}" = "1" ]]; then
     echo "== bench gate skipped (SKIP_BENCH_GATE=1)"
 else
