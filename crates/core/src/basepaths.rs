@@ -56,6 +56,13 @@ pub(crate) fn record_par_stats(stats: &ParStats) {
     for &settled in &stats.settled {
         obs_record!("core.provision.settled_per_thread", settled);
     }
+    // Frontier traffic of the batched SPT kernel: pops equal settles by
+    // construction (decrease-key, no duplicate entries), so any gap
+    // between pushes and decrease-keys in live telemetry is the
+    // duplicate-pop work the batch kernel eliminated.
+    obs_count!("core.provision.heap_pushes", stats.total_heap_pushes());
+    obs_count!("core.provision.heap_pops", stats.total_heap_pops());
+    obs_count!("core.provision.decrease_keys", stats.total_decrease_keys());
     // Silence unused-variable lint when the obs feature is off.
     let _ = stats;
 }

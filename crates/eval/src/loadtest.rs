@@ -127,6 +127,17 @@ pub struct WindowStats {
     pub latency: HistogramSummary,
     /// Concatenation-depth digest (segments per restoration).
     pub depth: HistogramSummary,
+    /// Cumulative provisioning-frontier pushes at window close (the
+    /// `core.provision.heap_pushes` obs counter; 0 with obs off).
+    pub heap_pushes: u64,
+    /// Cumulative provisioning-frontier pops at window close. With the
+    /// batched decrease-key kernel this equals nodes settled — a pop
+    /// surplus in a window means the scalar fallback ran.
+    pub heap_pops: u64,
+    /// Cumulative in-place decrease-keys at window close — relaxations
+    /// that the pre-batch scalar heap would have turned into duplicate
+    /// entries and stale pops.
+    pub decrease_keys: u64,
 }
 
 impl WindowStats {
@@ -135,7 +146,8 @@ impl WindowStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"run_id\":\"{}\",\"window\":{},\"failed_links\":{},\"queries\":{},\
-             \"restored\":{},\"dropped\":{},\"latency_ns\":{},\"depth\":{}}}",
+             \"restored\":{},\"dropped\":{},\"latency_ns\":{},\"depth\":{},\
+             \"heap_pushes\":{},\"heap_pops\":{},\"decrease_keys\":{}}}",
             self.run_id,
             self.window,
             self.failed_links,
@@ -144,8 +156,17 @@ impl WindowStats {
             self.dropped,
             summary_json(&self.latency),
             summary_json(&self.depth),
+            self.heap_pushes,
+            self.heap_pops,
+            self.decrease_keys,
         )
     }
+}
+
+/// Current cumulative value of a provisioning obs counter (0 when the
+/// core crate's obs feature is off and nothing ever increments it).
+fn provision_counter(name: &str) -> u64 {
+    rbpc_obs::Registry::global().counter(name).get()
 }
 
 /// A [`HistogramSummary`] as a JSON object.
@@ -379,6 +400,9 @@ pub fn run_loadtest_watched<W: Write>(
                 .window(t)
                 .unwrap_or_else(|| WindowSnapshot::empty(t))
                 .summary(),
+            heap_pushes: provision_counter("core.provision.heap_pushes"),
+            heap_pops: provision_counter("core.provision.heap_pops"),
+            decrease_keys: provision_counter("core.provision.decrease_keys"),
         };
         writeln!(out, "{}", stats.to_json())?;
         out.flush()?;

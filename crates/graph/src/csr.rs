@@ -18,7 +18,11 @@
 //! * [`DijkstraScratch`] — a reusable arena holding one 48-byte working
 //!   record per node (so a relaxation touches one cache line, not six
 //!   parallel arrays) plus a heap of 16-byte node-packed keys, with
-//!   epoch-stamped visited marks so resetting between runs is O(1).
+//!   epoch-stamped visited marks so resetting between runs is O(1);
+//! * [`batch`] — the batched multi-source kernel ([`SptBatchScratch`],
+//!   [`CsrGraph::full_tree_batch`]): structure-of-arrays scratch and an
+//!   indexed 4-ary decrease-key heap for provisioning sweeps, where one
+//!   scratch serves a whole batch of sources.
 //!
 //! Determinism: the perturbed costs make shortest paths unique (see
 //! [`CostModel`]), so the tree produced by [`CsrGraph::full_tree`] is
@@ -31,6 +35,10 @@ use crate::spt::{NO_EDGE, NO_NODE};
 use crate::{CostModel, EdgeId, FailureSet, Graph, NodeId, Path, ShortestPathTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+pub mod batch;
+
+pub use batch::SptBatchScratch;
 
 /// A [`Graph`] + [`CostModel`] frozen into flat CSR arrays for batch
 /// shortest-path computation.
@@ -739,18 +747,25 @@ pub struct DijkstraScratch {
 
 impl DijkstraScratch {
     /// A scratch arena with capacity for `n`-node graphs (grows on demand).
+    ///
+    /// The heap is pre-reserved from the node count — the lazy-deletion
+    /// heap holds one entry per relaxation (typically a small multiple of
+    /// `n`), and starting from zero capacity used to force a reallocation
+    /// cascade inside the first run of every fresh scratch.
     pub fn new(n: usize) -> Self {
         DijkstraScratch {
             epoch: 0,
             nodes: vec![EMPTY_REC; n],
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(n),
             runs: 0,
             settled_total: 0,
         }
     }
 
     /// Prepares for a run over an `n`-node graph: bumps the epoch (handling
-    /// wrap-around), grows buffers if needed, clears the heap.
+    /// wrap-around), grows buffers if needed, clears the heap. The heap's
+    /// capacity is carried across runs (and grown alongside `nodes`), so a
+    /// reused scratch never reallocates mid-sweep.
     fn begin(&mut self, n: usize) {
         if self.nodes.len() < n {
             self.nodes.resize(n, EMPTY_REC);
@@ -762,6 +777,9 @@ impl DijkstraScratch {
             self.epoch = 2;
         }
         self.heap.clear();
+        if self.heap.capacity() < n {
+            self.heap.reserve(n - self.heap.len());
+        }
         self.runs += 1;
     }
 
@@ -1031,6 +1049,32 @@ mod tests {
         assert!(csr.validate_tree(&good, Some(&mask)).is_err());
         let masked = csr.full_tree_masked(0.into(), Some(&mask), &mut scratch);
         assert_eq!(csr.validate_tree(&masked, Some(&mask)), Ok(()));
+    }
+
+    #[test]
+    fn scalar_heap_is_preallocated_and_capacity_is_stable() {
+        let g = random_graph(80, 220, 13);
+        let model = CostModel::new(Metric::Weighted, 11);
+        let csr = CsrGraph::new(&g, &model);
+        let mut scratch = DijkstraScratch::new(csr.node_count());
+        assert!(
+            scratch.heap.capacity() >= csr.node_count(),
+            "heap must be reserved from the node count, not empty"
+        );
+        // Warm one full sweep (the lazy heap can outgrow n via duplicate
+        // entries), then assert an identical sweep reuses that capacity.
+        for s in g.nodes() {
+            let _ = csr.full_tree(s, &mut scratch);
+        }
+        let cap = scratch.heap.capacity();
+        for s in g.nodes() {
+            let _ = csr.full_tree(s, &mut scratch);
+        }
+        assert_eq!(
+            scratch.heap.capacity(),
+            cap,
+            "reused scratch must not reallocate mid-sweep"
+        );
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod yen;
 pub use bfs::{bfs_distances, connected_components, is_connected, ComponentLabels};
 pub use cost::{splitmix64, CostModel, Metric, PathCost};
 pub use counting::{count_shortest_paths, max_shortest_path_multiplicity};
-pub use csr::{CsrGraph, DijkstraScratch, FailureMask};
+pub use csr::{CsrGraph, DijkstraScratch, FailureMask, SptBatchScratch};
 pub use cuts::{cut_elements, CutElements};
 pub use digraph::{ArcId, ArcRecord, DiGraph};
 pub use dijkstra::{distance, shortest_path, shortest_path_avoiding, shortest_path_tree};

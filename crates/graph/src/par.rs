@@ -5,8 +5,11 @@
 //! work pool: sources are cut into fixed chunks, worker threads claim
 //! chunks through a single `AtomicUsize` (lock-free stealing, so an
 //! unlucky thread that draws the expensive sources does not serialize the
-//! batch), and each thread reuses one [`DijkstraScratch`] across all the
-//! trees it computes.
+//! batch), and each thread runs its chunks through the **batched
+//! decrease-key kernel** ([`CsrGraph::full_tree_batch_with`]), reusing
+//! one [`SptBatchScratch`] across all the trees it computes — the
+//! structure-of-arrays working state and the indexed 4-ary heap are
+//! allocated once per worker, never per chunk or per source.
 //!
 //! # Determinism
 //!
@@ -26,7 +29,7 @@
 //! uncontended by construction (the atomic hands each index to one
 //! thread), so the cost is one lock per chunk, not per tree.
 
-use crate::csr::{CsrGraph, DijkstraScratch, FailureMask};
+use crate::csr::{CsrGraph, FailureMask, SptBatchScratch};
 use crate::{CostModel, Graph, NodeId, ShortestPathTree};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -48,6 +51,17 @@ pub struct ParStats {
     pub settled: Vec<u64>,
     /// Dijkstra runs each thread served from its one scratch arena.
     pub scratch_runs: Vec<u64>,
+    /// Heap insertions per thread — with the decrease-key kernel, exactly
+    /// one per touched node (the lazy-deletion heap pushed one per
+    /// *improvement*).
+    pub heap_pushes: Vec<u64>,
+    /// Heap pops per thread — equals that thread's settled count under
+    /// decrease-key; the surplus the scalar heap used to pop and discard
+    /// is gone.
+    pub heap_pops: Vec<u64>,
+    /// In-place key decreases per thread: improvements absorbed without a
+    /// duplicate heap entry.
+    pub decrease_keys: Vec<u64>,
 }
 
 impl ParStats {
@@ -64,6 +78,21 @@ impl ParStats {
     /// Scratch reuses: runs beyond the first per allocated arena.
     pub fn total_scratch_reuses(&self) -> u64 {
         self.scratch_runs.iter().map(|&r| r.saturating_sub(1)).sum()
+    }
+
+    /// Total heap insertions across all threads.
+    pub fn total_heap_pushes(&self) -> u64 {
+        self.heap_pushes.iter().sum()
+    }
+
+    /// Total heap pops across all threads.
+    pub fn total_heap_pops(&self) -> u64 {
+        self.heap_pops.iter().sum()
+    }
+
+    /// Total in-place key decreases across all threads.
+    pub fn total_decrease_keys(&self) -> u64 {
+        self.decrease_keys.iter().sum()
     }
 }
 
@@ -113,7 +142,10 @@ pub fn par_all_sources(
 /// failure mask applied to every tree.
 ///
 /// Use this form to amortize the CSR build across batches, or to
-/// provision under a failure scenario.
+/// provision under a failure scenario. Every chunk runs through the
+/// batched decrease-key kernel ([`CsrGraph::full_tree_batch_with`]); the
+/// returned [`ParStats`] carry per-thread heap push/pop/decrease-key
+/// totals so callers can surface the kernel's traffic as metrics.
 ///
 /// # Panics
 ///
@@ -139,14 +171,16 @@ pub fn par_all_sources_csr(
     };
 
     if threads == 1 {
-        let mut scratch = DijkstraScratch::new(csr.node_count());
-        let trees: Vec<ShortestPathTree> = sources
-            .iter()
-            .map(|&s| csr.full_tree_masked(s, mask, &mut scratch))
-            .collect();
+        // One batch scratch reused across every source of the sweep — the
+        // serial arm is simply the batched kernel over the whole list.
+        let mut scratch = SptBatchScratch::new(csr.node_count());
+        let trees = csr.full_tree_batch(sources, mask, &mut scratch);
         stats.chunk_claims.push(stats.chunks as u64);
         stats.settled.push(scratch.settled_total());
         stats.scratch_runs.push(scratch.runs());
+        stats.heap_pushes.push(scratch.heap_pushes());
+        stats.heap_pops.push(scratch.heap_pops());
+        stats.decrease_keys.push(scratch.decrease_keys());
         return (trees, stats);
     }
 
@@ -167,7 +201,9 @@ pub fn par_all_sources_csr(
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut scratch = DijkstraScratch::new(csr.node_count());
+                        // One batch scratch per worker, reused across every
+                        // chunk this thread steals.
+                        let mut scratch = SptBatchScratch::new(csr.node_count());
                         let mut claims = 0u64;
                         loop {
                             let j = next.fetch_add(1, Ordering::Relaxed);
@@ -180,20 +216,23 @@ pub fn par_all_sources_csr(
                                 .unwrap_or_else(|poison| poison.into_inner())
                                 .take();
                             let Some((slots, srcs)) = job else { continue };
-                            for (slot, &src) in slots.iter_mut().zip(srcs) {
-                                *slot = Some(csr.full_tree_masked(src, mask, &mut scratch));
-                            }
+                            csr.full_tree_batch_with(srcs, mask, &mut scratch, |i, tree| {
+                                slots[i] = Some(tree);
+                            });
                         }
-                        (claims, scratch.runs(), scratch.settled_total())
+                        (claims, scratch)
                     })
                 })
                 .collect();
             for handle in handles {
                 match handle.join() {
-                    Ok((claims, runs, settled)) => {
+                    Ok((claims, scratch)) => {
                         stats.chunk_claims.push(claims);
-                        stats.scratch_runs.push(runs);
-                        stats.settled.push(settled);
+                        stats.scratch_runs.push(scratch.runs());
+                        stats.settled.push(scratch.settled_total());
+                        stats.heap_pushes.push(scratch.heap_pushes());
+                        stats.heap_pops.push(scratch.heap_pops());
+                        stats.decrease_keys.push(scratch.decrease_keys());
                     }
                     Err(panic) => std::panic::resume_unwind(panic),
                 }
@@ -243,7 +282,26 @@ mod tests {
             assert_eq!(stats.total_chunks_claimed(), stats.chunks as u64);
             assert_eq!(stats.scratch_runs.iter().sum::<u64>(), 60);
             assert!(stats.total_settled() > 0);
+            assert_eq!(
+                stats.total_heap_pops(),
+                stats.total_settled(),
+                "decrease-key pops exactly once per settle"
+            );
+            assert_eq!(stats.total_heap_pushes(), stats.total_settled());
+            assert!(stats.total_decrease_keys() > 0);
         }
+    }
+
+    #[test]
+    fn heap_stats_cover_every_thread() {
+        let g = random_graph(PAR_SERIAL_CUTOFF, 3 * PAR_SERIAL_CUTOFF, 6);
+        let model = CostModel::new(Metric::Weighted, 5);
+        let sources: Vec<NodeId> = (0..24).map(|i| NodeId::new(i * 40)).collect();
+        let (_, stats) = par_all_sources(&g, &model, &sources, 2);
+        assert_eq!(stats.heap_pushes.len(), stats.threads);
+        assert_eq!(stats.heap_pops.len(), stats.threads);
+        assert_eq!(stats.decrease_keys.len(), stats.threads);
+        assert_eq!(stats.total_heap_pops(), stats.total_settled());
     }
 
     #[test]

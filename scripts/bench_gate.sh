@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1 spt_repair csr_dijkstra par_provision flight_recorder"}
+BENCH_TARGETS=${BENCH_TARGETS:-"dijkstra decompose table1 spt_repair csr_dijkstra spt_batch par_provision flight_recorder"}
 BENCH_TOLERANCE=${BENCH_TOLERANCE:-0.75}
 BENCH_OUT=${BENCH_OUT:-BENCH_rbpc.json}
 BASELINE=${BASELINE:-bench/baseline.json}
@@ -66,6 +66,16 @@ CSR_SPEEDUP="csr_dijkstra/powerlaw_5000/full_tree,dijkstra/powerlaw_5000/full_tr
 # (same spirit as BENCH_TOLERANCE): min(off)/min(on) >= 0.90.
 RECORDER_OVERHEAD="flight_recorder/isp_200/restore_on,flight_recorder/isp_200/restore_off,0.90"
 
+# The batched SPT kernel's claim: a 32-source provisioning batch through
+# `full_tree_batch` (slim compacted edges, decrease-key frontier, packed
+# records) beats the scalar per-source `full_tree` loop by at least 1.3x
+# on both gated topologies. Both rows are single-threaded, so unlike the
+# par_provision rules below this ratio is core-count independent and
+# needs no nproc gate — it must hold even on a 1-core runner (min_ns
+# comparison filters scheduler noise).
+BATCH_SPEEDUP_POWERLAW="spt_batch/powerlaw_5000/batched,spt_batch/powerlaw_5000/scalar,1.3"
+BATCH_SPEEDUP_GNM="spt_batch/gnm_1000/batched,spt_batch/gnm_1000/scalar,1.3"
+
 # The parallel engine's claim: above the serial cutoff (isp_200 is below
 # it and now runs inline at every thread count), an 8-thread all-sources
 # batch on the 5000-node power-law graph beats the 1-thread one by at
@@ -87,4 +97,5 @@ echo "== bench-gate --baseline $BASELINE --current $BENCH_OUT --tolerance $BENCH
 cargo run -q -p rbpc-bench --bin bench-gate --release -- \
     --baseline "$BASELINE" --current "$BENCH_OUT" --tolerance "$BENCH_TOLERANCE" \
     --speedup "$SPT_SPEEDUP" --speedup "$CSR_SPEEDUP" --speedup "$RECORDER_OVERHEAD" \
+    --speedup "$BATCH_SPEEDUP_POWERLAW" --speedup "$BATCH_SPEEDUP_GNM" \
     "${PAR_SPEEDUP[@]}"

@@ -43,6 +43,9 @@ cargo run -q -p rbpc-eval -- replay crates/eval/tests/golden/incident-smoke.json
 echo "== CSR / parallel determinism property test (release, 2-thread runs included)"
 cargo test --release --test csr_parallel -q
 
+echo "== batched SPT kernel property test (release: bit-identical to scalar across masks/batches/threads)"
+cargo test --release --test spt_batch -q
+
 echo "== sharded-store property test (release: bit-identical to dense at 1/2/8 threads)"
 cargo test --release -p rbpc-core --test sharded_store -q
 
