@@ -157,21 +157,6 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
         );
         let flight_start = obs_flight_now!();
         let result = self.restore_inner(s, t, failures);
-        // Machine-check the paper's bound on every debug-build restore:
-        // for edge-only failure sets the concatenation must satisfy
-        // Theorem 2 (node failures make the stack depth unbounded — see
-        // the star construction — so they are exempt).
-        #[cfg(debug_assertions)]
-        if let Ok(r) = &result {
-            if failures.failed_node_count() == 0 {
-                debug_assert_eq!(
-                    r.concatenation
-                        .validate_bounds(failures.failed_edge_count()),
-                    Ok(()),
-                    "restoration {s} -> {t} violates the Theorem 2 stack bound"
-                );
-            }
-        }
         match &result {
             Ok(r) => {
                 obs_count!("core.restore.ok");
@@ -227,6 +212,7 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
         result
     }
 
+    // lint:hot: the per-LSP restore fast path — lookup, repair, decompose.
     fn restore_inner(
         &self,
         s: NodeId,
@@ -264,9 +250,22 @@ impl<'a, O: BasePathOracle> Restorer<'a, O> {
                     target: t,
                 })?
         } else {
+            // lint:allow(hot-path) — the caller gets an owned copy of the base path; one clone is the API contract
             original.clone()
         };
         let concatenation = greedy_decompose(self.oracle, &backup);
+        // Machine-check the paper's bound on every debug-build restore:
+        // for edge-only failure sets the concatenation must satisfy
+        // Theorem 2 (node failures make the stack depth unbounded — see
+        // the star construction — so they are exempt). The release-mode
+        // twin of this check lives in tests/theorem_bounds.rs.
+        if failures.failed_node_count() == 0 {
+            debug_assert_eq!(
+                concatenation.validate_bounds(failures.failed_edge_count()),
+                Ok(()),
+                "restoration {s} -> {t} violates the Theorem 2 stack bound"
+            );
+        }
         Ok(Restoration {
             source: s,
             target: t,
@@ -361,6 +360,7 @@ impl<'a, O: BasePathOracle + Sync> Restorer<'a, O> {
                     scope.spawn(|| {
                         let mut mine = Vec::new();
                         loop {
+                            // lint:allow(atomics-order) — pure ticket counter; the scope join publishes each worker's results
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(chunk_pairs) = chunks.get(i) else {
                                 break;

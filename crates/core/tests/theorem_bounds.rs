@@ -1,0 +1,54 @@
+//! Release-mode twin of the Theorem 2 check in `Restorer::restore_inner`.
+//!
+//! The hot path guards the paper's stack-depth bound with a
+//! `debug_assert!` that compiles away in release builds, so this test —
+//! registered against that assert in `crates/lint/lint-invariants.txt`
+//! (the `debug-invariants` lint rule enforces the pairing) — re-checks
+//! the same invariant with real `assert!`s: for an edge-only failure set
+//! of size k, every restoration's concatenation must satisfy
+//! `validate_bounds(k)` (at most k + 1 segments, hence a label stack of
+//! depth ≤ k + 1). Run from `scripts/check.sh` in release mode.
+
+use rbpc_core::{BasePathOracle, DenseBasePaths, Restorer};
+use rbpc_graph::{CostModel, EdgeId, FailureSet, Metric, NodeId};
+use rbpc_topo::{gnm_connected, isp_topology, IspParams};
+
+fn check_all_pairs(graph: rbpc_graph::Graph, seed: u64, k: usize) {
+    let m = graph.edge_count();
+    let oracle = DenseBasePaths::build(graph, CostModel::new(Metric::Weighted, seed));
+    let restorer = Restorer::new(&oracle);
+    let n = oracle.graph().node_count();
+    // A deterministic spread of k failed edges, stepped so consecutive
+    // failure sets overlap different parts of the topology.
+    for round in 0..4usize {
+        let failures = FailureSet::of_edges(
+            (0..k).map(|i| EdgeId::new((round * 7 + i * (m / k.max(1)).max(1)) % m)),
+        );
+        let k_failed = failures.failed_edge_count();
+        for s in 0..n {
+            for t in (s + 1..n).step_by(3) {
+                let Ok(r) = restorer.restore(NodeId::new(s), NodeId::new(t), &failures) else {
+                    continue; // disconnected pairs are out of scope here
+                };
+                assert_eq!(
+                    r.concatenation.validate_bounds(k_failed),
+                    Ok(()),
+                    "restoration {s} -> {t} under {k_failed} failed edges \
+                     violates the Theorem 2 stack bound"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_bound_holds_on_the_isp_topology() {
+    let g = isp_topology(IspParams::default(), 21).graph;
+    check_all_pairs(g, 21, 3);
+}
+
+#[test]
+fn theorem2_bound_holds_on_gnm_under_heavier_failure_sets() {
+    let g = gnm_connected(60, 150, 9, 21);
+    check_all_pairs(g, 9, 6);
+}

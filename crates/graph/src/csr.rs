@@ -443,6 +443,7 @@ impl CsrGraph {
         };
         heap.push(Reverse(heap_key(0, s as u32)));
 
+        // lint:hot: the settle loop — the whole provisioning sweep lives here.
         while let Some(Reverse(key)) = heap.pop() {
             let u = (key & NODE_MASK) as usize;
             if nodes[u].stamp == ep_done {
@@ -452,6 +453,7 @@ impl CsrGraph {
             *settled_total += 1;
             let (d, ub, uh) = (nodes[u].dist, nodes[u].base, nodes[u].hops);
 
+            // lint:allow(hot-path) — `offsets` has n+1 entries, so `u + 1` is in bounds for every settled node id
             let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
             for he in &self.half[lo..hi] {
                 let vt = he.target;
@@ -466,9 +468,11 @@ impl CsrGraph {
                         base: ub + he.base,
                         stamp: ep,
                         hops: uh + 1,
+                        // lint:allow(hot-path) — node ids are < n ≤ u32::MAX by CsrGraph construction; `u as u32` cannot truncate
                         parent_node: u as u32,
                         parent_edge: he.edge,
                     };
+                    // lint:allow(hot-path) — the scratch heap keeps its capacity across runs; pushes are amortized alloc-free
                     heap.push(Reverse(heap_key(nd, vt)));
                 }
             }
@@ -560,6 +564,9 @@ impl CsrGraph {
         };
         heap.push(Reverse(heap_key(0, si as u32)));
 
+        // lint:hot: the settle loop. The cold target-reached exit drops out
+        // of the region so path reconstruction can allocate freely.
+        let mut found = false;
         while let Some(Reverse(key)) = heap.pop() {
             let u = (key & NODE_MASK) as usize;
             if recs[u].stamp == ep_done {
@@ -569,20 +576,11 @@ impl CsrGraph {
             recs[u].stamp = ep_done;
             *settled_total += 1;
             if u == t.index() {
-                let mut nodes = vec![t];
-                let mut edges = Vec::new();
-                let mut at = t.index();
-                while recs[at].parent_node != NO_NODE {
-                    edges.push(EdgeId::new(recs[at].parent_edge as usize));
-                    let pn = recs[at].parent_node as usize;
-                    nodes.push(NodeId::new(pn));
-                    at = pn;
-                }
-                nodes.reverse();
-                edges.reverse();
+                found = true;
                 heap.clear();
-                return Some(Path::from_parts_unchecked(nodes, edges));
+                break;
             }
+            // lint:allow(hot-path) — `offsets` has n+1 entries, so `u + 1` is in bounds for every settled node id
             let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
             for he in &self.half[lo..hi] {
                 let vt = he.target;
@@ -594,13 +592,31 @@ impl CsrGraph {
                 if rec.stamp != ep || nd < rec.dist {
                     rec.dist = nd;
                     rec.stamp = ep;
+                    // lint:allow(hot-path) — node ids are < n ≤ u32::MAX by CsrGraph construction; `u as u32` cannot truncate
                     rec.parent_node = u as u32;
                     rec.parent_edge = he.edge;
+                    // lint:allow(hot-path) — the scratch heap keeps its capacity across runs; pushes are amortized alloc-free
                     heap.push(Reverse(heap_key(nd, vt)));
                 }
             }
         }
-        None
+        if !found {
+            return None;
+        }
+
+        // Walk the parent chain back from `t` (cold: runs once per query).
+        let mut nodes = vec![t];
+        let mut edges = Vec::new();
+        let mut at = t.index();
+        while recs[at].parent_node != NO_NODE {
+            edges.push(EdgeId::new(recs[at].parent_edge as usize));
+            let pn = recs[at].parent_node as usize;
+            nodes.push(NodeId::new(pn));
+            at = pn;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(Path::from_parts_unchecked(nodes, edges))
     }
 }
 

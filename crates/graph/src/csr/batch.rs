@@ -571,6 +571,7 @@ fn run_search<E: EdgeRec, Q: Frontier>(
     q.push(s as u32, 0, pos);
     *heap_pushes += 1;
 
+    // lint:hot: the batched settle loop (every provisioning source runs it).
     while let Some(un) = q.pop(pos) {
         *heap_pops += 1;
         let u = un as usize;
@@ -585,8 +586,10 @@ fn run_search<E: EdgeRec, Q: Frontier>(
         // pads, < 2^20 hops), so a relaxed distance's base half is
         // always the settled base half plus the edge's base — one u64
         // add, no u128 shifts in the hot loop.
+        // lint:allow(hot-path) — `>> 64` leaves exactly the base half; `as u64` discards nothing
         let dhi = (d >> 64) as u64;
 
+        // lint:allow(hot-path) — `soff` has n+1 entries, so `u + 1` is in bounds for every settled node id
         let (lo, hi) = (soff[u] as usize, soff[u + 1] as usize);
         for &se in &slim[lo..hi] {
             let (target, edge, base) = se.decode();
@@ -600,6 +603,7 @@ fn run_search<E: EdgeRec, Q: Frontier>(
             let w = (u128::from(base) << 64) | u128::from(edge_pad(seed, edge));
             let nd = d + w;
             let nk = dhi + u64::from(base);
+            // lint:allow(hot-path) — debug-only check; `>> 64` leaves exactly the base half, so `as u64` discards nothing
             debug_assert_eq!(nk, (nd >> 64) as u64, "pads never carry into the base half");
             if sv != ep {
                 // First touch: one frontier entry, forever.
@@ -610,12 +614,14 @@ fn run_search<E: EdgeRec, Q: Frontier>(
                     parent_edge: edge,
                 };
                 stamp[v] = ep;
+                // lint:allow(hot-path) — frontier pushes land in ring buckets that keep their capacity across the batch
                 q.push(target, nk, pos);
                 *heap_pushes += 1;
             } else if nd < recs[v].dist {
                 // Improvement: re-key in place, no duplicate entry. If
                 // only pad bits improved, the u64 base key is unchanged
                 // and the frontier needs no work at all.
+                // lint:allow(hot-path) — `>> 64` leaves exactly the base half; `as u64` discards nothing
                 let ok = (recs[v].dist >> 64) as u64;
                 recs[v] = BatchRec {
                     dist: nd,
@@ -676,6 +682,7 @@ fn run_search_unit(
     cur.push(s as u32);
     *heap_pushes += 1;
 
+    // lint:hot: the unit-weight level sweep.
     while !cur.is_empty() {
         for &un in cur.iter() {
             *heap_pops += 1;
@@ -685,6 +692,7 @@ fn run_search_unit(
             *settled_total += 1;
             let (d, uh) = (recs[u].dist, recs[u].hops);
 
+            // lint:allow(hot-path) — `soff` has n+1 entries, so `u + 1` is in bounds for every settled node id
             let (lo, hi) = (soff[u] as usize, soff[u + 1] as usize);
             for &se in &slim[lo..hi] {
                 let v = se.target as usize;
@@ -701,6 +709,7 @@ fn run_search_unit(
                         parent_edge: se.edge,
                     };
                     stamp[v] = ep;
+                    // lint:allow(hot-path) — level queues keep their capacity across the batch; pushes are amortized alloc-free
                     next.push(se.target);
                     *heap_pushes += 1;
                 } else if nd < recs[v].dist {

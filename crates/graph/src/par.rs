@@ -205,7 +205,9 @@ pub fn par_all_sources_csr(
                         // chunk this thread steals.
                         let mut scratch = SptBatchScratch::new(csr.node_count());
                         let mut claims = 0u64;
+                        // lint:hot: the worker steal loop of the sweep.
                         loop {
+                            // lint:allow(atomics-order) — pure ticket counter; the per-job Mutex is the hand-off that orders the data
                             let j = next.fetch_add(1, Ordering::Relaxed);
                             if j >= jobs.len() {
                                 break;

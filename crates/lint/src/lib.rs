@@ -8,15 +8,22 @@
 //! rest on source-level disciplines the compiler does not enforce: no
 //! hash-order iteration in algorithm code, no wall-clock reads outside
 //! the measurement crates, no panics in restoration paths, balanced
-//! feature gates. This crate machine-checks those disciplines with a
-//! lightweight line scanner (see [`scan`]) and six rules (see [`rules`]),
-//! and `scripts/check.sh` runs it as a hard gate before clippy.
+//! feature gates, sound atomic orderings, disciplined lock scopes, and
+//! allocation-free hot kernels. This crate machine-checks those
+//! disciplines in two tiers — six line rules (see [`rules`]) over the
+//! line model in [`scan`], and four token rules (see [`rules2`]) over
+//! the lexer/block-tree in [`token`] / [`tree`] — and `scripts/check.sh`
+//! runs it as a hard gate before clippy.
 //!
 //! Escape hatches, in order of preference:
 //! 1. fix the code;
 //! 2. a `// lint:allow(<rule>)` comment on (or right above) the line,
-//!    next to a justification;
-//! 3. a `<rule> <path>` line in `crates/lint/lint-allow.txt` for whole
+//!    next to a justification (for `atomics-order` the note is
+//!    *required*, see [`rules2`]);
+//! 3. an entry in `crates/lint/lint-baseline.json` with a written
+//!    justification — CI then fails only on findings *not* in the
+//!    baseline (see [`report`]);
+//! 4. a `<rule> <path>` line in `crates/lint/lint-allow.txt` for whole
 //!    files that are legitimately exempt.
 //!
 //! The runtime half of the story — `CsrGraph::validate`,
@@ -31,22 +38,60 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod report;
 pub mod rules;
+pub mod rules2;
 pub mod scan;
+pub mod token;
+pub mod tree;
 
 use scan::{FileKind, SourceFile};
 
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule name (one of [`rules::RULES`]).
+    /// Rule name (one of [`rules::RULES`] or [`rules2::RULES2`]).
     pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token (0 for line rules).
+    pub col: usize,
     /// Human-readable explanation with a suggested fix.
     pub message: String,
+    /// The offending source line, trimmed (filled by [`Workspace::check`]).
+    pub snippet: String,
+    /// The offending source line, verbatim (for `--fix-dry-run` diffs).
+    pub raw_line: String,
+    /// Content-stable baseline key (filled by [`Workspace::check`]).
+    pub allow_key: String,
+    /// Full replacement line for mechanical fixes (`--fix-dry-run`).
+    pub suggestion: Option<String>,
+}
+
+impl Finding {
+    /// A finding with only the universally known fields; `snippet` /
+    /// `allow_key` are filled by the post-pass in [`Workspace::check`].
+    pub fn new(rule: &'static str, path: String, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            path,
+            line,
+            col: 0,
+            message,
+            snippet: String::new(),
+            raw_line: String::new(),
+            allow_key: String::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Sets the 1-based column.
+    pub fn with_col(mut self, col: usize) -> Finding {
+        self.col = col;
+        self
+    }
 }
 
 impl fmt::Display for Finding {
@@ -57,6 +102,21 @@ impl fmt::Display for Finding {
             self.path, self.line, self.rule, self.message
         )
     }
+}
+
+/// One line of `crates/lint/lint-invariants.txt`: a hot-region
+/// `debug_assert!` in `<path>:<func>` is release-covered by `<test>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantEntry {
+    /// Workspace-relative source path.
+    pub path: String,
+    /// Function name containing the hot `debug_assert!`.
+    pub func: String,
+    /// Workspace-relative path of the release-mode test that pins the
+    /// same property.
+    pub test: String,
+    /// 1-based line in the manifest (for stale-entry findings).
+    pub line: usize,
 }
 
 /// A workspace member crate: manifest facts plus scanned sources.
@@ -81,6 +141,8 @@ pub struct Workspace {
     pub root: PathBuf,
     /// Member crates sorted by directory, root package last.
     pub crates: Vec<CrateInfo>,
+    /// Parsed `crates/lint/lint-invariants.txt` (empty if absent).
+    pub invariants: Vec<InvariantEntry>,
 }
 
 impl Workspace {
@@ -112,23 +174,66 @@ impl Workspace {
         if manifest.contains("[package]") {
             crates.push(load_crate(root, root)?);
         }
+        let invariants = load_invariants(root);
         Ok(Workspace {
             root: root.to_path_buf(),
             crates,
+            invariants,
         })
     }
 
-    /// Runs all rules and the allowlist filter; findings come back sorted
-    /// by path, line, rule.
+    /// Runs all rules (both tiers) and the allowlist filter; findings
+    /// come back sorted by path, line, rule, with snippets and
+    /// content-stable `allow_key`s filled in.
     pub fn check(&self, allow: &Allowlist) -> Vec<Finding> {
         let mut out = Vec::new();
         rules::run_all(self, &mut out);
+        rules2::run_all(self, &mut out);
         out.retain(|f| !allow.is_allowed(f.rule, &f.path));
         out.sort_by(|a, b| {
-            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+            (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
         });
         out.dedup();
+        self.fill_keys(&mut out);
         out
+    }
+
+    /// Post-pass: attaches the source line (trimmed + verbatim) and the
+    /// content-stable `allow_key` to every finding. The occurrence index
+    /// disambiguates identical lines within one file.
+    fn fill_keys(&self, out: &mut [Finding]) {
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        for f in out.iter_mut() {
+            if f.snippet.is_empty() {
+                if let Some(line) = self
+                    .crates
+                    .iter()
+                    .flat_map(|c| c.files.iter())
+                    .find(|file| file.path == f.path)
+                    .and_then(|file| file.lines.get(f.line.wrapping_sub(1)))
+                {
+                    f.raw_line = line.raw.clone();
+                    f.snippet = line.raw.trim().to_string();
+                }
+            }
+            let content = if f.snippet.is_empty() {
+                &f.message
+            } else {
+                &f.snippet
+            };
+            let base = report::allow_key(f.rule, &f.path, content, 0);
+            let occurrence = match seen.iter_mut().find(|(k, _)| *k == base) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    seen.push((base.clone(), 0));
+                    0
+                }
+            };
+            f.allow_key = report::allow_key(f.rule, &f.path, content, occurrence);
+        }
     }
 
     /// Total number of scanned source files.
@@ -175,6 +280,35 @@ fn load_crate(ws_root: &Path, dir: &Path) -> io::Result<CrateInfo> {
         files,
         root_file,
     })
+}
+
+/// Parses `crates/lint/lint-invariants.txt` under `root`: one
+/// `<path>:<func> <test-path>` per line, `#` comments and blanks
+/// skipped. Missing file means no entries.
+fn load_invariants(root: &Path) -> Vec<InvariantEntry> {
+    let Ok(text) = fs::read_to_string(root.join("crates/lint/lint-invariants.txt")) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((site, test)) = line.split_once(char::is_whitespace) else {
+            continue;
+        };
+        let Some((path, func)) = site.rsplit_once(':') else {
+            continue;
+        };
+        out.push(InvariantEntry {
+            path: path.to_string(),
+            func: func.to_string(),
+            test: test.trim().to_string(),
+            line: i + 1,
+        });
+    }
+    out
 }
 
 /// Recursively visits `.rs` files under `dir` in sorted order, skipping

@@ -1,72 +1,183 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-//! `rbpc-lint` CLI: scan the workspace, print findings, exit non-zero if
-//! any rule fires. Run from anywhere inside the repo:
+//! `rbpc-lint` CLI: scan the workspace, print findings, exit non-zero on
+//! any *new* finding (one not accepted by the committed baseline). Run
+//! from anywhere inside the repo:
 //!
 //! ```text
-//! cargo run -p rbpc-lint            # lint the enclosing workspace
-//! cargo run -p rbpc-lint -- PATH   # lint the workspace rooted at PATH
+//! cargo run -p rbpc-lint                      # lint the enclosing workspace
+//! cargo run -p rbpc-lint -- PATH              # lint the workspace at PATH
+//! cargo run -p rbpc-lint -- --json out.json   # machine-readable report
+//! cargo run -p rbpc-lint -- --fix-dry-run     # unified-diff suggestions
 //! ```
+//!
+//! The baseline defaults to `<root>/crates/lint/lint-baseline.json` when
+//! that file exists; `--baseline PATH` overrides it and `--no-baseline`
+//! disables it (every finding is then new). The summary line carries
+//! machine-greppable counters (`lint.findings.total=…`) for check.sh.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rbpc_lint::{rules, Allowlist, Workspace};
+use rbpc_lint::{report, rules, rules2, Allowlist, Workspace};
+
+struct Args {
+    root: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    fix_dry_run: bool,
+}
+
+fn usage() {
+    println!(
+        "usage: rbpc-lint [WORKSPACE_ROOT] [--json PATH] [--baseline PATH] \
+         [--no-baseline] [--fix-dry-run]\n\nrules: {}, {}",
+        rules::RULES.join(", "),
+        rules2::RULES2.join(", ")
+    );
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        json_out: None,
+        baseline: None,
+        no_baseline: false,
+        fix_dry_run: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--json" => {
+                args.json_out = Some(PathBuf::from(it.next().ok_or("--json needs a PATH")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a PATH")?));
+            }
+            "--no-baseline" => args.no_baseline = true,
+            "--fix-dry-run" => args.fix_dry_run = true,
+            other if args.root.is_none() && !other.starts_with('-') => {
+                args.root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Some(args))
+}
 
 fn main() -> ExitCode {
-    let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "-h" | "--help" => {
-                println!(
-                    "usage: rbpc-lint [WORKSPACE_ROOT]\n\nrules: {}",
-                    rules::RULES.join(", ")
-                );
-                return ExitCode::SUCCESS;
-            }
-            _ if root.is_none() => root = Some(PathBuf::from(arg)),
-            other => {
-                eprintln!("rbpc-lint: unexpected argument `{other}`");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
-        Ok(r) => r,
+    match run() {
+        Ok(code) => code,
         Err(e) => {
             eprintln!("rbpc-lint: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(args) = parse_args()? else {
+        usage();
+        return Ok(ExitCode::SUCCESS);
     };
-    let ws = match Workspace::load(&root) {
-        Ok(ws) => ws,
-        Err(e) => {
-            eprintln!("rbpc-lint: failed to load {}: {e}", root.display());
-            return ExitCode::FAILURE;
-        }
+    let root = match args.root {
+        Some(r) => r,
+        None => find_workspace_root()?,
     };
+    let ws =
+        Workspace::load(&root).map_err(|e| format!("failed to load {}: {e}", root.display()))?;
     let allow = Allowlist::load(&root);
     let findings = ws.check(&allow);
-    for f in &findings {
-        println!("{f}");
+
+    // Baseline: explicit flag wins; otherwise the committed default, if
+    // present. `--no-baseline` treats every finding as new.
+    let baseline = if args.no_baseline {
+        None
+    } else {
+        let path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join("crates/lint/lint-baseline.json"));
+        report::Baseline::load(&path)?
+    };
+    let mut baseline_broken = false;
+    if let Some(b) = &baseline {
+        for e in b.unjustified() {
+            println!(
+                "crates/lint/lint-baseline.json: [baseline] entry `{}` has an empty \
+                 justification — write one or fix the finding",
+                e.allow_key
+            );
+            baseline_broken = true;
+        }
     }
-    if findings.is_empty() {
+    let diff = match &baseline {
+        Some(b) => report::diff_against(&findings, b),
+        None => report::BaselineDiff {
+            baselined: vec![false; findings.len()],
+            new: (0..findings.len()).collect(),
+            stale: Vec::new(),
+        },
+    };
+
+    for &i in &diff.new {
+        println!("{}", findings[i]);
+    }
+    for e in &diff.stale {
         println!(
-            "rbpc-lint: OK — {} files across {} crates, {} rules, 0 findings",
+            "note: baseline entry `{}` ({} in {}) no longer fires — delete it",
+            e.allow_key, e.rule, e.path
+        );
+    }
+    if args.fix_dry_run {
+        let patch = report::fix_dry_run(&findings);
+        if patch.is_empty() {
+            println!("rbpc-lint: --fix-dry-run: no mechanical suggestions");
+        } else {
+            print!("{patch}");
+        }
+    }
+    if let Some(path) = &args.json_out {
+        let json = report::findings_to_json(&findings, &diff.baselined);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    let n_rules = rules::RULES.len() + rules2::RULES2.len();
+    let mut per_rule: Vec<(&str, usize)> = Vec::new();
+    for f in &findings {
+        match per_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => per_rule.push((f.rule, 1)),
+        }
+    }
+    let mut counters = format!(
+        "lint.findings.total={} lint.findings.new={} lint.findings.baselined={}",
+        findings.len(),
+        diff.new.len(),
+        diff.baselined.iter().filter(|&&b| b).count()
+    );
+    for (rule, n) in &per_rule {
+        counters.push_str(&format!(" lint.findings.rule.{rule}={n}"));
+    }
+
+    if diff.new.is_empty() && !baseline_broken {
+        println!(
+            "rbpc-lint: OK — {} files across {} crates, {n_rules} rules; {counters}",
             ws.file_count(),
             ws.crates.len(),
-            rules::RULES.len()
         );
-        ExitCode::SUCCESS
+        Ok(ExitCode::SUCCESS)
     } else {
         println!(
-            "rbpc-lint: {} finding(s) in {} files across {} crates",
-            findings.len(),
+            "rbpc-lint: {} new finding(s) in {} files across {} crates; {counters}",
+            diff.new.len(),
             ws.file_count(),
-            ws.crates.len()
+            ws.crates.len(),
         );
-        ExitCode::FAILURE
+        Ok(ExitCode::FAILURE)
     }
 }
 

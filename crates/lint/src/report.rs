@@ -1,0 +1,507 @@
+//! Machine-readable reports: JSON findings, the committed baseline, and
+//! `--fix-dry-run` unified diffs.
+//!
+//! Findings are keyed by a *content-stable* `allow_key` —
+//! `<rule>@<path>@<fnv64-of-trimmed-snippet>@<occurrence>` — so moving a
+//! file around (line drift) does not invalidate the committed baseline,
+//! while editing the offending line does. `crates/lint/lint-baseline.json`
+//! holds the accepted findings; CI fails only on keys that are not in it,
+//! and every baseline entry must carry a written justification.
+//!
+//! The crate stays dependency-free, so this module carries its own tiny
+//! RFC 8259 subset parser for the baseline file (objects, arrays,
+//! strings, numbers, true/false/null) and its own escaping serializer.
+//! The round-trip against `rbpc_obs::json` is pinned by an integration
+//! test (rbpc-obs is a dev-dependency only).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::Finding;
+
+/// 64-bit FNV-1a over `s` — the hash inside [`allow_key`] values.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the content-stable key for a finding: rule, path, hash of the
+/// trimmed source line, and the occurrence index among same-hash
+/// findings in the same file (so two identical lines get distinct keys).
+pub fn allow_key(rule: &str, path: &str, snippet: &str, occurrence: usize) -> String {
+    format!("{rule}@{path}@{:016x}@{occurrence}", fnv1a(snippet.trim()))
+}
+
+/// Escapes `s` as a JSON string body (no surrounding quotes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings (with their new/baselined status) to the report
+/// JSON: `{"version":1,"total":…,"new":…,"baselined":…,"findings":[…]}`.
+/// `baselined` flags parallel `findings`.
+pub fn findings_to_json(findings: &[Finding], baselined: &[bool]) -> String {
+    let n_base = baselined.iter().filter(|&&b| b).count();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":1,\"total\":{},\"new\":{},\"baselined\":{},\"findings\":[",
+        findings.len(),
+        findings.len() - n_base,
+        n_base
+    );
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"span\":{{\"line\":{},\"col\":{}}},\
+             \"snippet\":\"{}\",\"allow_key\":\"{}\",\"message\":\"{}\",\"status\":\"{}\"",
+            esc(f.rule),
+            esc(&f.path),
+            f.line,
+            f.line,
+            f.col,
+            esc(&f.snippet),
+            esc(&f.allow_key),
+            esc(&f.message),
+            if baselined.get(i).copied().unwrap_or(false) {
+                "baselined"
+            } else {
+                "new"
+            },
+        );
+        if let Some(s) = &f.suggestion {
+            let _ = write!(out, ",\"suggestion\":\"{}\"", esc(s));
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// minimal JSON reader (baseline file only)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (subset sufficient for the baseline format).
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a JVal> {
+        match self {
+            JVal::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {} of baseline JSON",
+                c as char, self.i
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => {
+                self.i += 1;
+                let mut kvs = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(JVal::Obj(kvs));
+                }
+                loop {
+                    self.ws();
+                    let key = match self.value()? {
+                        JVal::Str(s) => s,
+                        _ => return Err("object key must be a string".into()),
+                    };
+                    self.expect(b':')?;
+                    kvs.push((key, self.value()?));
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(JVal::Obj(kvs));
+                        }
+                        _ => return Err(format!("unterminated object at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(JVal::Arr(items));
+                        }
+                        _ => return Err(format!("unterminated array at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.i += 1;
+                let mut s = String::new();
+                loop {
+                    match self.b.get(self.i) {
+                        None => return Err("unterminated string".into()),
+                        Some(b'"') => {
+                            self.i += 1;
+                            return Ok(JVal::Str(s));
+                        }
+                        Some(b'\\') => {
+                            self.i += 1;
+                            match self.b.get(self.i) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'u') => {
+                                    let hex = self
+                                        .b
+                                        .get(self.i + 1..self.i + 5)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                        .ok_or("bad \\u escape")?;
+                                    s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                    self.i += 4;
+                                }
+                                Some(&c) => s.push(c as char),
+                                None => return Err("dangling escape".into()),
+                            }
+                            self.i += 1;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 char.
+                            let start = self.i;
+                            self.i += 1;
+                            while self.b.get(self.i).is_some_and(|&c| c & 0xc0 == 0x80) {
+                                self.i += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&self.b[start..self.i])
+                                    .map_err(|_| "invalid UTF-8 in string")?,
+                            );
+                        }
+                    }
+                }
+            }
+            Some(b't') if self.b[self.i..].starts_with(b"true") => {
+                self.i += 4;
+                Ok(JVal::Bool(true))
+            }
+            Some(b'f') if self.b[self.i..].starts_with(b"false") => {
+                self.i += 5;
+                Ok(JVal::Bool(false))
+            }
+            Some(b'n') if self.b[self.i..].starts_with(b"null") => {
+                self.i += 4;
+                Ok(JVal::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = self.i;
+                self.i += 1;
+                while self.b.get(self.i).is_some_and(|c| {
+                    c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(JVal::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected byte {} in baseline JSON", self.i)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// baseline
+// ---------------------------------------------------------------------------
+
+/// One accepted finding in `lint-baseline.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The content-stable key (see [`allow_key`]).
+    pub allow_key: String,
+    /// Rule name, for human readers and stale-entry reports.
+    pub rule: String,
+    /// Path the finding was accepted in.
+    pub path: String,
+    /// Why this finding is accepted — must be non-empty.
+    pub justification: String,
+}
+
+/// The committed set of accepted findings.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses `{"version":1,"entries":[{allow_key,rule,path,justification}…]}`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        let entries = v
+            .get("entries")
+            .ok_or("baseline JSON has no \"entries\" array")?;
+        let JVal::Arr(items) = entries else {
+            return Err("baseline \"entries\" is not an array".into());
+        };
+        let mut out = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |k: &str| -> Result<String, String> {
+                item.get(k)
+                    .and_then(JVal::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry {i} is missing string field \"{k}\""))
+            };
+            out.push(BaselineEntry {
+                allow_key: field("allow_key")?,
+                rule: field("rule")?,
+                path: field("path")?,
+                justification: field("justification")?,
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Loads a baseline file; `Ok(None)` when it does not exist.
+    pub fn load(path: &Path) -> Result<Option<Baseline>, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Entries whose justification is empty (or whitespace) — committing
+    /// one is itself an error.
+    pub fn unjustified(&self) -> Vec<&BaselineEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.justification.trim().is_empty())
+            .collect()
+    }
+
+    /// Serializes entries back to the committed format (stable order,
+    /// one entry per line for reviewable diffs).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"entries\":[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {{\"allow_key\":\"{}\",\"rule\":\"{}\",\"path\":\"{}\",\"justification\":\"{}\"}}{}",
+                esc(&e.allow_key),
+                esc(&e.rule),
+                esc(&e.path),
+                esc(&e.justification),
+                if i + 1 < self.entries.len() { "," } else { "" },
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// The result of diffing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Per-finding flags: `true` = accepted by the baseline.
+    pub baselined: Vec<bool>,
+    /// Indices of findings not in the baseline (these fail the build).
+    pub new: Vec<usize>,
+    /// Baseline entries that no longer match any finding.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Splits `findings` into baselined and new, and reports baseline
+/// entries that no longer fire (stale — safe to delete).
+pub fn diff_against(findings: &[Finding], baseline: &Baseline) -> BaselineDiff {
+    let mut diff = BaselineDiff {
+        baselined: vec![false; findings.len()],
+        ..BaselineDiff::default()
+    };
+    let mut used = vec![false; baseline.entries.len()];
+    for (i, f) in findings.iter().enumerate() {
+        match baseline
+            .entries
+            .iter()
+            .position(|e| e.allow_key == f.allow_key)
+        {
+            Some(j) => {
+                diff.baselined[i] = true;
+                used[j] = true;
+            }
+            None => diff.new.push(i),
+        }
+    }
+    diff.stale = baseline
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    diff
+}
+
+// ---------------------------------------------------------------------------
+// --fix-dry-run
+// ---------------------------------------------------------------------------
+
+/// Renders unified-diff suggestions for the mechanical findings (those
+/// carrying a replacement line). No file is written — this is a preview.
+pub fn fix_dry_run(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let Some(replacement) = &f.suggestion else {
+            continue;
+        };
+        let _ = write!(
+            out,
+            "--- a/{p}\n+++ b/{p}\n@@ -{l},1 +{l},1 @@ [{r}]\n-{old}\n+{new}\n",
+            p = f.path,
+            l = f.line,
+            r = f.rule,
+            old = if f.raw_line.is_empty() {
+                &f.snippet
+            } else {
+                &f.raw_line
+            },
+            new = replacement,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_key_shape_holds() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        let k = allow_key("hot-path", "crates/x/src/lib.rs", "  let v = x;  ", 2);
+        assert!(k.starts_with("hot-path@crates/x/src/lib.rs@"));
+        assert!(k.ends_with("@2"));
+        // Trimming means indentation changes don't move the key.
+        assert_eq!(
+            k,
+            allow_key("hot-path", "crates/x/src/lib.rs", "let v = x;", 2)
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                allow_key: "r@p@00@0".into(),
+                rule: "atomics-order".into(),
+                path: "crates/obs/src/counter.rs".into(),
+                justification: "statistics counter; no ordering dependency".into(),
+            }],
+        };
+        let parsed = Baseline::parse(&b.render()).expect("parses");
+        assert_eq!(parsed.entries, b.entries);
+        assert!(parsed.unjustified().is_empty());
+    }
+
+    #[test]
+    fn unjustified_entries_are_reported() {
+        let text = r#"{"version":1,"entries":[
+            {"allow_key":"k","rule":"r","path":"p","justification":"  "}
+        ]}"#;
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.unjustified().len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"version\":1}").is_err());
+        assert!(Baseline::parse("{\"version\":1,\"entries\":[{\"rule\":\"r\"}]}").is_err());
+    }
+
+    #[test]
+    fn escapes_survive_string_parsing() {
+        let mut p = Parser {
+            b: br#""a\"b\\c\ndA""#,
+            i: 0,
+        };
+        assert_eq!(p.value().unwrap(), JVal::Str("a\"b\\c\ndA".into()));
+    }
+}

@@ -152,15 +152,15 @@ fn hash_iteration(krate: &CrateInfo, out: &mut Vec<Finding>) {
                     }
                 }
                 if let Some(what) = hit {
-                    out.push(Finding {
-                        rule: "hash-iteration",
-                        path: file.path.clone(),
-                        line: ln,
-                        message: format!(
+                    out.push(Finding::new(
+                        "hash-iteration",
+                        file.path.clone(),
+                        ln,
+                        format!(
                             "`{what}` iterates a hash container ({id} is HashMap/HashSet); \
                              order leaks into output — use BTreeMap/BTreeSet or sort keys first"
                         ),
-                    });
+                    ));
                     break; // one finding per line is enough
                 }
             }
@@ -236,16 +236,16 @@ fn wall_clock(krate: &CrateInfo, out: &mut Vec<Finding>) {
                     }
                 });
                 if hit {
-                    out.push(Finding {
-                        rule: "wall-clock",
-                        path: file.path.clone(),
-                        line: ln,
-                        message: format!(
+                    out.push(Finding::new(
+                        "wall-clock",
+                        file.path.clone(),
+                        ln,
+                        format!(
                             "`{pat}` in algorithm code; wall-clock reads and sleeps belong \
                              in rbpc-obs/rbpc-bench (pass timings/ticks in, don't sample \
                              or pace here)"
                         ),
-                    });
+                    ));
                     break;
                 }
             }
@@ -273,12 +273,12 @@ fn panic_freedom(krate: &CrateInfo, out: &mut Vec<Finding>) {
             }
             let s = &line.code_nostr;
             let mut flag = |what: &str, hint: &str| {
-                out.push(Finding {
-                    rule: "panic",
-                    path: file.path.clone(),
-                    line: ln,
-                    message: format!("`{what}` in non-test code; {hint}"),
-                })
+                out.push(Finding::new(
+                    "panic",
+                    file.path.clone(),
+                    ln,
+                    format!("`{what}` in non-test code; {hint}"),
+                ))
             };
             if s.contains(".unwrap()") {
                 flag(
@@ -328,23 +328,23 @@ fn panic_freedom(krate: &CrateInfo, out: &mut Vec<Finding>) {
 /// `#![deny(missing_docs)]` so neither can regress silently.
 fn crate_attrs(krate: &CrateInfo, out: &mut Vec<Finding>) {
     let Some(root) = krate.root_file.map(|i| &krate.files[i]) else {
-        out.push(Finding {
-            rule: "crate-attrs",
-            path: format!("{}/Cargo.toml", krate.dir),
-            line: 1,
-            message: "crate has no src/lib.rs or src/main.rs to carry crate attributes".into(),
-        });
+        out.push(Finding::new(
+            "crate-attrs",
+            format!("{}/Cargo.toml", krate.dir),
+            1,
+            "crate has no src/lib.rs or src/main.rs to carry crate attributes".into(),
+        ));
         return;
     };
     for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
         let present = root.lines.iter().any(|l| l.code_nostr.contains(attr));
         if !present && !root.lines.is_empty() {
-            out.push(Finding {
-                rule: "crate-attrs",
-                path: root.path.clone(),
-                line: 1,
-                message: format!("crate root is missing `{attr}`"),
-            });
+            out.push(Finding::new(
+                "crate-attrs",
+                root.path.clone(),
+                1,
+                format!("crate root is missing `{attr}`"),
+            ));
         }
     }
 }
@@ -370,15 +370,15 @@ fn cfg_balance(krate: &CrateInfo, out: &mut Vec<Finding>) {
             let s = &line.code;
             for (feat, negated) in cfg_features(s) {
                 if !krate.features.contains(&feat) {
-                    out.push(Finding {
-                        rule: "cfg-balance",
-                        path: file.path.clone(),
-                        line: ln,
-                        message: format!(
+                    out.push(Finding::new(
+                        "cfg-balance",
+                        file.path.clone(),
+                        ln,
+                        format!(
                             "cfg references feature \"{feat}\" which {} does not declare",
                             krate.name
                         ),
-                    });
+                    ));
                 }
                 // Balance is only meaningful for items compiled into the
                 // library; tests/benches pick one side by design, and
@@ -399,15 +399,15 @@ fn cfg_balance(krate: &CrateInfo, out: &mut Vec<Finding>) {
         }
         for (feat, pos, neg, ln) in seen {
             if pos != neg {
-                out.push(Finding {
-                    rule: "cfg-balance",
-                    path: file.path.clone(),
-                    line: ln,
-                    message: format!(
+                out.push(Finding::new(
+                    "cfg-balance",
+                    file.path.clone(),
+                    ln,
+                    format!(
                         "unbalanced gates for feature \"{feat}\": {pos}× cfg(feature) vs \
                          {neg}× cfg(not(feature)) — a --no-default-features build diverges"
                     ),
-                });
+                ));
             }
         }
     }
@@ -477,16 +477,16 @@ fn static_span_names(krate: &CrateInfo, out: &mut Vec<Finding>) {
                     after.to_string()
                 };
                 if !arg.starts_with('"') {
-                    out.push(Finding {
-                        rule: "static-span-names",
-                        path: file.path.clone(),
-                        line: ln,
-                        message: format!(
+                    out.push(Finding::new(
+                        "static-span-names",
+                        file.path.clone(),
+                        ln,
+                        format!(
                             "`{}` name must be a static string literal; dynamic names make \
                              profiler/registry aggregation keys unbounded",
                             mac.trim_end_matches('(')
                         ),
-                    });
+                    ));
                 }
             }
         }

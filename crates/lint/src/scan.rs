@@ -1,10 +1,15 @@
 //! Source model: turning a `.rs` file into analyzable lines.
 //!
-//! The analyzer deliberately avoids a real Rust parser — it must stay
-//! dependency-free and robust to code it cannot fully understand. Instead
-//! each file is run through a character-level state machine that tracks
-//! comments (line, nested block), string literals (plain, raw, byte),
-//! and char literals, producing per line:
+//! Since v2 the line model is *derived from the token stream* in
+//! [`crate::token`] rather than from a per-line character state machine:
+//! the file is lexed once, a [`FileTree`] block tree is built over the
+//! tokens, and the per-line views are reconstructed by classifying every
+//! byte through its covering token. That makes the line rules (v1) and
+//! the token rules ([`crate::rules2`]) agree exactly on what is code,
+//! comment, or string content — including the constructs the char pass
+//! used to desync on (`br#"…"#`, nested block comments, lifetimes).
+//!
+//! Per line the scanner produces:
 //!
 //! * `code` — the line with comments removed but string contents kept
 //!   (rules that inspect message literals, like the `panic` rule's
@@ -12,11 +17,14 @@
 //! * `code_nostr` — comments removed **and** string/char contents blanked
 //!   (structural rules match against this so a string mentioning
 //!   `HashMap.iter()` cannot trip them);
-//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item, found
-//!   by brace tracking from the attribute;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item,
+//!   taken from the block tree;
 //! * `allows` — rule names granted by a `// lint:allow(rule, …)` escape
 //!   hatch on this line (an allow also covers the following line, so it
 //!   can sit above the offending statement).
+
+use crate::token::{literal_content_range, TokKind, Tokens};
+use crate::tree::FileTree;
 
 /// How a file participates in the build — test-ish targets are exempt from
 /// the behavioral rules.
@@ -53,40 +61,38 @@ pub struct SourceFile {
     pub kind: FileKind,
     /// The analyzed lines, in order.
     pub lines: Vec<Line>,
+    /// The token stream the line model was derived from.
+    pub tokens: Tokens,
+    /// The brace-block tree over `tokens`.
+    pub tree: FileTree,
 }
 
-/// Lexer state carried across characters (and lines).
+/// Per-byte classification used to rebuild the line views.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lex {
+enum Cls {
+    /// Plain code or inter-token whitespace: kept in both views.
     Code,
-    /// Nested block comment depth.
-    Block(u32),
-    Str,
-    /// Raw string with `n` `#` marks: ends at `"` followed by `n` `#`.
-    RawStr(u32),
+    /// Comment bytes: omitted from both views.
+    Comment,
+    /// String/char literal *content*: kept in `code`, blanked in
+    /// `code_nostr`.
+    Blank,
 }
 
 impl SourceFile {
     /// Scans `text` into a [`SourceFile`]. `path` is stored verbatim.
     pub fn scan(path: &str, kind: FileKind, text: &str) -> SourceFile {
-        let mut lines = Vec::new();
-        let mut lex = Lex::Code;
-        for raw in text.lines() {
-            let (code, code_nostr, next) = strip_line(raw, lex);
-            lex = next;
-            lines.push(Line {
-                raw: raw.to_string(),
-                code,
-                code_nostr,
-                in_test: false,
-                allows: parse_allows(raw),
-            });
-        }
-        mark_test_regions(&mut lines);
+        let tokens = Tokens::lex(text);
+        let tree = FileTree::build(&tokens);
+        let cls = classify_bytes(text, &tokens);
+        let mut lines = build_lines(text, &cls);
+        mark_test_lines(&mut lines, &tokens, &tree);
         SourceFile {
             path: path.to_string(),
             kind,
             lines,
+            tokens,
+            tree,
         }
     }
 
@@ -99,6 +105,97 @@ impl SourceFile {
                 .is_some_and(|l| l.allows.iter().any(|a| a == rule))
         };
         hit(line.wrapping_sub(1)) || (line >= 2 && hit(line - 2))
+    }
+}
+
+/// Classifies every byte of `text` through its covering token.
+fn classify_bytes(text: &str, tokens: &Tokens) -> Vec<Cls> {
+    let mut cls = vec![Cls::Code; text.len()];
+    for t in &tokens.toks {
+        let (lo, hi) = (t.lo as usize, t.hi as usize);
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => {
+                cls[lo..hi].fill(Cls::Comment);
+            }
+            TokKind::Str => {
+                let (open, close) = literal_content_range(text, t);
+                cls[open..close].fill(Cls::Blank);
+            }
+            // Char literals blank entirely (quotes included): a quote is
+            // never structural, and `'{'` must not look like a brace.
+            TokKind::Char => {
+                cls[lo..hi].fill(Cls::Blank);
+            }
+            _ => {}
+        }
+    }
+    cls
+}
+
+/// Rebuilds the per-line views by walking the classified bytes.
+fn build_lines(text: &str, cls: &[Cls]) -> Vec<Line> {
+    let b = text.as_bytes();
+    let mut lines = Vec::new();
+    let mut raw_start = 0usize;
+    let mut code: Vec<u8> = Vec::new();
+    let mut nostr: Vec<u8> = Vec::new();
+    let mut flush = |raw_start: usize, raw_end: usize, code: &mut Vec<u8>, nostr: &mut Vec<u8>| {
+        let raw = text[raw_start..raw_end].trim_end_matches('\r');
+        lines.push(Line {
+            raw: raw.to_string(),
+            code: String::from_utf8_lossy(code).into_owned(),
+            code_nostr: String::from_utf8_lossy(nostr).into_owned(),
+            in_test: false,
+            allows: parse_allows(raw),
+        });
+        code.clear();
+        nostr.clear();
+    };
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            flush(raw_start, i, &mut code, &mut nostr);
+            raw_start = i + 1;
+            continue;
+        }
+        match cls[i] {
+            Cls::Comment => {}
+            Cls::Code => {
+                code.push(c);
+                nostr.push(c);
+            }
+            Cls::Blank => {
+                code.push(c);
+                nostr.push(b' ');
+            }
+        }
+    }
+    if raw_start < b.len() {
+        flush(raw_start, b.len(), &mut code, &mut nostr);
+    }
+    lines
+}
+
+/// Marks `in_test` from the block tree: a `#[cfg(test)]` item covers its
+/// attribute line through the close of its brace block, and brace-less
+/// items (`#[cfg(test)] use …;`) cover attribute through semicolon.
+fn mark_test_lines(lines: &mut [Line], tokens: &Tokens, tree: &FileTree) {
+    let mut ranges: Vec<(u32, u32)> = tree.braceless_test_lines.clone();
+    for blk in &tree.blocks {
+        if blk.test {
+            let close_line = tokens
+                .toks
+                .get(blk.close)
+                .map(|t| t.line)
+                .unwrap_or(lines.len() as u32);
+            ranges.push((blk.test_attr_line, close_line));
+        }
+    }
+    for (first, last) in ranges {
+        let lo = first.saturating_sub(1) as usize;
+        let hi = (last as usize).min(lines.len());
+        for line in &mut lines[lo..hi] {
+            line.in_test = true;
+        }
     }
 }
 
@@ -116,184 +213,6 @@ fn parse_allows(raw: &str) -> Vec<String> {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .collect()
-}
-
-/// Strips comments (and, for the second output, string contents) from one
-/// line, starting in lexer state `lex`; returns both forms plus the state
-/// at end of line.
-fn strip_line(raw: &str, mut lex: Lex) -> (String, String, Lex) {
-    let b = raw.as_bytes();
-    let mut code = String::with_capacity(raw.len());
-    let mut nostr = String::with_capacity(raw.len());
-    let mut i = 0;
-    // Pushes a char to both outputs, blanking it in `nostr` if `blank`.
-    macro_rules! put {
-        ($c:expr, $blank:expr) => {{
-            code.push($c);
-            nostr.push(if $blank { ' ' } else { $c });
-        }};
-    }
-    while i < b.len() {
-        let c = b[i] as char;
-        match lex {
-            Lex::Block(depth) => {
-                if c == '*' && b.get(i + 1) == Some(&b'/') {
-                    lex = if depth == 1 {
-                        Lex::Code
-                    } else {
-                        Lex::Block(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && b.get(i + 1) == Some(&b'*') {
-                    lex = Lex::Block(depth + 1);
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            Lex::Str => {
-                if c == '\\' {
-                    put!('\\', true);
-                    if let Some(&n) = b.get(i + 1) {
-                        put!(n as char, true);
-                    }
-                    i += 2;
-                } else if c == '"' {
-                    put!('"', false);
-                    lex = Lex::Code;
-                    i += 1;
-                } else {
-                    put!(c, true);
-                    i += 1;
-                }
-            }
-            Lex::RawStr(hashes) => {
-                if c == '"' && raw[i + 1..].starts_with(&"#".repeat(hashes as usize)) {
-                    put!('"', false);
-                    for _ in 0..hashes {
-                        put!('#', false);
-                    }
-                    i += 1 + hashes as usize;
-                    lex = Lex::Code;
-                } else {
-                    put!(c, true);
-                    i += 1;
-                }
-            }
-            Lex::Code => {
-                if c == '/' && b.get(i + 1) == Some(&b'/') {
-                    break; // line comment: drop the rest
-                }
-                if c == '/' && b.get(i + 1) == Some(&b'*') {
-                    lex = Lex::Block(1);
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    put!('"', false);
-                    lex = Lex::Str;
-                    i += 1;
-                    continue;
-                }
-                // Raw (byte) strings: r"…", r#"…"#, br#"…"#.
-                if c == 'r' && !prev_is_ident(&code) {
-                    let mut j = i + 1;
-                    let mut hashes = 0u32;
-                    while b.get(j) == Some(&b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&b'"') {
-                        put!('r', false);
-                        for _ in 0..hashes {
-                            put!('#', false);
-                        }
-                        put!('"', false);
-                        i = j + 1;
-                        lex = Lex::RawStr(hashes);
-                        continue;
-                    }
-                }
-                // Char literals: skip 'x' or '\…' so a '{' or '"' inside
-                // one cannot confuse the tracker. A lone `'` (lifetime)
-                // passes through.
-                if c == '\'' {
-                    if b.get(i + 1) == Some(&b'\\') {
-                        if let Some(close) = raw[i + 2..].find('\'') {
-                            for ch in raw[i..i + 3 + close].chars() {
-                                put!(ch, true);
-                            }
-                            i += 3 + close;
-                            continue;
-                        }
-                    } else if b.get(i + 2) == Some(&b'\'') {
-                        put!('\'', true);
-                        put!(b[i + 1] as char, true);
-                        put!('\'', true);
-                        i += 3;
-                        continue;
-                    }
-                }
-                put!(c, false);
-                i += 1;
-            }
-        }
-    }
-    // A line comment never carries over to the next line.
-    (code, nostr, lex)
-}
-
-/// Whether the last char of `s` continues an identifier (so the `r` of
-/// `ref r` is not taken for a raw-string prefix, but `for` / `var` are).
-fn prev_is_ident(s: &str) -> bool {
-    s.chars()
-        .last()
-        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
-}
-
-/// Marks lines inside `#[cfg(test)]` items by brace tracking: from the
-/// attribute, everything up to the close of the item's first brace block
-/// (or the terminating `;` for brace-less items) is test code.
-fn mark_test_regions(lines: &mut [Line]) {
-    let mut depth: i64 = 0;
-    // `pending` = saw the attribute, waiting for the item's `{`.
-    let mut pending = false;
-    // Depth at which the active test region's block was opened.
-    let mut region_open: Option<i64> = None;
-    for line in lines.iter_mut() {
-        let has_cfg_test =
-            line.code_nostr.contains("#[cfg(test)]") || line.code_nostr.contains("#[cfg(all(test");
-        if has_cfg_test && region_open.is_none() {
-            pending = true;
-        }
-        let in_region_before = region_open.is_some();
-        let mut this_line_test = pending || in_region_before;
-        for c in line.code_nostr.chars() {
-            match c {
-                '{' => {
-                    if pending {
-                        region_open = Some(depth);
-                        pending = false;
-                        this_line_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if region_open == Some(depth) {
-                        region_open = None;
-                    }
-                }
-                // `#[cfg(test)] use …;` — a brace-less item ends here.
-                ';' if pending && region_open.is_none() => {
-                    pending = false;
-                    this_line_test = true;
-                }
-                _ => {}
-            }
-        }
-        line.in_test = this_line_test || region_open.is_some() || in_region_before;
-    }
 }
 
 #[cfg(test)]
@@ -324,6 +243,17 @@ mod tests {
         let f = scan("let j = r#\"{ \"k\": 1 }\"#; j.iter()");
         assert!(f.lines[0].code_nostr.contains("j.iter()"));
         assert!(!f.lines[0].code_nostr.contains("\"k\""));
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_desync_the_scanner() {
+        // Regression: the v1 char pass treated `br#"…"#` as ordinary code
+        // because the `r` followed an identifier byte (`b`), so the brace
+        // inside leaked into brace tracking.
+        let f = scan("let j = br#\"{ not code }\"#; j.iter()");
+        assert!(f.lines[0].code_nostr.contains("j.iter()"));
+        assert!(!f.lines[0].code_nostr.contains("not code"));
+        assert!(!f.lines[0].code_nostr.contains('{'));
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! A std-only Rust lexer: the token stream under every v2 rule.
+//!
+//! The v1 scanner worked on characters per line; this pass produces a
+//! real token stream — identifiers, literals, punctuation, comments —
+//! with byte spans and line numbers, handling the constructs a char
+//! scanner desyncs on: raw strings (`r#"…"#`, `br##"…"##`), byte
+//! strings, raw identifiers (`r#fn`), nested block comments, lifetimes
+//! vs char literals, and multi-line string literals. Everything
+//! downstream ([`crate::tree`], [`crate::rules2`], the rebuilt line
+//! model in [`crate::scan`]) is derived from this stream, so all layers
+//! agree on what is code and what is comment or string content.
+//!
+//! The lexer never fails: unterminated literals and comments extend to
+//! end of input, and unknown bytes become single-byte punctuation. It
+//! is a *lexer*, not a parser — rules pattern-match token sequences and
+//! stay robust to code they cannot fully understand.
+
+/// Token classes. Keywords are ordinary [`TokKind::Ident`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` (includes the quote).
+    Lifetime,
+    /// Integer or float literal, with suffix if any.
+    Num,
+    /// String literal: plain, byte, raw, or raw-byte, with delimiters.
+    Str,
+    /// Char or byte-char literal, with quotes.
+    Char,
+    /// Punctuation. `::` is one token; everything else one byte.
+    Punct,
+    /// `// …` comment (without the trailing newline). Doc comments too.
+    LineComment,
+    /// `/* … */` comment, nesting and newlines included.
+    BlockComment,
+}
+
+/// One token: class plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub lo: u32,
+    /// Byte offset one past the last byte.
+    pub hi: u32,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+/// A lexed file: the original text plus its token stream.
+#[derive(Debug, Clone, Default)]
+pub struct Tokens {
+    /// The source text, verbatim.
+    pub text: String,
+    /// The tokens, in source order, comments included.
+    pub toks: Vec<Token>,
+}
+
+impl Tokens {
+    /// The text of token `i`.
+    pub fn text_of(&self, i: usize) -> &str {
+        let t = &self.toks[i];
+        &self.text[t.lo as usize..t.hi as usize]
+    }
+
+    /// Index of the next non-comment token at or after `i`, if any.
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        while let Some(t) = self.toks.get(i) {
+            match t.kind {
+                TokKind::LineComment | TokKind::BlockComment => i += 1,
+                _ => return Some(i),
+            }
+        }
+        None
+    }
+
+    /// Index of the previous non-comment token strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match self.toks[j].kind {
+                TokKind::LineComment | TokKind::BlockComment => {}
+                _ => return Some(j),
+            }
+        }
+        None
+    }
+
+    /// Whether token `i` is the identifier `word`.
+    pub fn is_ident(&self, i: usize, word: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && self.text_of(i) == word)
+    }
+
+    /// Whether token `i` is the punctuation `p`.
+    pub fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && self.text_of(i) == p)
+    }
+
+    /// Given the index of an opening `(`, `[`, or `{`, returns the index
+    /// of its matching closer, treating the three bracket kinds as one
+    /// nesting family (good enough for span extraction; the input is
+    /// rustc-accepted code, so brackets do balance).
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for i in open..self.toks.len() {
+            if self.toks[i].kind != TokKind::Punct {
+                continue;
+            }
+            match self.text_of(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Lexes `text`. Never fails; see the module docs for the error
+    /// recovery rules.
+    pub fn lex(text: &str) -> Tokens {
+        let b = text.as_bytes();
+        let mut toks = Vec::new();
+        let mut i = 0usize;
+        let mut line = 1u32;
+        // Counts the newlines in `text[lo..hi]`.
+        let newlines =
+            |lo: usize, hi: usize| b[lo..hi].iter().filter(|&&c| c == b'\n').count() as u32;
+        while i < b.len() {
+            let lo = i;
+            let start_line = line;
+            let c = b[i];
+            match c {
+                b'\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                c if c.is_ascii_whitespace() => i += 1,
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    toks.push(tok(TokKind::LineComment, lo, i, start_line));
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    let mut depth = 1u32;
+                    i += 2;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    line += newlines(lo, i);
+                    toks.push(tok(TokKind::BlockComment, lo, i, start_line));
+                }
+                b'"' => {
+                    i = scan_string(b, i + 1, 0);
+                    line += newlines(lo, i);
+                    toks.push(tok(TokKind::Str, lo, i, start_line));
+                }
+                b'\'' => {
+                    // Lifetime vs char literal: `'` + ident not followed
+                    // by a closing quote is a lifetime.
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if j > i + 1 && b.get(j) != Some(&b'\'') {
+                        i = j;
+                        toks.push(tok(TokKind::Lifetime, lo, i, start_line));
+                    } else {
+                        i = scan_char(b, i + 1);
+                        line += newlines(lo, i);
+                        toks.push(tok(TokKind::Char, lo, i, start_line));
+                    }
+                }
+                c if is_ident_start(c) => {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    let word = &text[i..j];
+                    // String prefixes and raw identifiers bind to the
+                    // quote that follows the (would-be) identifier.
+                    if let Some(end) = string_after_prefix(b, i, word) {
+                        i = end;
+                        line += newlines(lo, i);
+                        toks.push(tok(TokKind::Str, lo, i, start_line));
+                    } else if word == "b" && b.get(j) == Some(&b'\'') {
+                        i = scan_char(b, j + 1);
+                        toks.push(tok(TokKind::Char, lo, i, start_line));
+                    } else if word == "r"
+                        && b.get(j) == Some(&b'#')
+                        && b.get(j + 1).copied().is_some_and(is_ident_start)
+                    {
+                        // Raw identifier `r#loop`.
+                        i = j + 2;
+                        while i < b.len() && is_ident_cont(b[i]) {
+                            i += 1;
+                        }
+                        toks.push(tok(TokKind::Ident, lo, i, start_line));
+                    } else {
+                        i = j;
+                        toks.push(tok(TokKind::Ident, lo, i, start_line));
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let mut j = i + 1;
+                    while j < b.len() && (is_ident_cont(b[j]) || b[j] == b'.') {
+                        if b[j] == b'.' {
+                            // `1..n` is a range, `1.max()` a method call:
+                            // the dot joins the number only before a digit.
+                            if !b.get(j + 1).copied().is_some_and(|d| d.is_ascii_digit()) {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    toks.push(tok(TokKind::Num, lo, i, start_line));
+                }
+                b':' if b.get(i + 1) == Some(&b':') => {
+                    i += 2;
+                    toks.push(tok(TokKind::Punct, lo, i, start_line));
+                }
+                _ => {
+                    i += 1;
+                    toks.push(tok(TokKind::Punct, lo, i, start_line));
+                }
+            }
+        }
+        Tokens {
+            text: text.to_string(),
+            toks,
+        }
+    }
+}
+
+fn tok(kind: TokKind, lo: usize, hi: usize, line: u32) -> Token {
+    Token {
+        kind,
+        lo: lo as u32,
+        hi: hi as u32,
+        line,
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Scans a (non-raw) string body starting just after the opening quote;
+/// `_hashes` is unused but keeps the raw/cooked call shapes parallel.
+/// Returns the index one past the closing quote (or `len`).
+fn scan_string(b: &[u8], mut i: usize, _hashes: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Scans a raw string body starting just after the opening quote: ends at
+/// `"` followed by `hashes` `#` marks. No escapes.
+fn scan_raw_string(b: &[u8], mut i: usize, hashes: usize) -> usize {
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Scans a char literal body starting just after the opening quote.
+fn scan_char(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // unterminated: don't eat the line
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// If the identifier `word` at byte offset `at` is a string prefix
+/// (`b`, `r`, `br`) introducing a literal, returns the literal's end
+/// offset; `None` means plain identifier.
+fn string_after_prefix(b: &[u8], at: usize, word: &str) -> Option<usize> {
+    let raw = matches!(word, "r" | "br");
+    let cooked = word == "b";
+    if !raw && !cooked {
+        return None;
+    }
+    let mut j = at + word.len();
+    let mut hashes = 0usize;
+    if raw {
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    let scan = if raw { scan_raw_string } else { scan_string };
+    Some(scan(b, j + 1, hashes))
+}
+
+/// Layout of a literal token: which bytes are delimiters (quotes, hash
+/// marks, prefixes) and which are content. [`crate::scan`] uses this to
+/// blank content while keeping delimiters visible.
+pub fn literal_content_range(text: &str, t: &Token) -> (usize, usize) {
+    let (lo, hi) = (t.lo as usize, t.hi as usize);
+    let s = &text[lo..hi];
+    match t.kind {
+        TokKind::Str => {
+            let prefix = s.bytes().take_while(|&c| c != b'"').count();
+            let open = lo + prefix + 1;
+            let hashes = s[..prefix].bytes().filter(|&c| c == b'#').count();
+            let close = hi.saturating_sub(1 + hashes).max(open);
+            (open, close)
+        }
+        // Char literals blank entirely (quotes included), matching the
+        // v1 scanner: a quote is never structural.
+        TokKind::Char => (lo, hi),
+        _ => (lo, hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let t = Tokens::lex(src);
+        (0..t.toks.len())
+            .map(|i| (t.toks[i].kind, t.text_of(i).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_nums_puncts() {
+        let k = kinds("let x2 = 3_000u64 + y.z::<T>();");
+        assert_eq!(k[0], (TokKind::Ident, "let".into()));
+        assert_eq!(k[1], (TokKind::Ident, "x2".into()));
+        assert_eq!(k[3], (TokKind::Num, "3_000u64".into()));
+        assert!(k.iter().any(|(kd, s)| *kd == TokKind::Punct && s == "::"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_prefix() {
+        let k = kinds(r####"let a = r#"x "quoted" y"#; let b = br##"raw ## inside"##; done"####);
+        let strs: Vec<&String> = k
+            .iter()
+            .filter(|(kd, _)| *kd == TokKind::Str)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(strs.len(), 2, "{k:?}");
+        assert_eq!(strs[0], r###"r#"x "quoted" y"#"###);
+        assert_eq!(strs[1], r####"br##"raw ## inside"##"####);
+        // The trailing ident survives — no desync.
+        assert!(k.iter().any(|(kd, s)| *kd == TokKind::Ident && s == "done"));
+    }
+
+    #[test]
+    fn nested_block_comments_stay_one_token() {
+        let k = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[1].0, TokKind::BlockComment);
+        assert_eq!(k[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = k.iter().filter(|(kd, _)| *kd == TokKind::Lifetime).count();
+        let chars = k.iter().filter(|(kd, _)| *kd == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let k = kinds("let r#loop = 1;");
+        assert!(k
+            .iter()
+            .any(|(kd, s)| *kd == TokKind::Ident && s == "r#loop"));
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_tokens() {
+        let t = Tokens::lex("a\n/* b\nc */\nd \"e\nf\" g");
+        let find = |word: &str| {
+            (0..t.toks.len())
+                .find(|&i| t.text_of(i) == word)
+                .map(|i| t.toks[i].line)
+                .unwrap()
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("d"), 4);
+        assert_eq!(find("g"), 5);
+    }
+
+    #[test]
+    fn matching_close_spans_nests() {
+        let t = Tokens::lex("f(a[b(c)], d)");
+        let open = (0..t.toks.len()).find(|&i| t.is_punct(i, "(")).unwrap();
+        let close = t.matching_close(open).unwrap();
+        assert_eq!(close, t.toks.len() - 1);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"abc", "/* open", "r#\"raw", "'x", "b\"bytes"] {
+            let t = Tokens::lex(src);
+            assert!(!t.toks.is_empty(), "{src}");
+        }
+    }
+}

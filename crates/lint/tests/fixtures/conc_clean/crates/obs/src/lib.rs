@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! Clean twin of the conc_violations obs crate: every Relaxed access
+//! carries an allow with a safety note, or uses a stronger ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter whose Relaxed accesses are all justified.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Justified Relaxed write.
+    pub fn bump(&self) {
+        // lint:allow(atomics-order) — display-only counter; atomicity alone suffices
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Justified Relaxed read.
+    pub fn get(&self) -> u64 {
+        // lint:allow(atomics-order) — display-only total; cross-counter skew is acceptable
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// SeqCst needs no justification.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,51 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! Clean twin of the conc_violations sim crate: ordered locking, a
+//! disciplined hot region, and a registered hot-region invariant.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Acquire/Release on the shared flag — no allow needed.
+pub fn publish(flag: &AtomicUsize) -> usize {
+    thread::scope(|s| {
+        s.spawn(|| {
+            flag.store(1, Ordering::Release);
+        });
+    });
+    flag.load(Ordering::Acquire)
+}
+
+/// Two locks taken in a fixed, non-overlapping order.
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    /// The first guard is dropped before the second lock.
+    pub fn ordered(&self) -> u64 {
+        let g = self.a.lock().expect("invariant: never poisoned");
+        let x = *g;
+        drop(g);
+        let h = self.b.lock().expect("invariant: never poisoned");
+        x + *h
+    }
+
+    /// A named guard with a real critical section.
+    pub fn bump(&self) {
+        let mut g = self.a.lock().expect("invariant: never poisoned");
+        *g += 1;
+    }
+}
+
+/// Hot region built from simple indices, widening casts, and a
+/// registered debug_assert — nothing to flag.
+// lint:hot
+pub fn kernel(offsets: &[u32], v: &[u64], u: usize) -> u64 {
+    debug_assert!(u < v.len());
+    let d = offsets[u];
+    v[u] + u64::from(d)
+}

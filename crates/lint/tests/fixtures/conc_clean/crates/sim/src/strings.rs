@@ -1,0 +1,27 @@
+//! Scanner-regression stress: every rule trigger below is inert because
+//! it sits inside a raw string, byte string, or nested block comment. A
+//! char-level scanner desyncs here; the token scanner must report zero
+//! findings for this file.
+
+/// Rule triggers quoted in strings are not code.
+pub fn doc_examples() -> [&'static str; 4] {
+    [
+        r#"self.value.fetch_add(1, Ordering::Relaxed); // "quoted""#,
+        r##"a raw string with a # quote: r#"inner"# and .lock().unwrap()"##,
+        "an escaped quote \" then panic!(\"nope\") and Instant::now()",
+        r"Vec::new() inside a hot region? only if it were code",
+    ]
+}
+
+/// Byte strings with hashes must not desync the lexer.
+pub fn byte_examples() -> &'static [u8] {
+    br#"b"bytes" with .write() and debug_assert!(false)"#
+}
+
+/* A nested /* block comment */ mentioning TICKETS.fetch_add(1, Relaxed)
+   and let _ = m.lock(); stays one token. */
+
+/// Lifetimes are not char literals: 'a here, b'x' there.
+pub fn lifetimes<'a>(s: &'a str) -> (&'a str, u8) {
+    (s, b'\'')
+}

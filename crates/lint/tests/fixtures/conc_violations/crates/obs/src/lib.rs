@@ -1,0 +1,57 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! Seeded atomics-order violations in a shared-by-construction crate
+//! (`rbpc-obs` is in the rule's SHARED_CRATES list). Never compiled;
+//! the integration tests assert the exact findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter whose atomic is written below, so every Relaxed access on
+/// it is in scope for the shared-crate branch of `atomics-order`.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Relaxed write, no allow → atomics-order.
+    pub fn bump(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read of a written atomic, no allow → atomics-order.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Allow without a safety note → atomics-order (the bare-allow form).
+    pub fn bump_bare_allow(&self) {
+        // lint:allow(atomics-order)
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allow with a safety note → clean.
+    pub fn bump_noted(&self) {
+        // lint:allow(atomics-order) — display-only counter; atomicity alone suffices
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// SeqCst needs no allow at all → clean.
+    pub fn bump_seqcst(&self) {
+        self.value.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_exempt() {
+        let c = Counter {
+            value: AtomicU64::new(0),
+        };
+        c.value.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! Seeded lock-discipline, hot-path, debug-invariants, and spawn/static
+//! atomics-order violations. Never compiled; the integration tests
+//! assert the exact findings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A ticket dispenser shared by every thread.
+static TICKETS: AtomicUsize = AtomicUsize::new(0);
+
+/// Relaxed on a static atomic → atomics-order.
+pub fn ticket() -> usize {
+    TICKETS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Relaxed inside a spawn(…) closure → atomics-order.
+pub fn race() -> usize {
+    let n = AtomicUsize::new(0);
+    thread::scope(|s| {
+        s.spawn(|| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    n.load(Ordering::Acquire)
+}
+
+/// Two locks with no fixed order.
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    /// Guard `g` held across the second lock → lock-discipline.
+    pub fn cross(&self) -> u64 {
+        let g = self.a.lock().expect("invariant: never poisoned");
+        let h = self.b.lock().expect("invariant: never poisoned");
+        *g + *h
+    }
+
+    /// `let _ =` drops the guard immediately → lock-discipline.
+    pub fn empty_section(&self) {
+        let _ = self.a.lock().expect("invariant: never poisoned");
+    }
+
+    /// Dropping `g` before the second lock → clean.
+    pub fn ordered(&self) -> u64 {
+        let g = self.a.lock().expect("invariant: never poisoned");
+        let x = *g;
+        drop(g);
+        let h = self.b.lock().expect("invariant: never poisoned");
+        x + *h
+    }
+}
+
+/// Alloc, compound index, narrowing cast, and an unregistered
+/// debug_assert in one hot region → 3× hot-path + 1× debug-invariants.
+// lint:hot
+pub fn kernel(xs: &mut Vec<u64>, offsets: &[u32], u: usize) -> u64 {
+    xs.push(1);
+    let d = offsets[u + 1];
+    let t = d as u16;
+    debug_assert!(u < offsets.len());
+    u64::from(t)
+}
+
+/// Registered invariant with an existing test file → clean.
+// lint:hot
+pub fn kernel_registered(v: &[u64], i: usize) -> u64 {
+    debug_assert!(i < v.len());
+    v[i]
+}
+
+/// Registered invariant whose test file is missing → debug-invariants.
+// lint:hot
+pub fn kernel_missing_test(v: &[u64], i: usize) -> u64 {
+    debug_assert!(i < v.len());
+    v[i]
+}
+
+/// Hot-region violations under line allows with notes → clean.
+// lint:hot
+pub fn kernel_allowed(xs: &mut Vec<u64>, offsets: &[u32], u: usize) -> u64 {
+    // lint:allow(hot-path) — buffer is pre-reserved by the caller
+    xs.push(1);
+    // lint:allow(hot-path) — offsets has n+1 entries, u+1 is in bounds
+    let d = offsets[u + 1];
+    u64::from(d)
+}

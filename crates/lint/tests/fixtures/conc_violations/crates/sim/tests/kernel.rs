@@ -1,0 +1,8 @@
+//! Release-mode twin of `kernel_registered`'s debug_assert. Never
+//! compiled; only its existence is checked by the invariant manifest.
+
+#[test]
+fn index_stays_in_bounds() {
+    let v = [1u64, 2, 3];
+    assert!(2 < v.len());
+}

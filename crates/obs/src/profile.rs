@@ -95,14 +95,17 @@ thread_local! {
 /// caller ([`Span`](crate::Span)) stores the flag so a profiler starting
 /// or stopping mid-span never unbalances the stack.
 pub(crate) fn push_frame(name: &'static str) -> bool {
+    // lint:allow(atomics-order) — a stale read only delays seeing the profiler start/stop by one span; no data is published through it
     if !PROFILING.load(Ordering::Relaxed) {
         return false;
     }
     let id = intern(name);
     MY_STACK
         .try_with(|stack| {
+            // lint:allow(atomics-order) — only this thread stores `depth`, so its own read needs no ordering
             let depth = stack.depth.load(Ordering::Relaxed);
             if depth < MAX_DEPTH {
+                // lint:allow(atomics-order) — the Release store of `depth` below publishes this frame write to the sampler
                 stack.frames[depth].store(id, Ordering::Relaxed);
             }
             // Publish the frame before the new depth: Release pairs with
@@ -115,6 +118,7 @@ pub(crate) fn push_frame(name: &'static str) -> bool {
 /// Pops the innermost frame pushed by [`push_frame`].
 pub(crate) fn pop_frame() {
     let _ = MY_STACK.try_with(|stack| {
+        // lint:allow(atomics-order) — only this thread stores `depth`, so its own read needs no ordering
         let depth = stack.depth.load(Ordering::Relaxed);
         stack
             .depth

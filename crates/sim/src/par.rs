@@ -40,6 +40,7 @@ where
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| loop {
+                // lint:allow(atomics-order) — pure ticket counter; results travel through the per-slot Mutex, which supplies the ordering
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(chunk) = chunks.get(i) else { break };
                 let result = work(chunk);

@@ -11,8 +11,29 @@ cargo fmt --all --check
 if [[ "${SKIP_LINT:-0}" = "1" ]]; then
     echo "== rbpc-lint skipped (SKIP_LINT=1)"
 else
-    echo "== rbpc-lint (determinism / panic-freedom / hygiene rules)"
-    cargo run -q -p rbpc-lint
+    echo "== rbpc-lint (line rules + token rules, JSON report, baseline diff)"
+    # Build first so the timing guard below measures the analyzer, not rustc.
+    cargo build -q -p rbpc-lint
+    lint_json=$(mktemp /tmp/rbpc-lint-report.XXXXXX.json)
+    lint_out=$(mktemp /tmp/rbpc-lint-out.XXXXXX)
+    lint_start=$(date +%s%N)
+    # The committed crates/lint/lint-baseline.json is picked up by default;
+    # any finding not in it (or any unjustified entry) fails the gate here.
+    if ! target/debug/rbpc-lint . --json "$lint_json" | tee "$lint_out"; then
+        echo "rbpc-lint: new findings (or broken baseline) — fix them or baseline with a justification" >&2
+        rm -f "$lint_json" "$lint_out"
+        exit 1
+    fi
+    lint_elapsed_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+    # Surface the machine-readable counters for CI log scrapers.
+    grep -o 'lint\.findings\.[a-z.-]*=[0-9]*' "$lint_out" | sed 's/^/   /'
+    echo "   lint.elapsed_ms=${lint_elapsed_ms} (report: kept at $lint_json)"
+    # Timing guard: the analyzer must stay interactive (< 5 s on the repo).
+    if (( lint_elapsed_ms >= 5000 )); then
+        echo "rbpc-lint: took ${lint_elapsed_ms} ms (>= 5000 ms budget) — profile the analyzer" >&2
+        exit 1
+    fi
+    rm -f "$lint_out"
 fi
 
 echo "== cargo clippy --workspace -D warnings"
